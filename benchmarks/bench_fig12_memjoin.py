@@ -1,0 +1,103 @@
+"""Fig. 12: the algebraic memory model at scale.
+
+Join cost and axiom checking for N threads allocating many frames — the
+§5.5 construction's substrate.  Scaling shape: join cost grows with the
+total block count; the N-way generalization composes associatively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.compiler import (
+    Memory,
+    check_join,
+    join,
+    join_all,
+    rule_alloc,
+    rule_comm,
+    rule_ld,
+    rule_lift_l,
+    rule_lift_r,
+    rule_nb,
+    rule_st,
+)
+
+THREADS = 8
+FRAMES_PER_THREAD = 32
+
+
+def build_thread_memories(threads=THREADS, frames=FRAMES_PER_THREAD):
+    """Round-robin frame allocation across N threads with placeholders."""
+    memories = [Memory() for _ in range(threads)]
+    for round_index in range(frames):
+        for owner, memory in enumerate(memories):
+            bid = memory.alloc(0, 16)
+            memory.store(bid, 0, (owner, round_index))
+            for other in memories:
+                if other is not memory:
+                    other.liftnb(1)
+    return memories
+
+
+def test_join_all_scales(benchmark):
+    memories = build_thread_memories()
+    merged = benchmark(join_all, memories)
+    total = THREADS * FRAMES_PER_THREAD
+    assert merged.nb() == total
+    assert len(merged.owned_blocks()) == total
+    print(f"\n{THREADS} threads × {FRAMES_PER_THREAD} frames → "
+          f"{merged.nb()} blocks joined")
+
+
+def test_pairwise_axioms_at_scale(benchmark):
+    m1, m2 = build_thread_memories(threads=2, frames=64)
+
+    def check_all_axioms():
+        m = join(m1, m2)
+        assert rule_nb(m1, m2, m)
+        assert rule_comm(m1, m2, m)
+        for bid in (1, 17, 64, 100):
+            assert rule_ld(m1, m2, m, bid, 0)
+            assert rule_st(m1, m2, m, bid, 0, "x")
+        assert rule_alloc(m1, m2, m, 0, 8)
+        assert rule_lift_r(m1, m2, m, 4)
+        assert rule_lift_l(m1, m2, m, 4)
+        return m
+
+    merged = benchmark(check_all_axioms)
+    assert check_join(m1, m2, merged)
+
+
+def test_join_associativity(benchmark):
+    """The N-way fold is order-insensitive (the §5.5 generalization)."""
+    memories = build_thread_memories(threads=4, frames=8)
+
+    def both_orders():
+        left = join(join(join(memories[0], memories[1]), memories[2]),
+                    memories[3])
+        right = join(memories[0], join(memories[1],
+                                       join(memories[2], memories[3])))
+        return left, right
+
+    left, right = benchmark(both_orders)
+    assert left == right
+
+
+def test_join_scaling_table(benchmark):
+    rows = []
+    import time
+
+    for threads in (2, 4, 8):
+        memories = build_thread_memories(threads=threads, frames=16)
+        start = time.perf_counter()
+        merged = join_all(memories)
+        elapsed = time.perf_counter() - start
+        rows.append([threads, merged.nb(), f"{elapsed * 1000:.2f} ms"])
+    benchmark(join_all, build_thread_memories(threads=4, frames=16))
+    print_table(
+        "Fig. 12 — N-way join scaling",
+        ["threads", "blocks", "join time"],
+        rows,
+    )

@@ -1,0 +1,187 @@
+"""Fig. 9: the layer calculus — rule-application cost at scale.
+
+The calculus is exercised functionally throughout the test suite; this
+bench measures how the composition rules scale when stacking many layers
+(the CertiKOS development stacks dozens): an N-deep tower built by
+``Fun`` + ``Vcomp``, an N-wide row by ``Hcomp``, and an N-way ``Pcomp``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.core import (
+    Event,
+    EventMapRel,
+    FuncImpl,
+    LayerInterface,
+    SimConfig,
+    fun_rule,
+    hcomp,
+    pcomp_all,
+    shared_prim,
+    vcomp,
+)
+
+DEPTH = 6
+WIDTH = 6
+CPUS = 4
+
+
+def make_bump_spec(name):
+    def spec(ctx):
+        yield from ctx.query()
+        count = ctx.log.count(name) + 1
+        ctx.emit(name, ret=count)
+        return count
+
+    return spec
+
+
+def pair_spec(low_name):
+    def spec(ctx):
+        yield from ctx.query()
+        count = ctx.log.count(low_name)
+        ctx.emit(low_name, ret=count + 1)
+        ctx.emit(low_name, ret=count + 2)
+        return None
+
+    return spec
+
+
+def pair_impl(low_name):
+    def player(ctx):
+        yield from ctx.call(low_name)
+        ctx.enter_critical()
+        yield from ctx.call(low_name)
+        ctx.exit_critical()
+        return None
+
+    return player
+
+
+def build_tower(depth):
+    """depth layers, each doubling the one below (Fun then Vcomp)."""
+    base = LayerInterface(
+        "T0", [1], {"op0": shared_prim("op0", make_bump_spec("op0"))}
+    )
+    current = base
+    tower = None
+    relation = EventMapRel("Rt", ret_rel=lambda lo, hi: True)
+    config = SimConfig(env_alphabet=[()], env_depth=0, compare_rets=False)
+    for level in range(1, depth + 1):
+        low_name = f"op{level - 1}"
+        high_name = f"op{level}"
+
+        def high_spec(ctx, _expansion=2 ** level):
+            # Each level-k op expands to two level-(k-1) ops; at the
+            # bottom everything is op0 events with consistent returns.
+            # (expansion bound at definition time: closures in loops!)
+            yield from ctx.query()
+            count = ctx.log.count("op0")
+            for step in range(_expansion):
+                ctx.emit("op0", ret=count + step + 1)
+            return None
+
+        overlay = current.extend(
+            f"T{level}", [shared_prim(high_name, high_spec)], hide=[low_name]
+        )
+
+        def impl(ctx, _n=low_name):
+            yield from ctx.call(_n)
+            ctx.enter_critical()
+            yield from ctx.call(_n)
+            ctx.exit_critical()
+            return None
+
+        layer = fun_rule(
+            current, FuncImpl(high_name, impl), overlay, relation, 1, config
+        )
+        tower = layer if tower is None else vcomp(tower, layer)
+        current = overlay
+    return tower
+
+
+def test_vcomp_tower(benchmark):
+    tower = benchmark(build_tower, DEPTH)
+    assert tower.certificate.ok
+    assert len(tower.module) == DEPTH
+    print(f"\ntower of {DEPTH} layers: "
+          f"{tower.certificate.obligation_count()} obligations, "
+          f"relation {tower.relation.name}")
+
+
+def build_row(width):
+    base = LayerInterface(
+        "B", [1], {"op": shared_prim("op", make_bump_spec("op"))}
+    )
+    relation = EventMapRel("Rr", ret_rel=lambda lo, hi: True)
+    config = SimConfig(env_alphabet=[()], env_depth=0, compare_rets=False)
+    layers = []
+    for index in range(width):
+        name = f"svc{index}"
+
+        def spec(ctx):
+            yield from ctx.query()
+            count = ctx.log.count("op")
+            ctx.emit("op", ret=count + 1)
+            return None
+
+        overlay = base.extend(f"B+{name}", [shared_prim(name, spec)])
+
+        def impl(ctx):
+            yield from ctx.call("op")
+            return None
+
+        layers.append(
+            fun_rule(base, FuncImpl(name, impl), overlay, relation, 1, config)
+        )
+    row = layers[0]
+    for layer in layers[1:]:
+        row = hcomp(layer, row)
+    return row
+
+
+def test_hcomp_row(benchmark):
+    row = benchmark(build_row, WIDTH)
+    assert row.certificate.ok
+    assert len(row.module) == WIDTH
+
+
+def build_fleet(cpus):
+    domain = list(range(1, cpus + 1))
+    base = LayerInterface(
+        "P", domain, {"op": shared_prim("op", make_bump_spec("op"))}
+    )
+    relation = EventMapRel("Rp", ret_rel=lambda lo, hi: True)
+
+    def spec(ctx):
+        yield from ctx.query()
+        count = ctx.log.count("op")
+        ctx.emit("op", ret=count + 1)
+        return None
+
+    overlay = base.extend("P1", [shared_prim("svc", spec)], hide=["op"])
+
+    def impl(ctx):
+        yield from ctx.call("op")
+        return None
+
+    impl_obj = FuncImpl("svc", impl)
+    layers = []
+    for tid in domain:
+        env_tids = [t for t in domain if t != tid]
+        alphabet = [()] + [((Event(t, "op"),)) for t in env_tids]
+        config = SimConfig(env_alphabet=alphabet, env_depth=1,
+                           compare_rets=False)
+        layers.append(fun_rule(base, impl_obj, overlay, relation, tid, config))
+    return pcomp_all(layers)
+
+
+def test_pcomp_fleet(benchmark):
+    fleet = benchmark(build_fleet, CPUS)
+    assert fleet.certificate.ok
+    assert fleet.focused == set(range(1, CPUS + 1))
+    print(f"\n{CPUS}-way Pcomp: "
+          f"{fleet.certificate.obligation_count()} obligations")

@@ -1,0 +1,25 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper's evaluation (see DESIGN.md §3 and EXPERIMENTS.md).  Benchmarks
+print a paper-vs-measured table and assert the *shape* of the result
+(who wins, by roughly what factor) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Render a small aligned table to the benchmark output."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

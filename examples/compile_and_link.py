@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Thread-safe compilation and linking (§5.5): the CompCertX pipeline.
+
+1. compile the ticket lock's mini-C to mini-x86,
+2. validate the compiled code against the source per Def. 2.1 (one
+   simulation check per protocol scenario — the CompCertX correctness
+   statement, established by translation validation),
+3. re-certify the *compiled* module against the same atomic interface
+   (the compiled code slots into the certified layer),
+4. demonstrate stack merging: three threads allocate frames in private
+   block memories, placeholders flow at every switch, and the Fig. 12
+   join produces one coherent CPU-local memory.
+
+Run:  python examples/compile_and_link.py
+"""
+
+from repro.compiler import compile_and_validate
+from repro.core import SimConfig
+from repro.machine import lx86_interface
+from repro.objects.ticket_lock import (
+    lock_guarantee,
+    lock_rely,
+    low_env_alphabet,
+    ticket_lock_unit,
+)
+from repro.threads import check_stack_merge
+
+
+def main():
+    print("=" * 72)
+    print("Thread-safe CompCertX: compile, validate, link (paper §5.5)")
+    print("=" * 72)
+
+    D, lock = [1, 2], "q0"
+    base = lx86_interface(
+        D, rely=lock_rely(D, [lock]), guar=lock_guarantee(D, [lock])
+    )
+
+    print("\n--- compiling the ticket lock ---\n")
+    cfg = SimConfig(
+        env_alphabet=low_env_alphabet([2], [lock]), env_depth=1, fuel=500
+    )
+    scenarios = [
+        ("acq", [("acq", (lock,))], cfg),
+        ("acq_rel", [("acq", (lock,)), ("rel", (lock,))], cfg),
+        ("two_rounds",
+         [("acq", (lock,)), ("rel", (lock,))] * 2, cfg),
+    ]
+    asm_unit, cert = compile_and_validate(
+        base, ticket_lock_unit(), 1, scenarios
+    )
+    print(str(asm_unit.functions["acq"]))
+    print(f"\nvalidation: {cert.summary()}")
+    assert cert.ok
+
+    print("\n--- the compiled module replaces the source module ---\n")
+    from repro.compiler import compiled_module
+    from repro.core.calculus import module_rule
+    from repro.core.relation import ID_REL
+    from repro.objects.ticket_lock import lock_low_interface, lock_scenarios
+
+    module = compiled_module(asm_unit, ["acq", "rel"])
+    low = lock_low_interface(base)
+    layer = module_rule(
+        base, module, low, ID_REL, 1,
+        lock_scenarios(lock, SimConfig(
+            env_alphabet=low_env_alphabet([2], [lock]), env_depth=1,
+            fuel=800, delivery="per_query",
+        )),
+    )
+    print(f"re-certified: {layer.judgment}")
+    print(f"  {layer.certificate.obligation_count()} obligations")
+
+    print("\n--- per-thread stacks compose (Fig. 12) ---\n")
+    merge = check_stack_merge(
+        {
+            1: [("alloc", (0, 16)), ("store", (0, "t1-frame")),
+                ("alloc", (0, 8)), ("free", (1, 0))],
+            2: [("alloc", (0, 16)), ("store", (0, "t2-frame"))],
+            3: [("alloc", (0, 16)), ("store", (0, "t3-frame")),
+                ("alloc", (0, 32))],
+        },
+        schedule=[1, 2, 3, 1, 2, 3, 1, 3],
+    )
+    print(merge.summary())
+    assert merge.ok
+
+    print("\nCompiled code is event- and value-equivalent to the source,")
+    print("and thread-private frames join into one coherent memory.")
+
+
+if __name__ == "__main__":
+    main()

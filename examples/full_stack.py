@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The full Fig. 1 tower: spinlocks → queues → scheduler → qlock → CV → IPC.
+
+Builds every layer of the paper's overview figure bottom-up, running each
+layer's correctness checks, then drives a two-thread producer/consumer
+workload through the top of the stack (synchronous IPC) under an
+exhaustively enumerated set of hardware schedules.
+
+Run:  python examples/full_stack.py
+"""
+
+from repro.objects.condvar import check_condvar_correctness
+from repro.objects.ipc import check_ipc_correctness
+from repro.objects.mcs_lock import certify_mcs_lock
+from repro.objects.qlock import check_qlock_correctness
+from repro.objects.sched import CpuMap
+from repro.objects.shared_queue import certify_shared_queue
+from repro.objects.ticket_lock import certify_ticket_lock
+
+
+def banner(text):
+    print(f"\n{'-' * 72}\n{text}\n{'-' * 72}")
+
+
+def main():
+    print("=" * 72)
+    print("Building the Fig. 1 concurrent layer stack, bottom to top")
+    print("=" * 72)
+
+    banner("Layer 1 — spinlocks over Lx86 (both implementations)")
+    ticket = certify_ticket_lock([1, 2], lock="q0")
+    mcs = certify_mcs_lock([1, 2], lock="q0")
+    print(f"ticket lock: {ticket.composed.judgment}")
+    print(f"  {ticket.composed.certificate.obligation_count()} obligations")
+    print(f"MCS lock:    {mcs.composed.judgment}")
+    print(f"  {mcs.composed.certificate.obligation_count()} obligations")
+    shared_atomic = set(ticket.atomic.prims) == set(mcs.atomic.prims)
+    print(f"same atomic interface (interchangeable, §6): {shared_atomic}")
+
+    banner("Layer 2 — shared queues over the atomic lock interface (§4.2)")
+    queue = certify_shared_queue([1, 2], queue="rdq")
+    print(f"shared queue: {queue['composed'].judgment}")
+    print(f"  {queue['composed'].certificate.obligation_count()} obligations")
+
+    banner("Layer 3+4 — scheduler + queuing lock (§5.1, §5.4)")
+    cpus = CpuMap({1: 0, 2: 0, 3: 0})
+    qlock = check_qlock_correctness(cpus, {0: 1}, lock=5, rounds=1)
+    print(qlock.summary())
+
+    banner("Layer 5 — condition variables: bounded-buffer monitor")
+    cv = check_condvar_correctness(
+        CpuMap({1: 0, 2: 0}), {0: 1},
+        producers={1: 2}, consumers={2: 2}, capacity=1,
+    )
+    print(cv.summary())
+
+    banner("Layer 6 — synchronous IPC across two CPUs")
+    ipc = check_ipc_correctness(
+        CpuMap({1: 0, 2: 1}), {0: 1, 1: 2},
+        senders={1: ["ping", "pong"]}, receivers={2: 2},
+        max_choice_depth=6,
+    )
+    print(ipc.summary())
+
+    all_ok = all([
+        ticket.composed.certificate.ok,
+        mcs.composed.certificate.ok,
+        queue["composed"].certificate.ok,
+        qlock.ok,
+        cv.ok,
+        ipc.ok,
+    ])
+    assert all_ok
+    print("\nThe entire stack is certified: every layer's obligations hold")
+    print("under every explored schedule, from x86 atomics up to IPC.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Mini-x86: the target language of the CompCertX analog.
+
+AST (:mod:`repro.asm.ast`) and interface-parameterized operational
+semantics over the block memory model (:mod:`repro.asm.semantics`).
+"""
+
+from .ast import (
+    Alu,
+    AsmFunction,
+    AsmUnit,
+    Br,
+    Call,
+    EAX,
+    EBX,
+    ECX,
+    EDI,
+    EDX,
+    EBP,
+    ESI,
+    ESP,
+    Imm,
+    Instr,
+    Jmp,
+    KERNEL_CONTEXT,
+    Label,
+    Load,
+    MakeTuple,
+    Mov,
+    Pop,
+    PrimCall,
+    Push,
+    RA,
+    REGISTERS,
+    Reg,
+    Ret,
+    Slot,
+    Store,
+)
+from .semantics import ASM_MEM, AsmInterp, asm_func_impl, asm_memory, asm_player
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,253 @@
+"""Mini-x86 assembly: the target language of the CompCertX analog.
+
+A small register machine in the image of CompCert's x86 backend:
+
+* registers: ``EAX EBX ECX EDX ESI EDI EBP ESP`` plus the pseudo
+  return-address register ``RA`` (the kernel context saved by
+  ``cswitch`` is exactly ``ra, ebp, ebx, esi, edi, esp`` — §5.1);
+* operands: register, immediate, or frame slot ``(ESP + offset)``;
+* instructions: moves, ALU ops, loads/stores against the block memory,
+  conditional/unconditional branches to local labels, ``CALL``/``RET``
+  with real stack frames allocated as memory blocks (the CompCert
+  convention §5.5 relies on), and ``PRIM`` — a call to a layer primitive
+  of the interface the code runs over.
+
+Functions are flat instruction lists with symbolic labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+EAX, EBX, ECX, EDX = "EAX", "EBX", "ECX", "EDX"
+ESI, EDI, EBP, ESP = "ESI", "EDI", "EBP", "ESP"
+RA = "RA"
+
+REGISTERS = (EAX, EBX, ECX, EDX, ESI, EDI, EBP, ESP, RA)
+
+#: The callee context saved and restored by ``cswitch`` (paper §5.1).
+KERNEL_CONTEXT = (RA, EBP, EBX, ESI, EDI, ESP)
+
+
+@dataclass(frozen=True)
+class Reg:
+    name: str
+
+    def __str__(self):
+        return f"%{self.name.lower()}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: Any
+
+    def __str__(self):
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A stack-frame slot: ``offset(%esp)``."""
+
+    offset: int
+
+    def __str__(self):
+        return f"{self.offset}(%esp)"
+
+
+Operand = Union[Reg, Imm, Slot]
+
+
+class Instr:
+    """Base class of instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Label(Instr):
+    name: str
+
+    def __str__(self):
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class Mov(Instr):
+    dst: Operand
+    src: Operand
+
+    def __str__(self):
+        return f"    mov {self.src}, {self.dst}"
+
+
+@dataclass(frozen=True)
+class Alu(Instr):
+    """``dst := a <op> b`` — three-address ALU operation.
+
+    ``op`` ranges over the mini-C binary operators (wraparound
+    arithmetic, comparisons producing 0/1).
+    """
+
+    op: str
+    dst: Reg
+    a: Operand
+    b: Operand
+
+    def __str__(self):
+        return f"    {self.op} {self.a}, {self.b} -> {self.dst}"
+
+
+@dataclass(frozen=True)
+class Jmp(Instr):
+    label: str
+
+    def __str__(self):
+        return f"    jmp {self.label}"
+
+
+@dataclass(frozen=True)
+class Br(Instr):
+    """Branch to ``label`` when ``cond`` is non-zero."""
+
+    cond: Operand
+    label: str
+
+    def __str__(self):
+        return f"    brnz {self.cond}, {self.label}"
+
+
+@dataclass(frozen=True)
+class Push(Instr):
+    src: Operand
+
+    def __str__(self):
+        return f"    push {self.src}"
+
+
+@dataclass(frozen=True)
+class Pop(Instr):
+    dst: Reg
+
+    def __str__(self):
+        return f"    pop {self.dst}"
+
+
+@dataclass(frozen=True)
+class Call(Instr):
+    """Call another assembly function of the same unit."""
+
+    fn: str
+    nargs: int
+
+    def __str__(self):
+        return f"    call {self.fn} ({self.nargs} args)"
+
+
+@dataclass(frozen=True)
+class PrimCall(Instr):
+    """Call a primitive of the layer interface.
+
+    Arguments are popped from the stack (last pushed = last argument);
+    the result lands in ``EAX``.  Query points are the callee's
+    business, exactly as in the C semantics.
+    """
+
+    prim: str
+    nargs: int
+
+    def __str__(self):
+        return f"    prim {self.prim} ({self.nargs} args)"
+
+
+@dataclass(frozen=True)
+class Ret(Instr):
+    def __str__(self):
+        return "    ret"
+
+
+@dataclass(frozen=True)
+class Load(Instr):
+    """``dst := mem[base + offset]`` — block-memory load."""
+
+    dst: Reg
+    base: Operand
+    offset: int = 0
+
+    def __str__(self):
+        return f"    load {self.offset}({self.base}), {self.dst}"
+
+
+@dataclass(frozen=True)
+class Store(Instr):
+    """``mem[base + offset] := src`` — block-memory store."""
+
+    base: Operand
+    src: Operand
+    offset: int = 0
+
+    def __str__(self):
+        return f"    store {self.src}, {self.offset}({self.base})"
+
+
+@dataclass(frozen=True)
+class MakeTuple(Instr):
+    """Build an ``n``-tuple from the top of the stack into ``dst``.
+
+    Models address formation for structured cell names (the asm image of
+    the C ``Tup`` expression).
+    """
+
+    dst: Reg
+    arity: int
+
+    def __str__(self):
+        return f"    mktuple {self.arity} -> {self.dst}"
+
+
+@dataclass
+class AsmFunction:
+    """One assembly function: parameters arrive as pushed arguments."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Instr, ...]
+    frame_size: int = 16
+    doc: str = ""
+
+    def __init__(self, name: str, params: Sequence[str], body: Sequence[Instr],
+                 frame_size: int = 16, doc: str = ""):
+        self.name = name
+        self.params = tuple(params)
+        self.body = tuple(body)
+        self.frame_size = frame_size
+        self.doc = doc
+
+    def labels(self) -> Dict[str, int]:
+        return {
+            instr.name: index
+            for index, instr in enumerate(self.body)
+            if isinstance(instr, Label)
+        }
+
+    def __str__(self):
+        lines = [f"{self.name}:  # params {self.params}"]
+        lines.extend(str(i) for i in self.body)
+        return "\n".join(lines)
+
+
+@dataclass
+class AsmUnit:
+    """A set of assembly functions (the compiled module)."""
+
+    name: str
+    functions: Dict[str, AsmFunction]
+
+    def __init__(self, name: str, functions: Optional[Dict[str, AsmFunction]] = None):
+        self.name = name
+        self.functions = dict(functions or {})
+
+    def add(self, fn: AsmFunction) -> "AsmUnit":
+        self.functions[fn.name] = fn
+        return self

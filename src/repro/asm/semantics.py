@@ -1,0 +1,255 @@
+"""Operational semantics of mini-x86 over the block memory model.
+
+The assembly machine runs as a *player* over a layer interface, exactly
+like the C interpreter — "all our assembly (or C) machines" share the
+concurrent model (§1).  Per participant:
+
+* ``ctx.priv["asmmem"]`` — the thread-private block memory; every
+  function invocation allocates a fresh stack-frame block (the CompCert
+  convention §5.5 builds on) and frees it on return;
+* registers — a per-invocation register file; ``ESP`` holds a pointer to
+  the current frame block;
+* an operand stack for ``push``/``pop`` (expression temporaries and call
+  arguments — modelling the register-allocated temporaries of a real
+  backend).
+
+Cost model: one simulated cycle per instruction, plus the primitive call
+costs — the basis of the §6 performance reproduction
+(``benchmarks/bench_perf_lock_latency.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.context import ExecutionContext
+from ..core.errors import OutOfFuel, Stuck
+from ..core.machint import IntWidth
+from ..compiler.memmodel import Memory
+from .ast import (
+    Alu,
+    AsmFunction,
+    AsmUnit,
+    Br,
+    Call,
+    EAX,
+    ESP,
+    Imm,
+    Instr,
+    Jmp,
+    Label,
+    Load,
+    MakeTuple,
+    Mov,
+    Operand,
+    Pop,
+    PrimCall,
+    Push,
+    REGISTERS,
+    Reg,
+    Ret,
+    Slot,
+    Store,
+)
+
+ASM_MEM = "asmmem"
+
+
+def asm_memory(ctx: ExecutionContext) -> Memory:
+    """This participant's private block memory (frames live here)."""
+    return ctx.priv.setdefault(ASM_MEM, Memory())
+
+
+class AsmInterp:
+    """One assembly unit interpreted over a layer interface."""
+
+    def __init__(self, unit: AsmUnit, width_bits: int = 32):
+        self.unit = unit
+        self.width = IntWidth(width_bits)
+
+    # -- operand access -------------------------------------------------------
+
+    def _read(self, mem: Memory, regs: Dict[str, Any], op: Operand) -> Any:
+        if isinstance(op, Reg):
+            return regs.get(op.name, 0)
+        if isinstance(op, Imm):
+            return op.value
+        if isinstance(op, Slot):
+            frame = self._frame(regs)
+            return mem.load(frame, op.offset)
+        raise Stuck(f"cannot read operand {op!r}")
+
+    def _write(self, mem: Memory, regs: Dict[str, Any], op: Operand, value: Any) -> None:
+        if isinstance(op, Reg):
+            regs[op.name] = value
+            return
+        if isinstance(op, Slot):
+            frame = self._frame(regs)
+            mem.store(frame, op.offset, value)
+            return
+        raise Stuck(f"cannot write operand {op!r}")
+
+    def _frame(self, regs: Dict[str, Any]) -> int:
+        esp = regs.get(ESP)
+        if not (isinstance(esp, tuple) and len(esp) == 3 and esp[0] == "ptr"):
+            raise Stuck(f"ESP does not hold a frame pointer: {esp!r}")
+        return esp[1]
+
+    def _alu(self, op: str, a: Any, b: Any) -> Any:
+        wrap = self.width.wrap
+        if op == "+":
+            return wrap(a + b)
+        if op == "-":
+            return wrap(a - b)
+        if op == "*":
+            return wrap(a * b)
+        if op == "/":
+            if b == 0:
+                raise Stuck("division by zero")
+            return wrap(a // b)
+        if op == "%":
+            if b == 0:
+                raise Stuck("modulo by zero")
+            return wrap(a % b)
+        if op == "==":
+            return 1 if a == b else 0
+        if op == "!=":
+            return 1 if a != b else 0
+        if op == "<":
+            return 1 if a < b else 0
+        if op == "<=":
+            return 1 if a <= b else 0
+        if op == ">":
+            return 1 if a > b else 0
+        if op == ">=":
+            return 1 if a >= b else 0
+        if op == "&":
+            return wrap(a & b)
+        if op == "|":
+            return wrap(a | b)
+        if op == "^":
+            return wrap(a ^ b)
+        raise Stuck(f"unknown ALU op {op!r}")
+
+    # -- execution -------------------------------------------------------------
+
+    def run_function(self, ctx: ExecutionContext, name: str, args: Sequence[Any]):
+        """Run one function invocation (a generator player).
+
+        Allocates the stack frame, binds parameters to the first slots,
+        executes until ``ret``, frees the frame.
+        """
+        fn = self.unit.functions.get(name)
+        if fn is None:
+            raise Stuck(f"undefined asm function {name!r}")
+        if len(args) != len(fn.params):
+            raise Stuck(f"{name} expects {len(fn.params)} args, got {len(args)}")
+        mem = asm_memory(ctx)
+        frame = mem.alloc(0, fn.frame_size)
+        regs: Dict[str, Any] = {reg: 0 for reg in REGISTERS}
+        regs[ESP] = ("ptr", frame, 0)
+        for index, value in enumerate(args):
+            mem.store(frame, index, value)
+        stack: List[Any] = []
+        labels = fn.labels()
+        pc = 0
+        body = fn.body
+        result: Any = None
+        while pc < len(body):
+            ctx.consume_fuel()
+            ctx.charge_cycles(1)
+            instr = body[pc]
+            pc += 1
+            if isinstance(instr, Label):
+                continue
+            if isinstance(instr, Mov):
+                self._write(mem, regs, instr.dst, self._read(mem, regs, instr.src))
+            elif isinstance(instr, Alu):
+                value = self._alu(
+                    instr.op,
+                    self._read(mem, regs, instr.a),
+                    self._read(mem, regs, instr.b),
+                )
+                self._write(mem, regs, instr.dst, value)
+            elif isinstance(instr, Jmp):
+                pc = self._target(labels, instr.label)
+            elif isinstance(instr, Br):
+                if self._read(mem, regs, instr.cond):
+                    pc = self._target(labels, instr.label)
+            elif isinstance(instr, Push):
+                stack.append(self._read(mem, regs, instr.src))
+            elif isinstance(instr, Pop):
+                if not stack:
+                    raise Stuck("pop from empty operand stack")
+                regs[instr.dst.name] = stack.pop()
+            elif isinstance(instr, MakeTuple):
+                if len(stack) < instr.arity:
+                    raise Stuck("mktuple underflow")
+                items = stack[-instr.arity:]
+                del stack[-instr.arity:]
+                regs[instr.dst.name] = tuple(items)
+            elif isinstance(instr, Call):
+                if len(stack) < instr.nargs:
+                    raise Stuck(f"call {instr.fn}: argument underflow")
+                call_args = stack[-instr.nargs:] if instr.nargs else []
+                if instr.nargs:
+                    del stack[-instr.nargs:]
+                ret = yield from self.run_function(ctx, instr.fn, call_args)
+                regs[EAX] = ret
+            elif isinstance(instr, PrimCall):
+                if len(stack) < instr.nargs:
+                    raise Stuck(f"prim {instr.prim}: argument underflow")
+                call_args = stack[-instr.nargs:] if instr.nargs else []
+                if instr.nargs:
+                    del stack[-instr.nargs:]
+                ret = yield from ctx.call(instr.prim, *call_args)
+                regs[EAX] = ret
+            elif isinstance(instr, Load):
+                base = self._read(mem, regs, instr.base)
+                if not (isinstance(base, tuple) and base and base[0] == "ptr"):
+                    raise Stuck(f"load through non-pointer {base!r}")
+                regs[instr.dst.name] = mem.load(base[1], base[2] + instr.offset)
+            elif isinstance(instr, Store):
+                base = self._read(mem, regs, instr.base)
+                if not (isinstance(base, tuple) and base and base[0] == "ptr"):
+                    raise Stuck(f"store through non-pointer {base!r}")
+                mem.store(
+                    base[1], base[2] + instr.offset,
+                    self._read(mem, regs, instr.src),
+                )
+            elif isinstance(instr, Ret):
+                result = regs.get(EAX)
+                break
+            else:
+                raise Stuck(f"cannot execute {instr!r}")
+        mem.free(frame)
+        return result
+
+    def _target(self, labels: Dict[str, int], label: str) -> int:
+        if label not in labels:
+            raise Stuck(f"undefined label {label!r}")
+        return labels[label]
+
+
+def asm_player(unit: AsmUnit, name: str, width_bits: int = 32):
+    """Make a player running assembly function ``name`` of ``unit``."""
+    interp = AsmInterp(unit, width_bits)
+
+    def player(ctx: ExecutionContext, *args):
+        ret = yield from interp.run_function(ctx, name, list(args))
+        return ret
+
+    player.__name__ = f"asm_{name}"
+    return player
+
+
+def asm_func_impl(unit: AsmUnit, name: str, width_bits: int = 32):
+    """Package an assembly function as a module implementation."""
+    from ..core.module import FuncImpl
+
+    return FuncImpl(
+        name=name,
+        player=asm_player(unit, name, width_bits),
+        source=unit.functions[name],
+        lang="asm",
+    )

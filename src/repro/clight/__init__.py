@@ -1,0 +1,42 @@
+"""Mini-C ("ClightX"): the C dialect layer implementations are written in.
+
+AST (:mod:`repro.clight.ast`), interface-parameterized operational
+semantics (:mod:`repro.clight.semantics`), and a pretty-printer
+(:mod:`repro.clight.pretty`).
+"""
+
+from .ast import (
+    Arr,
+    Assert,
+    Assign,
+    Binop,
+    Break,
+    Call,
+    CFunction,
+    Const,
+    Continue,
+    Expr,
+    Fld,
+    Glob,
+    If,
+    Return,
+    Seq,
+    Shared,
+    Skip,
+    Stmt,
+    TranslationUnit,
+    Tup,
+    Unop,
+    Var,
+    While,
+    binop,
+    const,
+    eq,
+    ne,
+    seq,
+    var,
+)
+from .semantics import GLOBALS_KEY, Interp, c_func_impl, c_player, unit_globals
+from .pretty import pretty_function, pretty_stmt, pretty_unit
+
+__all__ = [name for name in dir() if not name.startswith("_")]

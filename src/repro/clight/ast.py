@@ -1,0 +1,334 @@
+"""Abstract syntax of the mini-C layer language ("ClightX").
+
+Layer implementations in the paper are written in a C dialect (ClightX)
+whose function bodies call the primitives of the underlay interface.  The
+dialect here covers what the CertiKOS-style objects need:
+
+* machine-integer arithmetic with wraparound (the ``uint`` of Fig. 3),
+* locals, CPU-private globals, arrays and struct-like field access,
+* access to pulled shared data (the local copy of the push/pull model),
+* calls to underlay primitives and to other functions of the same
+  translation unit,
+* structured control flow (``if``/``while``/``break``/``continue``/
+  ``return``).
+
+Design notes: expressions are *pure* — calls appear only as statements
+with an optional destination place (kernel C maps onto this form
+directly, cf. ``uint myt = FAI_t();`` becoming
+``Call(Var("myt"), "fai", [...])``).  Lvalues are *places*: nested
+array/field paths rooted at a local, a global, or a pulled shared block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+# --- expressions ------------------------------------------------------------
+
+
+class Expr:
+    """Base class of pure expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer (or opaque) literal."""
+
+    value: Any
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A local variable or parameter (also usable as a place)."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Glob(Expr):
+    """A CPU-private global (also usable as a place root)."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Shared(Expr):
+    """The pulled local copy of a shared block (a place root).
+
+    ``loc`` is an expression computing the block identifier; the block
+    must have been pulled (otherwise access gets stuck — exactly the
+    push/pull race discipline).
+    """
+
+    loc: Expr
+
+    def __str__(self):
+        return f"*shared[{self.loc}]"
+
+
+@dataclass(frozen=True)
+class Arr(Expr):
+    """Array element ``base[index]`` (place when base is a place)."""
+
+    base: Expr
+    index: Expr
+
+    def __str__(self):
+        return f"{self.base}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Fld(Expr):
+    """Struct field ``base.field`` (place when base is a place)."""
+
+    base: Expr
+    fieldname: str
+
+    def __str__(self):
+        return f"{self.base}.{self.fieldname}"
+
+
+@dataclass(frozen=True)
+class Tup(Expr):
+    """Tuple construction — used to form composite addresses.
+
+    Atomic cells and lock identifiers are structured names (e.g.
+    ``("ticket_t", b)``); C code builds them with ``Tup``.  Models taking
+    the address of a named field of a global object.
+    """
+
+    items: Tuple[Expr, ...]
+
+    def __init__(self, items: Sequence[Expr]):
+        object.__setattr__(self, "items", tuple(items))
+
+    def __str__(self):
+        return "&(" + ", ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Unop(Expr):
+    op: str  # "-", "!", "~"
+    arg: Expr
+
+    def __str__(self):
+        return f"{self.op}({self.arg})"
+
+
+@dataclass(frozen=True)
+class Binop(Expr):
+    op: str  # + - * / % == != < <= > >= && || & | ^ << >>
+    left: Expr
+    right: Expr
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+# --- statements ---------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    def __str__(self):
+        return ";"
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``place = expr;``"""
+
+    place: Expr
+    value: Expr
+
+    def __str__(self):
+        return f"{self.place} = {self.value};"
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    stmts: Tuple[Stmt, ...]
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        object.__setattr__(self, "stmts", tuple(stmts))
+
+    def __str__(self):
+        return " ".join(str(s) for s in self.stmts)
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    els: Stmt = Skip()
+
+    def __str__(self):
+        return f"if ({self.cond}) {{ {self.then} }} else {{ {self.els} }}"
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Stmt = Skip()
+
+    def __str__(self):
+        return f"while ({self.cond}) {{ {self.body} }}"
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    def __str__(self):
+        return "break;"
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    def __str__(self):
+        return "continue;"
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+    def __str__(self):
+        return f"return {self.value};" if self.value is not None else "return;"
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    """``dst = fn(args);`` — a primitive or same-unit function call.
+
+    ``dst`` is an optional place receiving the return value.  The ``▷``
+    query-point markers of the paper's pseudocode are implicit: whether a
+    call queries the environment is decided by the callee's
+    specification, not by the caller.
+    """
+
+    dst: Optional[Expr]
+    fn: str
+    args: Tuple[Expr, ...] = ()
+
+    def __init__(self, dst: Optional[Expr], fn: str, args: Sequence[Expr] = ()):
+        object.__setattr__(self, "dst", dst)
+        object.__setattr__(self, "fn", fn)
+        object.__setattr__(self, "args", tuple(args))
+
+    def __str__(self):
+        argstr = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}{self.fn}({argstr});"
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    """A checked assertion; failure gets the machine stuck.
+
+    Not part of C proper — used by tests and by verification harnesses to
+    embed invariant checks into interpreted code.
+    """
+
+    cond: Expr
+    message: str = "assertion failed"
+
+    def __str__(self):
+        return f"assert({self.cond}); /* {self.message} */"
+
+
+# --- functions and translation units ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class CFunction:
+    """A mini-C function definition."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Stmt
+    doc: str = ""
+
+    def __init__(self, name: str, params: Sequence[str], body: Union[Stmt, Sequence[Stmt]], doc: str = ""):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "params", tuple(params))
+        if not isinstance(body, Stmt):
+            body = Seq(list(body))
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "doc", doc)
+
+    def __str__(self):
+        params = ", ".join(f"uint {p}" for p in self.params)
+        return f"void {self.name}({params}) {{ {self.body} }}"
+
+
+@dataclass
+class TranslationUnit:
+    """A set of functions plus global declarations.
+
+    ``globals`` maps names to initializer thunks (called per participant
+    to build that CPU's private globals — arrays must not be shared
+    between contexts).  ``width_bits`` fixes the unit's machine-integer
+    width.
+    """
+
+    name: str
+    functions: Dict[str, CFunction] = field(default_factory=dict)
+    globals: Dict[str, Any] = field(default_factory=dict)
+    width_bits: int = 32
+
+    def add(self, fn: CFunction) -> "TranslationUnit":
+        self.functions[fn.name] = fn
+        return self
+
+    def source_lines(self) -> int:
+        """Approximate source size (for the Table 2 inventory)."""
+        return sum(
+            str(fn).count(";") + str(fn).count("{") for fn in self.functions.values()
+        )
+
+    def __repr__(self):
+        return f"TranslationUnit({self.name}: {sorted(self.functions)})"
+
+
+# Convenience constructors -----------------------------------------------------
+
+
+def seq(*stmts: Stmt) -> Stmt:
+    return Seq(list(stmts))
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def const(value: Any) -> Const:
+    return Const(value)
+
+
+def binop(op: str, left: Expr, right: Expr) -> Binop:
+    return Binop(op, left, right)
+
+
+def eq(left: Expr, right: Expr) -> Binop:
+    return Binop("==", left, right)
+
+
+def ne(left: Expr, right: Expr) -> Binop:
+    return Binop("!=", left, right)

@@ -1,0 +1,56 @@
+"""Indented pretty-printing of mini-C, for docs, examples and debugging."""
+
+from __future__ import annotations
+
+from .ast import (
+    Assert,
+    Assign,
+    Break,
+    Call,
+    CFunction,
+    Continue,
+    If,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    TranslationUnit,
+    While,
+)
+
+_INDENT = "    "
+
+
+def pretty_stmt(stmt: Stmt, depth: int = 0) -> str:
+    pad = _INDENT * depth
+    if isinstance(stmt, Seq):
+        return "\n".join(pretty_stmt(s, depth) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        text = f"{pad}if ({stmt.cond}) {{\n{pretty_stmt(stmt.then, depth + 1)}\n{pad}}}"
+        if not isinstance(stmt.els, Skip):
+            text += f" else {{\n{pretty_stmt(stmt.els, depth + 1)}\n{pad}}}"
+        return text
+    if isinstance(stmt, While):
+        return (
+            f"{pad}while ({stmt.cond}) {{\n"
+            f"{pretty_stmt(stmt.body, depth + 1)}\n{pad}}}"
+        )
+    if isinstance(stmt, (Assign, Call, Return, Break, Continue, Skip, Assert)):
+        return pad + str(stmt)
+    return pad + str(stmt)
+
+
+def pretty_function(fn: CFunction, depth: int = 0) -> str:
+    pad = _INDENT * depth
+    params = ", ".join(f"uint {p}" for p in fn.params)
+    header = f"{pad}void {fn.name}({params}) {{"
+    body = pretty_stmt(fn.body, depth + 1)
+    doc = f"{pad}/* {fn.doc} */\n" if fn.doc else ""
+    return f"{doc}{header}\n{body}\n{pad}}}"
+
+
+def pretty_unit(unit: TranslationUnit) -> str:
+    parts = [f"/* translation unit {unit.name} (uint{unit.width_bits}) */"]
+    for name in sorted(unit.functions):
+        parts.append(pretty_function(unit.functions[name]))
+    return "\n\n".join(parts)

@@ -1,0 +1,25 @@
+"""The CompCertX analog: memory models, codegen, translation validation.
+
+Block memory (:mod:`repro.compiler.memmodel`), the Fig. 12 algebraic
+memory model (:mod:`repro.compiler.memjoin`), mini-C → mini-x86 code
+generation (:mod:`repro.compiler.codegen`) and per-function thread-safe
+translation validation (:mod:`repro.compiler.validate`).
+"""
+
+from .memmodel import Block, Memory, extends
+from .memjoin import (
+    check_join,
+    join,
+    join_all,
+    rule_alloc,
+    rule_comm,
+    rule_ld,
+    rule_lift_l,
+    rule_lift_r,
+    rule_nb,
+    rule_st,
+)
+from .codegen import CompileError, compile_function, compile_unit
+from .validate import compile_and_validate, compiled_module, validate_function
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,274 @@
+"""CompCertX-analog code generation: mini-C → mini-x86.
+
+Per-function (separate) compilation, in the image of CompCertX: each
+function is compiled against the *layer interface* it runs over —
+primitive calls become ``prim`` instructions whose semantics is the
+underlay specification, so compiled code slots into exactly the same
+concurrent machine as the source.
+
+Strategy: a one-pass stack machine.  Locals and parameters live in
+numbered slots of the stack-frame *block* (allocated per invocation by
+the asm semantics — the frames §5.5's algebraic memory model merges);
+expression temporaries use the operand stack.
+
+**Compilable subset**: scalar functions — locals, machine-integer
+arithmetic, tuples (address formation), control flow, primitive and
+intra-unit calls.  Functions touching interpreter-level structured
+places (``Glob``/``Shared``/``Arr``/``Fld``) raise
+:class:`CompileError` and remain at the C layer, mirroring how the
+original development keeps some routines out of the compiled set.  The
+lock implementations (ticket, MCS) fall inside the subset and are the
+compilation targets the benchmarks validate.
+
+Short-circuit note: mini-C expressions are pure, so ``&&``/``||`` are
+compiled strictly; the only observable difference would be via partial
+operators, which the validator would catch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..clight.ast import (
+    Arr,
+    Assert,
+    Assign,
+    Binop,
+    Break,
+    Call,
+    CFunction,
+    Const,
+    Continue,
+    Expr,
+    Fld,
+    Glob,
+    If,
+    Return,
+    Seq,
+    Shared,
+    Skip,
+    Stmt,
+    TranslationUnit,
+    Tup,
+    Unop,
+    Var,
+    While,
+)
+from ..core.errors import CCALError
+from ..asm.ast import (
+    Alu,
+    AsmFunction,
+    AsmUnit,
+    Br,
+    EAX,
+    EBX,
+    Imm,
+    Instr,
+    Jmp,
+    Label,
+    MakeTuple,
+    Mov,
+    Pop,
+    PrimCall,
+    Push,
+    Reg,
+    Ret,
+    Slot,
+)
+from ..asm.ast import Call as AsmCall
+
+_EAX = Reg(EAX)
+_EBX = Reg(EBX)
+
+
+class CompileError(CCALError):
+    """The function falls outside the compilable scalar subset."""
+
+
+class _FnCompiler:
+    def __init__(self, fn: CFunction, unit: TranslationUnit):
+        self.fn = fn
+        self.unit = unit
+        self.slots: Dict[str, int] = {p: i for i, p in enumerate(fn.params)}
+        self.code: List[Instr] = []
+        self.label_counter = 0
+        self.loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+
+    def fresh_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f".{self.fn.name}_{hint}_{self.label_counter}"
+
+    def slot_of(self, name: str) -> Slot:
+        if name not in self.slots:
+            self.slots[name] = len(self.slots)
+        return Slot(self.slots[name])
+
+    # -- expressions (leave the value on the operand stack) -------------------
+
+    def expr(self, e: Expr) -> None:
+        if isinstance(e, Const):
+            self.code.append(Push(Imm(e.value)))
+        elif isinstance(e, Var):
+            if e.name not in self.slots:
+                raise CompileError(f"{self.fn.name}: read of unset local {e.name!r}")
+            self.code.append(Push(self.slot_of(e.name)))
+        elif isinstance(e, Tup):
+            for item in e.items:
+                self.expr(item)
+            self.code.append(MakeTuple(_EAX, len(e.items)))
+            self.code.append(Push(_EAX))
+        elif isinstance(e, Binop):
+            self.expr(e.left)
+            self.expr(e.right)
+            self.code.append(Pop(_EBX))
+            self.code.append(Pop(_EAX))
+            op = e.op
+            if op == "&&":
+                # strict: (a != 0) & (b != 0)
+                self.code.append(Alu("!=", _EAX, _EAX, Imm(0)))
+                self.code.append(Alu("!=", _EBX, _EBX, Imm(0)))
+                op = "&"
+            elif op == "||":
+                self.code.append(Alu("!=", _EAX, _EAX, Imm(0)))
+                self.code.append(Alu("!=", _EBX, _EBX, Imm(0)))
+                op = "|"
+            self.code.append(Alu(op, _EAX, _EAX, _EBX))
+            self.code.append(Push(_EAX))
+        elif isinstance(e, Unop):
+            self.expr(e.arg)
+            self.code.append(Pop(_EAX))
+            if e.op == "-":
+                self.code.append(Alu("-", _EAX, Imm(0), _EAX))
+            elif e.op == "!":
+                self.code.append(Alu("==", _EAX, _EAX, Imm(0)))
+            elif e.op == "~":
+                self.code.append(Alu("^", _EAX, _EAX, Imm(-1)))
+            else:
+                raise CompileError(f"unary {e.op!r} not compilable")
+            self.code.append(Push(_EAX))
+        elif isinstance(e, (Glob, Shared, Arr, Fld)):
+            raise CompileError(
+                f"{self.fn.name}: structured place {e} outside the scalar subset"
+            )
+        else:
+            raise CompileError(f"cannot compile expression {e!r}")
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, Skip):
+            return
+        if isinstance(s, Seq):
+            for sub in s.stmts:
+                self.stmt(sub)
+            return
+        if isinstance(s, Assign):
+            if not isinstance(s.place, Var):
+                raise CompileError(
+                    f"{self.fn.name}: assignment to {s.place} outside the "
+                    f"scalar subset"
+                )
+            self.expr(s.value)
+            self.code.append(Pop(_EAX))
+            self.code.append(Mov(self.slot_of(s.place.name), _EAX))
+            return
+        if isinstance(s, If):
+            else_label = self.fresh_label("else")
+            end_label = self.fresh_label("endif")
+            self.expr(s.cond)
+            self.code.append(Pop(_EAX))
+            self.code.append(Alu("==", _EAX, _EAX, Imm(0)))
+            self.code.append(Br(_EAX, else_label))
+            self.stmt(s.then)
+            self.code.append(Jmp(end_label))
+            self.code.append(Label(else_label))
+            self.stmt(s.els)
+            self.code.append(Label(end_label))
+            return
+        if isinstance(s, While):
+            head = self.fresh_label("loop")
+            end = self.fresh_label("endloop")
+            self.code.append(Label(head))
+            self.expr(s.cond)
+            self.code.append(Pop(_EAX))
+            self.code.append(Alu("==", _EAX, _EAX, Imm(0)))
+            self.code.append(Br(_EAX, end))
+            self.loop_stack.append((head, end))
+            self.stmt(s.body)
+            self.loop_stack.pop()
+            self.code.append(Jmp(head))
+            self.code.append(Label(end))
+            return
+        if isinstance(s, Break):
+            if not self.loop_stack:
+                raise CompileError("break outside a loop")
+            self.code.append(Jmp(self.loop_stack[-1][1]))
+            return
+        if isinstance(s, Continue):
+            if not self.loop_stack:
+                raise CompileError("continue outside a loop")
+            self.code.append(Jmp(self.loop_stack[-1][0]))
+            return
+        if isinstance(s, Return):
+            if s.value is not None:
+                self.expr(s.value)
+                self.code.append(Pop(_EAX))
+            else:
+                self.code.append(Mov(_EAX, Imm(None)))
+            self.code.append(Ret())
+            return
+        if isinstance(s, Call):
+            for arg in s.args:
+                self.expr(arg)
+            if s.fn in self.unit.functions:
+                self.code.append(AsmCall(s.fn, len(s.args)))
+            else:
+                self.code.append(PrimCall(s.fn, len(s.args)))
+            if s.dst is not None:
+                if not isinstance(s.dst, Var):
+                    raise CompileError(
+                        f"{self.fn.name}: call destination {s.dst} outside "
+                        f"the scalar subset"
+                    )
+                self.code.append(Mov(self.slot_of(s.dst.name), _EAX))
+            return
+        if isinstance(s, Assert):
+            raise CompileError("assert is a verification-harness statement")
+        raise CompileError(f"cannot compile statement {s!r}")
+
+    def compile(self) -> AsmFunction:
+        self.stmt(self.fn.body)
+        # Implicit void return at the end of the body.
+        self.code.append(Mov(_EAX, Imm(None)))
+        self.code.append(Ret())
+        return AsmFunction(
+            self.fn.name,
+            self.fn.params,
+            self.code,
+            frame_size=max(16, len(self.slots) + 1),
+            doc=f"compiled from C: {self.fn.doc}" if self.fn.doc else "compiled from C",
+        )
+
+
+def compile_function(fn: CFunction, unit: TranslationUnit) -> AsmFunction:
+    """Compile one mini-C function to mini-x86 (separate compilation)."""
+    return _FnCompiler(fn, unit).compile()
+
+
+def compile_unit(
+    unit: TranslationUnit, skip_uncompilable: bool = False
+) -> AsmUnit:
+    """Compile a translation unit function by function.
+
+    With ``skip_uncompilable`` functions outside the scalar subset are
+    left out (they remain C-level primitives of the layer); otherwise
+    :class:`CompileError` propagates.
+    """
+    out = AsmUnit(unit.name + ".s")
+    for name, fn in unit.functions.items():
+        try:
+            out.add(compile_function(fn, unit))
+        except CompileError:
+            if not skip_uncompilable:
+                raise
+    return out

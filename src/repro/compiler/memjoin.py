@@ -1,0 +1,191 @@
+"""The algebraic memory model (paper §5.5, Fig. 12).
+
+"We can prove that a ternary relation ``m1 ⊛ m2 ≃ m`` holds between the
+private memory states m1, m2 of two disjoint thread sets and the
+thread-shared memory state m after the parallel composition."
+
+The relation's axioms (Fig. 12):
+
+* **Nb** — ``nb(m) = max(nb(m1), nb(m2))``
+* **Comm** — ``⊛`` is commutative
+* **Ld** — loads defined in a component are defined (same value) in the
+  composite
+* **St** — stores in a component commute with composition
+* **Alloc** — the more-recently-running component (larger ``nb``) can
+  allocate, and the composite allocates along
+* **Lift-R / Lift-L** — empty placeholder blocks (allocated by the
+  extended ``yield``/``sleep`` semantics for *other* threads' frames)
+  absorb into the composite, with Lift-L discounting the placeholders
+  the composite has already accounted for
+
+:func:`join` *computes* the composite when the relation holds (each
+permission-carrying block belongs to exactly one side);
+:func:`check_join` decides the relation; ``rule_*`` functions are the
+executable axioms, property-tested in ``tests/compiler`` and benched by
+``benchmarks/bench_fig12_memjoin.py``.  :func:`join_all` is the N-thread
+generalization the paper spells out at the end of §5.5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import Stuck
+from .memmodel import Block, Memory
+
+
+def check_join(m1: Memory, m2: Memory, m: Memory) -> bool:
+    """Decide ``m1 ⊛ m2 ≃ m``.
+
+    Requirements: block ids up to ``max(nb)`` partition into (a) owned by
+    exactly one side (and the composite carries that side's block
+    verbatim), and (b) empty on the side(s) that know them (the
+    placeholder discipline: "every non-shared memory block of m1 either
+    does not exist in m2 or corresponds to an empty block in m2").
+    """
+    if m.nb() != max(m1.nb(), m2.nb()):
+        return False
+    for bid in range(1, m.nb() + 1):
+        b1 = m1.blocks.get(bid)
+        b2 = m2.blocks.get(bid)
+        bm = m.blocks.get(bid)
+        owner = None
+        if b1 is not None and not b1.empty:
+            owner = b1
+        if b2 is not None and not b2.empty:
+            if owner is not None:
+                return False  # both sides claim the block
+            owner = b2
+        if owner is not None:
+            if bm is None or bm.empty:
+                return False
+            if (bm.lo, bm.hi, bm.writable, bm.data) != (
+                owner.lo, owner.hi, owner.writable, owner.data
+            ):
+                return False
+        else:
+            # Known only as placeholders (or not at all): the composite
+            # must carry it as empty (ids below nb(m) always exist).
+            if bm is not None and not bm.empty:
+                return False
+    return True
+
+
+def join(m1: Memory, m2: Memory) -> Memory:
+    """Compute the composite ``m`` with ``m1 ⊛ m2 ≃ m``.
+
+    Raises :class:`Stuck` when the relation cannot hold (a block owned by
+    both sides).
+    """
+    m = Memory()
+    m._next = max(m1._next, m2._next)
+    for bid in range(1, m._next):
+        b1 = m1.blocks.get(bid)
+        b2 = m2.blocks.get(bid)
+        owner: Optional[Block] = None
+        if b1 is not None and not b1.empty:
+            owner = b1
+        if b2 is not None and not b2.empty:
+            if owner is not None:
+                raise Stuck(
+                    f"memory join conflict: block {bid} owned by both sides"
+                )
+            owner = b2
+        if owner is not None:
+            m.blocks[bid] = owner.copy()
+        elif b1 is not None or b2 is not None:
+            m.blocks[bid] = Block(0, 0, writable=False, empty=True)
+    return m
+
+
+def join_all(memories: Sequence[Memory]) -> Memory:
+    """The N-thread generalization (§5.5 last paragraph).
+
+    ``m`` composes ``m1..mN`` iff there is ``m'`` composing ``m1..mN-1``
+    with ``mN ⊛ m' ≃ m`` — i.e. a left fold of :func:`join`.
+    """
+    if not memories:
+        return Memory()
+    result = memories[0].snapshot()
+    for memory in memories[1:]:
+        result = join(result, memory)
+    return result
+
+
+# --- the Fig. 12 axioms as executable checks -------------------------------------
+
+
+def rule_nb(m1: Memory, m2: Memory, m: Memory) -> bool:
+    """Nb: ``nb(m) = max(nb(m1), nb(m2))``."""
+    return not check_join(m1, m2, m) or m.nb() == max(m1.nb(), m2.nb())
+
+
+def rule_comm(m1: Memory, m2: Memory, m: Memory) -> bool:
+    """Comm: ``m1 ⊛ m2 ≃ m  ⟹  m2 ⊛ m1 ≃ m``."""
+    return not check_join(m1, m2, m) or check_join(m2, m1, m)
+
+
+def rule_ld(m1: Memory, m2: Memory, m: Memory, bid: int, offset: int) -> bool:
+    """Ld: a defined load in ``m2`` is preserved by ``m``."""
+    if not check_join(m1, m2, m):
+        return True
+    value = m2.load_opt(bid, offset)
+    if value is None:
+        return True
+    return m.load_opt(bid, offset) == value
+
+
+def rule_st(m1: Memory, m2: Memory, m: Memory, bid: int, offset: int, value) -> bool:
+    """St: ``m1 ⊛ st(m2, ℓ, v) ≃ st(m, ℓ, v)``."""
+    if not check_join(m1, m2, m):
+        return True
+    block = m2.blocks.get(bid)
+    if block is None or block.empty or not block.writable:
+        return True
+    if not (block.lo <= offset < block.hi):
+        return True
+    m2s = m2.snapshot()
+    ms = m.snapshot()
+    m2s.store(bid, offset, value)
+    ms.store(bid, offset, value)
+    return check_join(m1, m2s, ms)
+
+
+def rule_alloc(m1: Memory, m2: Memory, m: Memory, lo: int, hi: int) -> bool:
+    """Alloc: with ``nb(m1) ≤ nb(m2)``, allocation in ``m2`` lifts to ``m``."""
+    if not check_join(m1, m2, m) or m1.nb() > m2.nb():
+        return True
+    m2s = m2.snapshot()
+    ms = m.snapshot()
+    m2s.alloc(lo, hi)
+    ms.alloc(lo, hi)
+    return check_join(m1, m2s, ms)
+
+
+def rule_lift_r(m1: Memory, m2: Memory, m: Memory, n: int) -> bool:
+    """Lift-R: with ``nb(m1) ≤ nb(m2)``, placeholder allocation in ``m2``
+    lifts to ``m``."""
+    if not check_join(m1, m2, m) or m1.nb() > m2.nb():
+        return True
+    m2s = m2.snapshot()
+    ms = m.snapshot()
+    m2s.liftnb(n)
+    ms.liftnb(n)
+    return check_join(m1, m2s, ms)
+
+
+def rule_lift_l(m1: Memory, m2: Memory, m: Memory, n: int) -> bool:
+    """Lift-L: placeholders on the lagging side are partly absorbed.
+
+    ``liftnb(m1, n) ⊛ m2 ≃ liftnb(m, n - (nb(m) - nb(m1)))`` — the
+    composite only allocates the placeholders not yet covered by the
+    blocks the other side created meanwhile.
+    """
+    if not check_join(m1, m2, m) or m1.nb() > m2.nb():
+        return True
+    m1s = m1.snapshot()
+    ms = m.snapshot()
+    m1s.liftnb(n)
+    absorb = m.nb() - m1.nb()
+    ms.liftnb(max(0, n - absorb))
+    return check_join(m1s, m2, ms)

@@ -1,0 +1,167 @@
+"""A CompCert-style block memory model (Leroy & Blazy).
+
+"In the CompCert memory model, whenever a function is called, a fresh
+memory block has to be allocated in the memory for its stack frame"
+(§5.5).  We reproduce the structure the thread-safe CompCertX extension
+needs:
+
+* memory = a sequence of *blocks*, identified by allocation order;
+  ``nb(m)`` is the number of blocks allocated so far;
+* blocks carry bounds and per-block data; *empty blocks* (no access
+  permissions) are the placeholders the extended ``yield``/``sleep``
+  semantics allocates for other threads' stack frames;
+* ``liftnb(m, n)`` extends a memory with ``n`` fresh empty blocks;
+* loads/stores respect permissions; accessing an empty block is an
+  error (it is another thread's frame).
+
+Values stored are whatever the interpreters produce (machine integers,
+tuples, pointers as ``(block, offset)`` pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import Stuck
+
+
+@dataclass
+class Block:
+    """One memory block: bounds, permission, contents."""
+
+    lo: int
+    hi: int
+    writable: bool = True
+    #: Empty blocks have no access permissions at all — the §5.5
+    #: placeholders for other threads' frames.
+    empty: bool = False
+    data: Dict[int, Any] = field(default_factory=dict)
+
+    def copy(self) -> "Block":
+        return Block(self.lo, self.hi, self.writable, self.empty, dict(self.data))
+
+
+class Memory:
+    """A block memory.  Mutable; ``snapshot()`` deep-copies."""
+
+    def __init__(self):
+        self.blocks: Dict[int, Block] = {}
+        self._next = 1
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, lo: int, hi: int) -> int:
+        """Allocate a fresh block ``[lo, hi)``; returns its id."""
+        bid = self._next
+        self._next += 1
+        self.blocks[bid] = Block(lo, hi)
+        return bid
+
+    def alloc_empty(self) -> int:
+        """Allocate a permissionless placeholder block (``liftnb`` unit)."""
+        bid = self._next
+        self._next += 1
+        self.blocks[bid] = Block(0, 0, writable=False, empty=True)
+        return bid
+
+    def free(self, bid: int) -> None:
+        """Drop all permissions of a block (CompCert's free keeps the id)."""
+        block = self._require(bid)
+        block.empty = True
+        block.writable = False
+        block.data.clear()
+
+    def nb(self) -> int:
+        """``nb(m)`` — the number of blocks allocated so far."""
+        return self._next - 1
+
+    def liftnb(self, n: int) -> None:
+        """``liftnb(m, n)`` — extend with ``n`` fresh empty blocks."""
+        for _ in range(n):
+            self.alloc_empty()
+
+    # -- access --------------------------------------------------------------
+
+    def _require(self, bid: int) -> Block:
+        block = self.blocks.get(bid)
+        if block is None:
+            raise Stuck(f"access to unallocated block {bid}")
+        return block
+
+    def load(self, bid: int, offset: int) -> Any:
+        block = self._require(bid)
+        if block.empty:
+            raise Stuck(f"load from empty (foreign-frame) block {bid}")
+        if not (block.lo <= offset < block.hi):
+            raise Stuck(f"load out of bounds: block {bid} offset {offset}")
+        if offset not in block.data:
+            raise Stuck(f"load of undefined value: block {bid} offset {offset}")
+        return block.data[offset]
+
+    def load_opt(self, bid: int, offset: int) -> Optional[Any]:
+        """CompCert's ``ld(m, ℓ) = ⌊v⌋`` shape: None when undefined."""
+        try:
+            return self.load(bid, offset)
+        except Stuck:
+            return None
+
+    def store(self, bid: int, offset: int, value: Any) -> None:
+        block = self._require(bid)
+        if block.empty:
+            raise Stuck(f"store to empty (foreign-frame) block {bid}")
+        if not block.writable:
+            raise Stuck(f"store to read-only block {bid}")
+        if not (block.lo <= offset < block.hi):
+            raise Stuck(f"store out of bounds: block {bid} offset {offset}")
+        block.data[offset] = value
+
+    # -- structure ------------------------------------------------------------
+
+    def snapshot(self) -> "Memory":
+        copy = Memory()
+        copy._next = self._next
+        copy.blocks = {bid: block.copy() for bid, block in self.blocks.items()}
+        return copy
+
+    def owned_blocks(self) -> List[int]:
+        """Ids of non-empty (permission-carrying) blocks."""
+        return [bid for bid, block in self.blocks.items() if not block.empty]
+
+    def __eq__(self, other):
+        if not isinstance(other, Memory):
+            return NotImplemented
+        if self._next != other._next:
+            return False
+        for bid in set(self.blocks) | set(other.blocks):
+            a, b = self.blocks.get(bid), other.blocks.get(bid)
+            if a is None or b is None:
+                return False
+            if (a.lo, a.hi, a.writable, a.empty, a.data) != (
+                b.lo, b.hi, b.writable, b.empty, b.data
+            ):
+                return False
+        return True
+
+    def __repr__(self):
+        owned = self.owned_blocks()
+        return f"Memory(nb={self.nb()}, owned={owned})"
+
+
+def extends(m1: Memory, m2: Memory) -> bool:
+    """CompCert's memory extension: ``m2`` has at least ``m1``'s contents
+    and possibly more blocks/permissions (the §5.5 extension "only
+    removes the access permissions of some memory blocks" — read the
+    other way around)."""
+    if m2.nb() < m1.nb():
+        return False
+    for bid, block in m1.blocks.items():
+        if block.empty:
+            continue
+        other = m2.blocks.get(bid)
+        if other is None or other.empty:
+            return False
+        for offset, value in block.data.items():
+            if other.data.get(offset) != value:
+                return False
+    return True

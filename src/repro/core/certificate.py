@@ -1,0 +1,165 @@
+"""Certificates: the mechanized proof objects of this reproduction.
+
+The Coq development attaches "a mechanized proof object showing that the
+layer implementation M ... faithfully implements the desirable interface
+L2" to every certified layer.  Python cannot carry Coq proofs, so a
+:class:`Certificate` records instead *exactly what was checked*: every
+discharged obligation, the generator bounds (environment depth, fuel,
+argument families), and the universe of logs encountered (reused by the
+``Compat`` rule to check rely/guarantee implications).
+
+The kernel discipline is preserved by convention and constructor checks:
+:class:`CertifiedLayer` raises unless its certificate is entirely
+successful, and the only functions in this library that build
+certificates for layer judgments are the rule functions in
+:mod:`repro.core.calculus` and the checkers in
+:mod:`repro.core.simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .errors import VerificationError
+from .interface import LayerInterface
+from .log import Log
+from .module import Module
+from .relation import SimRel
+
+
+@dataclass
+class Obligation:
+    """One discharged (or failed) proof obligation."""
+
+    description: str
+    ok: bool
+    details: str = ""
+
+    def __repr__(self):
+        mark = "✓" if self.ok else "✗"
+        return f"{mark} {self.description}" + (f" — {self.details}" if self.details else "")
+
+
+@dataclass
+class Certificate:
+    """Evidence for one checked judgment.
+
+    ``bounds`` records the exploration limits (the honesty ledger of the
+    bounded-exhaustive substitution, DESIGN.md §4).  ``log_universe``
+    collects every log seen while checking; ``children`` are the
+    certificates of sub-judgments (premises of calculus rules).
+    """
+
+    judgment: str
+    rule: str
+    obligations: List[Obligation] = field(default_factory=list)
+    bounds: Dict[str, Any] = field(default_factory=dict)
+    log_universe: Tuple[Log, ...] = ()
+    children: List["Certificate"] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.obligations) and all(
+            c.ok for c in self.children
+        )
+
+    @property
+    def failures(self) -> List[Obligation]:
+        out = [o for o in self.obligations if not o.ok]
+        for child in self.children:
+            out.extend(child.failures)
+        return out
+
+    def obligation_count(self) -> int:
+        return len(self.obligations) + sum(
+            c.obligation_count() for c in self.children
+        )
+
+    def all_logs(self) -> Tuple[Log, ...]:
+        logs: List[Log] = list(self.log_universe)
+        for child in self.children:
+            logs.extend(child.all_logs())
+        return tuple(logs)
+
+    def require_ok(self) -> "Certificate":
+        if not self.ok:
+            failed = self.failures
+            preview = "\n".join(f"  {o!r}" for o in failed[:5])
+            raise VerificationError(
+                f"judgment {self.judgment!r} [{self.rule}] has "
+                f"{len(failed)} failed obligation(s):\n{preview}"
+            )
+        return self
+
+    def add(self, description: str, ok: bool, details: str = "") -> Obligation:
+        obligation = Obligation(description, ok, details)
+        self.obligations.append(obligation)
+        return obligation
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"[{status}] {self.judgment} ({self.rule}): "
+            f"{self.obligation_count()} obligations, bounds={self.bounds}"
+        )
+
+    def __repr__(self):
+        return f"Certificate({self.summary()})"
+
+
+class CertifiedLayer:
+    """The judgment ``L1[A] ⊢_R M : L2[A]`` together with its certificate.
+
+    Construction *requires* a fully successful certificate — an invalid
+    judgment cannot be packaged, mirroring the Coq kernel discipline.
+    """
+
+    def __init__(
+        self,
+        underlay: LayerInterface,
+        module: Module,
+        overlay: LayerInterface,
+        relation: SimRel,
+        focused: Iterable[int],
+        certificate: Certificate,
+    ):
+        certificate.require_ok()
+        self.underlay = underlay
+        self.module = module
+        self.overlay = overlay
+        self.relation = relation
+        self.focused: FrozenSet[int] = frozenset(focused)
+        self.certificate = certificate
+
+    @property
+    def judgment(self) -> str:
+        focus = ",".join(str(t) for t in sorted(self.focused))
+        return (
+            f"{self.underlay.name}[{focus}] ⊢_{self.relation.name} "
+            f"{self.module.name} : {self.overlay.name}[{focus}]"
+        )
+
+    def __repr__(self):
+        return f"CertifiedLayer({self.judgment})"
+
+
+@dataclass
+class InterfaceSim:
+    """The judgment ``L ≤_R L'`` (strategy simulation between interfaces),
+    used as a premise of the weakening rule ``Wk``."""
+
+    low: LayerInterface
+    high: LayerInterface
+    relation: SimRel
+    certificate: Certificate
+
+    def __post_init__(self):
+        self.certificate.require_ok()
+
+    @property
+    def judgment(self) -> str:
+        return f"{self.low.name} ≤_{self.relation.name} {self.high.name}"
+
+    def __repr__(self):
+        return f"InterfaceSim({self.judgment})"

@@ -1,0 +1,154 @@
+"""Contextual refinement and the soundness theorem (Thm 2.2).
+
+``L'[D] ⊢_R M : L[D]  ⟹  ∀P, [[P ⊕ M]]_{L'[D]} ⊑_R [[P]]_{L[D]}``
+
+A certified layer behaves "like a certified compiler, converting any safe
+client program P running on top of L into one that has the same behavior
+but runs on top of L'" (§2).  The checker computes both behaviour sets by
+exhaustive bounded scheduler enumeration (:func:`enumerate_game_logs`)
+and verifies that every completed low-level log has an R-related
+completed high-level log — the termination-sensitive refinement the paper
+insists on (a diverging or stuck low-level run with no high-level
+counterpart is a failure, not a vacuous success).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .certificate import Certificate, CertifiedLayer
+from .errors import ComposeError
+from .interface import LayerInterface
+from .log import Log
+from .machine import GameResult, enumerate_game_logs, seq_player
+from .module import Module, link
+from .relation import SimRel
+
+ClientProgram = Dict[int, Sequence[Tuple[str, Tuple[Any, ...]]]]
+"""A client program ``P``: per participant, a sequence of primitive calls
+(the shape of Fig. 3's ``T1(){ foo(); }  T2(){ foo(); }``)."""
+
+
+def behaviors_of(
+    interface: LayerInterface,
+    client: ClientProgram,
+    module: Optional[Module] = None,
+    fuel: int = 10_000,
+    max_rounds: int = 64,
+    max_runs: int = 100_000,
+) -> List[GameResult]:
+    """``[[P ⊕ M]]_{L[D]}`` (or ``[[P]]_{L[D]}`` when ``module`` is None).
+
+    Links the module's functions into the interface, instantiates each
+    participant's call sequence as a player, and enumerates every bounded
+    scheduling of the game.
+    """
+    machine = link(interface, module) if module and len(module) else interface
+    players = {
+        tid: (seq_player(list(calls)), ())
+        for tid, calls in client.items()
+    }
+    return enumerate_game_logs(
+        machine, players, fuel=fuel, max_rounds=max_rounds, max_runs=max_runs
+    )
+
+
+def check_refinement(
+    low_results: Iterable[GameResult],
+    high_results: Iterable[GameResult],
+    relation: SimRel,
+    cert: Certificate,
+    label: str = "",
+    require_progress: bool = True,
+) -> None:
+    """Check ``behaviors_low ⊑_R behaviors_high`` and record obligations.
+
+    For every completed low-level log there must exist a completed
+    high-level log related by ``R`` (scheduling events are erased on both
+    sides before relating, since the two layers run under different
+    schedulers — §2's "this interleaving can be captured by a higher-level
+    scheduler").  With ``require_progress`` every low run must also have
+    completed — stuck or diverging runs fail the termination-sensitive
+    property.
+    """
+    low_results = list(low_results)
+    high_logs = [r.log.without_sched() for r in high_results if r.ok]
+    matched = 0
+    for result in low_results:
+        if not result.ok:
+            if require_progress:
+                cert.add(
+                    f"low run completes {label}[sched={result.schedule}]",
+                    False,
+                    result.stuck or "diverged at round bound",
+                )
+            continue
+        low_log = result.log.without_sched()
+        witness = next(
+            (hl for hl in high_logs if relation.relate_logs(low_log, hl)),
+            None,
+        )
+        if witness is None:
+            cert.add(
+                f"low log has high witness {label}[sched={result.schedule}]",
+                False,
+                f"unmatched: {low_log!r}",
+            )
+        else:
+            matched += 1
+    cert.add(
+        f"refinement {label}: {matched} low logs matched against "
+        f"{len(high_logs)} high logs",
+        True,
+    )
+
+
+def check_soundness(
+    layer: CertifiedLayer,
+    clients: Sequence[ClientProgram],
+    fuel: int = 10_000,
+    max_rounds: int = 64,
+    max_runs: int = 100_000,
+    require_progress: bool = True,
+) -> Certificate:
+    """Thm 2.2: contextual refinement for a family of client programs.
+
+    For each client ``P``: compute ``[[P ⊕ M]]_{L'[D]}`` and
+    ``[[P]]_{L[D]}`` and check the former refines the latter through the
+    layer's relation.  Clients must only exercise the certified focused
+    set (participants outside ``layer.focused`` would not be covered by
+    the premise).
+    """
+    cert = Certificate(
+        judgment=f"∀P, [[P ⊕ {layer.module.name}]]_{layer.underlay.name} "
+        f"⊑_{layer.relation.name} [[P]]_{layer.overlay.name}",
+        rule="Soundness",
+        bounds={
+            "clients": len(clients),
+            "max_rounds": max_rounds,
+            "fuel": fuel,
+        },
+        children=[layer.certificate],
+    )
+    for index, client in enumerate(clients):
+        extra = set(client) - set(layer.focused)
+        if extra:
+            raise ComposeError(
+                f"client {index} uses uncertified participants {sorted(extra)}"
+            )
+        low = behaviors_of(
+            layer.underlay, client, layer.module,
+            fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
+        )
+        high = behaviors_of(
+            layer.overlay, client, None,
+            fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
+        )
+        check_refinement(
+            low, high, layer.relation, cert,
+            label=f"P{index}", require_progress=require_progress,
+        )
+        cert.log_universe = cert.log_universe + tuple(
+            r.log for r in low
+        ) + tuple(r.log for r in high)
+    return cert

@@ -1,0 +1,302 @@
+"""Layer interfaces: collections of primitives plus rely/guarantee.
+
+A layer interface ``L[A] = (L, R, G)`` (paper Fig. 7) equips an abstract
+machine with
+
+* ``L`` — a collection of primitives (private, shared, or atomic), each
+  given by a specification strategy,
+* ``R`` — the rely condition: which environment contexts are valid, and
+* ``G`` — the guarantee condition the focused participants maintain.
+
+A primitive's specification is a *player* generator (see
+:mod:`repro.core.context`): it may read the log, query the environment
+(``yield from ctx.query()``), emit events, and update private state.  The
+three kinds of primitives match the paper's classification (§3.1):
+
+* ``private`` — thread-local; no events, no queries ("silent").
+* ``shared`` — records an observable event; queries the environment at
+  its query point.
+* ``atomic`` — the result of a log-lift: exactly one event per call, with
+  the critical-state discipline built in (e.g. atomic ``acq``/``rel``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from .errors import ComposeError, Stuck
+from .events import Event
+from .rely_guarantee import Guarantee, Rely
+
+PRIVATE = "private"
+SHARED = "shared"
+ATOMIC = "atomic"
+
+_KINDS = (PRIVATE, SHARED, ATOMIC)
+
+
+@dataclass(frozen=True)
+class Prim:
+    """One primitive of a layer interface.
+
+    ``spec`` is a generator function ``(ctx, *args) -> ret`` following the
+    player protocol.  ``enters_critical`` / ``exits_critical`` declare the
+    critical-state effect the machine applies after a successful call
+    (used by atomic lock primitives and pull/push).  ``cycle_cost`` is the
+    call overhead charged by the cost model (the §6 performance
+    evaluation measures exactly this overhead for leftover logical
+    primitives).
+    """
+
+    name: str
+    spec: Callable
+    kind: str = SHARED
+    enters_critical: bool = False
+    exits_critical: bool = False
+    cycle_cost: int = 1
+    doc: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown primitive kind: {self.kind}")
+
+    def __repr__(self):
+        return f"Prim({self.name}:{self.kind})"
+
+
+class LayerInterface:
+    """A layer interface ``(L, R, G)`` over a domain of participant ids.
+
+    Instances are immutable; the builder methods (:meth:`extend`,
+    :meth:`hiding`, :meth:`with_rely`, ...) return new interfaces.  The
+    *focused set* ``A`` of ``L[A]`` is not stored here — it is chosen at
+    run time by the machine (:mod:`repro.core.machine`), which is what
+    lets one interface value play every role in the ``Pcomp`` rule.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        domain: Iterable[int],
+        prims: Optional[Dict[str, Prim]] = None,
+        rely: Optional[Rely] = None,
+        guar: Optional[Guarantee] = None,
+        init_log: Tuple[Event, ...] = (),
+        init_priv: Optional[Callable[[int], Dict[str, Any]]] = None,
+    ):
+        self.name = name
+        self.domain: FrozenSet[int] = frozenset(domain)
+        self.prims: Dict[str, Prim] = dict(prims or {})
+        self.rely = rely if rely is not None else Rely()
+        self.guar = guar if guar is not None else Guarantee()
+        self.init_log = tuple(init_log)
+        self._init_priv = init_priv
+
+    # -- primitive access ----------------------------------------------------
+
+    def lookup(self, name: str) -> Prim:
+        prim = self.prims.get(name)
+        if prim is None:
+            raise Stuck(f"undefined primitive {name!r} in layer {self.name}")
+        return prim
+
+    def has(self, name: str) -> bool:
+        return name in self.prims
+
+    def init_priv(self, tid: int) -> Dict[str, Any]:
+        """Initial private state for participant ``tid``."""
+        if self._init_priv is None:
+            return {}
+        return self._init_priv(tid)
+
+    # -- builders --------------------------------------------------------------
+
+    def extend(
+        self,
+        name: str,
+        prims: Iterable[Prim],
+        hide: Iterable[str] = (),
+        rely: Optional[Rely] = None,
+        guar: Optional[Guarantee] = None,
+    ) -> "LayerInterface":
+        """Build an overlay: add new primitives, optionally hiding old ones.
+
+        This is how a module's certified functions become primitives of
+        the layer above, while the implementation details they relied on
+        disappear from the interface ("the overlay interface completely
+        removes the internal concrete memory block", §7).
+        """
+        new_prims = {k: v for k, v in self.prims.items() if k not in set(hide)}
+        for prim in prims:
+            if prim.name in new_prims:
+                raise ComposeError(
+                    f"primitive {prim.name!r} already present in {self.name}"
+                )
+            new_prims[prim.name] = prim
+        return LayerInterface(
+            name,
+            self.domain,
+            new_prims,
+            rely if rely is not None else self.rely,
+            guar if guar is not None else self.guar,
+            self.init_log,
+            self._init_priv,
+        )
+
+    def hiding(self, names: Iterable[str], new_name: Optional[str] = None) -> "LayerInterface":
+        hidden = set(names)
+        return LayerInterface(
+            new_name or self.name,
+            self.domain,
+            {k: v for k, v in self.prims.items() if k not in hidden},
+            self.rely,
+            self.guar,
+            self.init_log,
+            self._init_priv,
+        )
+
+    def with_rely(self, rely: Rely) -> "LayerInterface":
+        return LayerInterface(
+            self.name, self.domain, self.prims, rely, self.guar,
+            self.init_log, self._init_priv,
+        )
+
+    def with_guar(self, guar: Guarantee) -> "LayerInterface":
+        return LayerInterface(
+            self.name, self.domain, self.prims, self.rely, guar,
+            self.init_log, self._init_priv,
+        )
+
+    def with_init_priv(self, init_priv: Callable[[int], Dict[str, Any]]) -> "LayerInterface":
+        return LayerInterface(
+            self.name, self.domain, self.prims, self.rely, self.guar,
+            self.init_log, init_priv,
+        )
+
+    def with_init_log(self, init_log: Iterable[Event]) -> "LayerInterface":
+        return LayerInterface(
+            self.name, self.domain, self.prims, self.rely, self.guar,
+            tuple(init_log), self._init_priv,
+        )
+
+    def with_name(self, name: str) -> "LayerInterface":
+        return LayerInterface(
+            name, self.domain, self.prims, self.rely, self.guar,
+            self.init_log, self._init_priv,
+        )
+
+    def merge_prims(self, other: "LayerInterface", name: Optional[str] = None) -> "LayerInterface":
+        """``L1.L ⊕ L2.L`` — union of primitive collections (Hcomp).
+
+        Requires disjoint primitive names apart from primitives that are
+        literally the same object (shared underlay pass-throughs).
+        """
+        if self.domain != other.domain:
+            raise ComposeError(
+                f"domain mismatch: {sorted(self.domain)} vs {sorted(other.domain)}"
+            )
+        merged = dict(self.prims)
+        for key, prim in other.prims.items():
+            if key in merged and merged[key] is not prim:
+                raise ComposeError(f"conflicting primitive {key!r} in ⊕")
+            merged[key] = prim
+        return LayerInterface(
+            name or f"({self.name} ⊕ {other.name})",
+            self.domain,
+            merged,
+            self.rely,
+            self.guar,
+            self.init_log,
+            self._init_priv,
+        )
+
+    def __repr__(self):
+        return (
+            f"LayerInterface({self.name}, D={sorted(self.domain)}, "
+            f"prims={sorted(self.prims)})"
+        )
+
+
+# --- helpers to define primitives -----------------------------------------
+
+
+def private_prim(name: str, fn: Callable, cycle_cost: int = 1, doc: str = "") -> Prim:
+    """Wrap a plain Python function as a private (silent) primitive.
+
+    ``fn(ctx, *args) -> ret`` runs atomically with no events and no
+    queries.
+    """
+
+    def spec(ctx, *args):
+        return fn(ctx, *args)
+        yield  # pragma: no cover - makes `spec` a generator function
+
+    return Prim(name, spec, kind=PRIVATE, cycle_cost=cycle_cost, doc=doc)
+
+
+def shared_prim(
+    name: str,
+    spec: Callable,
+    enters_critical: bool = False,
+    exits_critical: bool = False,
+    cycle_cost: int = 1,
+    doc: str = "",
+) -> Prim:
+    return Prim(
+        name,
+        spec,
+        kind=SHARED,
+        enters_critical=enters_critical,
+        exits_critical=exits_critical,
+        cycle_cost=cycle_cost,
+        doc=doc,
+    )
+
+
+def atomic_prim(
+    name: str,
+    spec: Callable,
+    enters_critical: bool = False,
+    exits_critical: bool = False,
+    cycle_cost: int = 1,
+    doc: str = "",
+) -> Prim:
+    return Prim(
+        name,
+        spec,
+        kind=ATOMIC,
+        enters_critical=enters_critical,
+        exits_critical=exits_critical,
+        cycle_cost=cycle_cost,
+        doc=doc,
+    )
+
+
+def simple_event_prim(name: str, cycle_cost: int = 1, doc: str = "") -> Prim:
+    """A shared primitive that queries, emits one event, returns None.
+
+    The shape of the paper's ``f``/``g``/``hold`` primitives in Fig. 3.
+    """
+
+    def spec(ctx, *args):
+        yield from ctx.query()
+        ctx.emit(name, *args)
+        return None
+
+    return Prim(name, spec, kind=SHARED, cycle_cost=cycle_cost, doc=doc)
+
+
+def ghost_prim(name: str, cycle_cost: int = 10) -> Prim:
+    """A *logical primitive*: manipulates only ghost state, but costs cycles.
+
+    The §6 performance evaluation found leftover calls to such primitives
+    cost 87-35 = 52 real cycles; we reproduce the experiment by charging
+    ``cycle_cost`` per call and then erasing the calls.
+    """
+
+    def spec(ctx, *args):
+        return None
+        yield  # pragma: no cover
+
+    return Prim(name, spec, kind=PRIVATE, cycle_cost=cycle_cost, doc="ghost")

@@ -1,0 +1,401 @@
+"""The abstract layer machine: local runs and whole-machine games.
+
+Two execution modes, mirroring §2 of the paper:
+
+* **Local execution** (:func:`run_local`) — the machine focuses on one
+  participant; everything else is an environment context.  "Since the
+  environmental executions (including the interleavings) are all
+  encapsulated into the environment context, ``L[i]`` is actually a
+  sequential-like (or local) interface parameterized over E."
+
+* **Game execution** (:func:`run_game`) — every participant is focused
+  and a scheduler strategy "acts as a judge of the game" picking who
+  moves at each round.  The behaviour of the whole layer machine
+  ``[[·]]_{L[D]}`` is the set of logs generated under all schedulers
+  (:func:`enumerate_game_logs` explores that set exhaustively to a
+  bounded number of scheduling decisions).
+
+Players suspend only at query points (see :mod:`repro.core.context`), so a
+scheduling decision is made exactly when the running player would next
+interact with shared state — the paper's observation that instruction and
+private-primitive transitions need not be interleaved observably (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .context import QUERY, ExecutionContext
+from .environment import EnvContext, NullEnv
+from .errors import OutOfFuel, Stuck
+from .events import hw_sched
+from .interface import LayerInterface
+from .log import Log, LogBuffer
+
+
+# --- players ---------------------------------------------------------------
+
+
+def call_player(name: str, *args):
+    """A player that makes a single primitive call and returns its result.
+
+    Running a primitive's own specification as a player is how we execute
+    a strategy ``φ`` in isolation (the ``LκM_{L[i]}`` of §2).
+    """
+
+    def player(ctx):
+        ret = yield from ctx.call(name, *args)
+        return ret
+
+    player.__name__ = f"call_{name}"
+    return player
+
+
+def seq_player(calls: Sequence[Tuple[str, Tuple[Any, ...]]]):
+    """A player performing a fixed sequence of primitive calls.
+
+    This is the shape of the client programs ``P`` in Fig. 3 (``T1(){
+    foo(); }``); returns the list of return values.
+    """
+
+    def player(ctx):
+        rets = []
+        for name, args in calls:
+            ret = yield from ctx.call(name, *args)
+            rets.append(ret)
+        return rets
+
+    player.__name__ = "seq_" + "_".join(name for name, _ in calls)
+    return player
+
+
+# --- local execution ---------------------------------------------------------
+
+
+@dataclass
+class LocalRun:
+    """Outcome of a local run: final log, return value, status."""
+
+    log: Log
+    ret: Any
+    finished: bool
+    stuck: Optional[str]
+    cycles: int
+    queries: int
+    guar_ok: bool
+    ctx: ExecutionContext
+
+    @property
+    def ok(self) -> bool:
+        return self.finished and self.stuck is None and self.guar_ok
+
+
+def run_local(
+    interface: LayerInterface,
+    tid: int,
+    player: Callable,
+    args: Tuple[Any, ...] = (),
+    env: Optional[EnvContext] = None,
+    fuel: int = 10_000,
+    init_log: Optional[Iterable] = None,
+    priv: Optional[Dict[str, Any]] = None,
+    check_guar: bool = True,
+) -> LocalRun:
+    """Run one player over ``interface[tid]`` under an environment context.
+
+    The guarantee condition of the interface is checked on the log after
+    every resumption segment; a violation does not abort the run but is
+    reported through ``guar_ok`` (verifiers turn it into a failure).
+    """
+    env = env if env is not None else NullEnv()
+    buffer = LogBuffer(interface.init_log if init_log is None else init_log)
+    base_priv = interface.init_priv(tid)
+    if priv:
+        base_priv.update(priv)
+    ctx = ExecutionContext(interface, tid, buffer, fuel=fuel, priv=base_priv)
+    gen = player(ctx, *args)
+
+    queries = 0
+    guar_ok = True
+    ret: Any = None
+    finished = False
+    stuck: Optional[str] = None
+    try:
+        while True:
+            try:
+                marker = next(gen)
+            except StopIteration as stop:
+                ret = stop.value
+                finished = True
+                break
+            if marker is not QUERY:  # pragma: no cover - protocol violation
+                raise Stuck(f"player yielded non-query value {marker!r}")
+            if check_guar and not interface.guar.holds(buffer.snapshot(), tid):
+                guar_ok = False
+            queries += 1
+            ctx.queries = queries
+            ctx.consume_fuel()
+            env.advance(buffer, tid, ctx)
+    except Stuck as err:
+        stuck = err.reason
+    if check_guar and finished and not interface.guar.holds(buffer.snapshot(), tid):
+        guar_ok = False
+    return LocalRun(
+        log=buffer.snapshot(),
+        ret=ret,
+        finished=finished,
+        stuck=stuck,
+        cycles=ctx.cycles,
+        queries=queries,
+        guar_ok=guar_ok,
+        ctx=ctx,
+    )
+
+
+# --- game execution -----------------------------------------------------------
+
+
+class NeedChoice(Exception):
+    """Raised internally when a scripted scheduler runs out of decisions."""
+
+    def __init__(self, ready: FrozenSet[int]):
+        super().__init__(f"scheduling decision needed among {sorted(ready)}")
+        self.ready = ready
+
+
+class GameScheduler:
+    """A scheduler strategy for whole-machine games (the paper's φ0)."""
+
+    def pick(self, log: Log, ready: FrozenSet[int]) -> int:
+        raise NotImplementedError
+
+    def fresh(self) -> "GameScheduler":
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(GameScheduler):
+    """Cycle fairly through a fixed participant order."""
+
+    def __init__(self, order: Sequence[int]):
+        self.order = list(order)
+        self.cursor = 0
+
+    def pick(self, log: Log, ready: FrozenSet[int]) -> int:
+        for _ in range(len(self.order)):
+            tid = self.order[self.cursor % len(self.order)]
+            self.cursor += 1
+            if tid in ready:
+                return tid
+        return min(ready)
+
+    def fresh(self) -> "RoundRobinScheduler":
+        return RoundRobinScheduler(self.order)
+
+
+class ScriptScheduler(GameScheduler):
+    """Follow an explicit decision sequence; branch when it runs out.
+
+    When the script is exhausted: if only one participant is ready it is
+    chosen silently (no real decision exists), otherwise
+    :class:`NeedChoice` propagates the ready set so the exhaustive
+    enumerator can extend the script.
+    """
+
+    def __init__(self, script: Sequence[int]):
+        self.script = tuple(script)
+        self.cursor = 0
+
+    def pick(self, log: Log, ready: FrozenSet[int]) -> int:
+        if self.cursor < len(self.script):
+            tid = self.script[self.cursor]
+            self.cursor += 1
+            if tid not in ready:
+                # A stale decision (participant already finished): treat
+                # as picking among the ready set deterministically.
+                return min(ready)
+            return tid
+        if len(ready) == 1:
+            return next(iter(ready))
+        raise NeedChoice(frozenset(ready))
+
+    def fresh(self) -> "ScriptScheduler":
+        return ScriptScheduler(self.script)
+
+
+@dataclass
+class GameResult:
+    """Outcome of a whole-machine game run."""
+
+    log: Log
+    rets: Dict[int, Any]
+    finished: bool
+    stuck: Optional[str]
+    cycles: Dict[int, int]
+    rounds: int
+    schedule: Tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.finished and self.stuck is None
+
+
+def run_game(
+    interface: LayerInterface,
+    players: Dict[int, Tuple[Callable, Tuple[Any, ...]]],
+    scheduler: GameScheduler,
+    fuel: int = 10_000,
+    max_rounds: int = 1_000,
+    init_log: Optional[Iterable] = None,
+    record_sched: bool = True,
+    fine_grained: bool = False,
+) -> GameResult:
+    """Play the game: all of ``players`` focused, ``scheduler`` judging.
+
+    Each round the scheduler picks an unfinished participant, a hardware
+    scheduling event is recorded if control changes (the ``Mx86``
+    convention, §3.1), and that participant runs to its next query point.
+    With ``fine_grained`` every primitive call is a scheduling point —
+    the hardware machine ``Mx86`` of §3.1, where program transitions and
+    hardware scheduling "are arbitrarily and nondeterministically
+    interleaved".
+    """
+    buffer = LogBuffer(interface.init_log if init_log is None else init_log)
+    ctxs: Dict[int, ExecutionContext] = {}
+    gens: Dict[int, Any] = {}
+    for tid, (player, args) in players.items():
+        ctx = ExecutionContext(
+            interface, tid, buffer, fuel=fuel, priv=interface.init_priv(tid)
+        )
+        ctx.fine_grained = fine_grained
+        ctxs[tid] = ctx
+        gens[tid] = player(ctx, *args)
+
+    unfinished: Set[int] = set(players)
+    rets: Dict[int, Any] = {}
+    stuck: Optional[str] = None
+    schedule: List[int] = []
+    current: Optional[int] = None
+    rounds = 0
+
+    try:
+        while unfinished and rounds < max_rounds:
+            tid = scheduler.pick(buffer.snapshot(), frozenset(unfinished))
+            rounds += 1
+            schedule.append(tid)
+            if record_sched and tid != current:
+                buffer.append(hw_sched(tid))
+            current = tid
+            try:
+                marker = next(gens[tid])
+            except StopIteration as stop:
+                rets[tid] = stop.value
+                unfinished.discard(tid)
+                continue
+            if marker is not QUERY:  # pragma: no cover - protocol violation
+                raise Stuck(f"player {tid} yielded non-query {marker!r}")
+    except NeedChoice:
+        raise
+    except Stuck as err:
+        stuck = err.reason
+
+    return GameResult(
+        log=buffer.snapshot(),
+        rets=rets,
+        finished=not unfinished and stuck is None,
+        stuck=stuck,
+        cycles={tid: ctx.cycles for tid, ctx in ctxs.items()},
+        rounds=rounds,
+        schedule=tuple(schedule),
+    )
+
+
+def enumerate_game_logs(
+    interface: LayerInterface,
+    players: Dict[int, Tuple[Callable, Tuple[Any, ...]]],
+    fuel: int = 10_000,
+    max_rounds: int = 64,
+    max_runs: int = 100_000,
+    init_log: Optional[Iterable] = None,
+    fine_grained: bool = False,
+) -> List[GameResult]:
+    """Exhaustively enumerate game outcomes over all schedulers.
+
+    DFS over scheduling-decision prefixes: each run replays the system
+    under a :class:`ScriptScheduler`; when the script runs out at a real
+    decision point the prefix branches over every ready participant.
+    The result is the bounded behaviour set ``[[P]]_{L[D]}`` — "the set of
+    logs generated by playing the game under all possible schedulers"
+    (§2).
+    """
+    results: List[GameResult] = []
+    stack: List[Tuple[int, ...]] = [()]
+    runs = 0
+    while stack:
+        prefix = stack.pop()
+        runs += 1
+        if runs > max_runs:
+            raise OutOfFuel(
+                f"behaviour enumeration exceeded {max_runs} runs "
+                f"(max_rounds={max_rounds})"
+            )
+        try:
+            result = run_game(
+                interface,
+                players,
+                ScriptScheduler(prefix),
+                fuel=fuel,
+                max_rounds=max_rounds,
+                init_log=init_log,
+                fine_grained=fine_grained,
+            )
+        except NeedChoice as need:
+            if len(prefix) >= max_rounds:
+                continue
+            for tid in sorted(need.ready, reverse=True):
+                stack.append(prefix + (tid,))
+            continue
+        results.append(result)
+    return results
+
+
+def sample_game_logs(
+    interface: LayerInterface,
+    players: Dict[int, Tuple[Callable, Tuple[Any, ...]]],
+    schedulers: Iterable[GameScheduler],
+    fuel: int = 10_000,
+    max_rounds: int = 1_000,
+    init_log: Optional[Iterable] = None,
+    fine_grained: bool = False,
+) -> List[GameResult]:
+    """Behaviours under an explicit scheduler family (non-exhaustive).
+
+    For scenarios too large for :func:`enumerate_game_logs`, a family of
+    fair / round-robin / seeded-random schedulers still gives broad
+    interleaving coverage; the certificate records that coverage was
+    sampled, not exhaustive.
+    """
+    results = []
+    for scheduler in schedulers:
+        results.append(
+            run_game(
+                interface,
+                players,
+                scheduler.fresh(),
+                fuel=fuel,
+                max_rounds=max_rounds,
+                init_log=init_log,
+                fine_grained=fine_grained,
+            )
+        )
+    return results
+
+
+def behavior_logs(results: Iterable[GameResult], drop_sched: bool = True) -> Set[Log]:
+    """The behaviour set: final logs of completed runs (deduplicated)."""
+    logs: Set[Log] = set()
+    for result in results:
+        if not result.ok:
+            continue
+        logs.add(result.log.without_sched() if drop_sched else result.log)
+    return logs

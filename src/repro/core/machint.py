@@ -1,0 +1,184 @@
+"""Fixed-width machine integers with wraparound semantics.
+
+The ticket-lock verification in the paper (§4.1) must "handle potential
+integer overflows for ``t`` and ``n``": the C implementation stores tickets
+in a 32-bit unsigned integer that wraps back to zero, while the
+intermediate specification uses an unbounded integer.  The simulation
+relation maps the unbounded ticket to its value modulo ``2**32``, and
+mutual exclusion survives overflow as long as ``#CPU < 2**32``.
+
+We reproduce that argument executably: :class:`MachInt` wraps Python
+integers at a configurable bit width so that tests and property checks can
+drive the width down (e.g. 4 bits) and make wraparound actually happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntWidth:
+    """A machine-integer width: values live in ``[0, 2**bits)``."""
+
+    bits: int
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def max_value(self) -> int:
+        return self.modulus - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` into this width's range (unsigned wraparound)."""
+        return value & (self.modulus - 1)
+
+    def to_signed(self, value: int) -> int:
+        """Interpret an in-range unsigned value as two's-complement."""
+        value = self.wrap(value)
+        if value >= self.modulus >> 1:
+            return value - self.modulus
+        return value
+
+
+UINT8 = IntWidth(8)
+UINT16 = IntWidth(16)
+UINT32 = IntWidth(32)
+UINT64 = IntWidth(64)
+
+
+class MachInt:
+    """An unsigned machine integer of a given :class:`IntWidth`.
+
+    Arithmetic wraps; comparisons are unsigned.  Instances are immutable
+    and hashable so they can be stored in events and logs.
+    """
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value: int, width: IntWidth = UINT32):
+        if isinstance(value, MachInt):
+            value = value.value
+        object.__setattr__(self, "_value", width.wrap(int(value)))
+        object.__setattr__(self, "_width", width)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("MachInt is immutable")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def width(self) -> IntWidth:
+        return self._width
+
+    def _coerce(self, other) -> int:
+        if isinstance(other, MachInt):
+            if other._width != self._width:
+                raise TypeError(
+                    f"width mismatch: {self._width.bits} vs {other._width.bits}"
+                )
+            return other._value
+        if isinstance(other, int):
+            return other
+        return NotImplemented
+
+    def _make(self, value: int) -> "MachInt":
+        return MachInt(value, self._width)
+
+    def __add__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value + rhs)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value - rhs)
+
+    def __rsub__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(rhs - self._value)
+
+    def __mul__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value * rhs)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other):
+        if isinstance(other, MachInt):
+            return self._width == other._width and self._value == other._value
+        if isinstance(other, int):
+            return self._value == self._width.wrap(other)
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value < self._width.wrap(rhs)
+
+    def __le__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value <= self._width.wrap(rhs)
+
+    def __gt__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value > self._width.wrap(rhs)
+
+    def __ge__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value >= self._width.wrap(rhs)
+
+    def __hash__(self):
+        return hash((self._value, self._width.bits))
+
+    def __int__(self):
+        return self._value
+
+    def __index__(self):
+        return self._value
+
+    def __repr__(self):
+        return f"u{self._width.bits}({self._value})"
+
+
+def uint32(value: int) -> MachInt:
+    """Construct a 32-bit unsigned machine integer (the paper's ``uint``)."""
+    return MachInt(value, UINT32)
+
+
+def modular_distance(a: int, b: int, width: IntWidth) -> int:
+    """The number of increments taking ``a`` to ``b`` modulo the width.
+
+    This is the quantity the overflow-safe ticket-lock argument reasons
+    about: thread ``i`` holding ticket ``t`` waits for ``now_serving`` to
+    reach ``t``; with fewer than ``modulus`` CPUs, the modular distance
+    from ``now_serving`` to ``t`` strictly decreases on every release, so
+    wraparound never causes two holders.
+    """
+    return width.wrap(b - a)

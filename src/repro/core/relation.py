@@ -1,0 +1,251 @@
+"""Simulation relations over logs.
+
+A certified layer ``L1 ⊢_R M : L2`` carries a simulation relation ``R``
+between the logs of the two interfaces.  The paper's running example (§2)
+defines ``R1`` "as mapping events ``i.acq`` to ``i.hold``, ``i.rel`` to
+``i.inc_n`` and other lock-related events to empty ones" — i.e. a relation
+is presented by
+
+* a map from each *high-level* event to the sequence of low-level events
+  that witness it (its linearization point), and
+* a set of low-level event names that are pure implementation noise and
+  are erased before comparison (the spinning ``get_n`` reads, the
+  ``FAI_t`` fetches).
+
+``relate_logs(l_low, l_high)`` holds when the low log, with noise erased
+and scheduling events dropped, equals the eventwise image of the high
+log.  This global-order comparison is exactly the paper's observation
+that "the order of lock acquiring and the resulting shared state ... are
+exactly the same" for the two logs of the example.
+
+Relations compose (``R ∘ S``, used by ``Vcomp`` and ``Wk`` in Fig. 9) and
+can map environment batches down (used by the simulation checker to build
+the low-level environment witnessing a high-level one).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .events import Event
+from .log import Log
+
+EventMapping = Union[None, str, Callable[[Event], Tuple[Event, ...]]]
+
+
+class SimRel:
+    """Base class: identity behaviour, hooks for subclasses."""
+
+    name = "id"
+
+    # -- event-level structure ------------------------------------------------
+
+    def map_event(self, event: Event) -> Tuple[Event, ...]:
+        """The low-level witness sequence for a high-level event."""
+        return (event,)
+
+    def erases(self, event: Event) -> bool:
+        """Whether a low-level event is implementation noise."""
+        return False
+
+    def relate_ret(self, ret_low: Any, ret_high: Any) -> bool:
+        return ret_low == ret_high
+
+    def concretize_event(self, event: Event) -> Tuple[Event, ...]:
+        """A *plausible low-level trace* witnessing a high-level event.
+
+        Used to lower environment batches: when the high-level
+        environment performs ``2.acq``, the low-level run must observe a
+        believable low-level implementation trace for participant 2
+        (e.g. ``2.FAI_t • 2.hold``), not just the linearization event —
+        otherwise low-level replay functions would see an impossible
+        history.  Defaults to :meth:`map_event`.
+        """
+        return self.map_event(event)
+
+    # -- derived log-level relation --------------------------------------------
+
+    def map_events(self, events: Iterable[Event]) -> Tuple[Event, ...]:
+        out: List[Event] = []
+        for event in events:
+            out.extend(self.map_event(event))
+        return tuple(out)
+
+    def concretize_events(self, events: Iterable[Event]) -> Tuple[Event, ...]:
+        out: List[Event] = []
+        for event in events:
+            out.extend(self.concretize_event(event))
+        return tuple(out)
+
+    def concretize_batch(self, batch: Iterable[Event], log: Log) -> Tuple[Event, ...]:
+        """Lower one environment batch, given the low log at delivery time.
+
+        Stateful relations (e.g. the shared-queue relation, whose
+        released values depend on the current queue contents) override
+        this; the default ignores the log and maps eventwise.
+        """
+        return self.concretize_events(batch)
+
+    def essential_low(self, log: Union[Log, Iterable[Event]]) -> Tuple[Event, ...]:
+        return tuple(
+            e for e in log if not e.is_sched() and not self.erases(e)
+        )
+
+    def relate_logs(self, log_low: Log, log_high: Log) -> bool:
+        expected = self.map_events(e for e in log_high if not e.is_sched())
+        return self.essential_low(log_low) == expected
+
+    def explain(self, log_low: Log, log_high: Log) -> str:
+        """A human-readable diff for failed relations (error messages)."""
+        actual = self.essential_low(log_low)
+        expected = self.map_events(e for e in log_high if not e.is_sched())
+        return (
+            f"relation {self.name} failed:\n"
+            f"  low (essential): {[str(e) for e in actual]}\n"
+            f"  map(high):       {[str(e) for e in expected]}"
+        )
+
+    def compose(self, later: "SimRel") -> "SimRel":
+        """``self ∘ later``: self relates L1~L2, later relates L2~L3.
+
+        The composed relation relates L1~L3: map a top-level event through
+        ``later`` first, then each image event through ``self``; a low
+        event is erased if ``self`` erases it.
+        """
+        return ComposedRel(self, later)
+
+    def __repr__(self):
+        return f"SimRel({self.name})"
+
+
+class IdRel(SimRel):
+    """The identity relation (the paper's ``id``): logs must be equal
+    up to scheduling events."""
+
+    name = "id"
+
+
+ID_REL = IdRel()
+
+
+class ComposedRel(SimRel):
+    """``lower ∘ upper`` — relate the bottom log of ``lower`` with the top
+    log of ``upper`` through the shared middle interface."""
+
+    def __init__(self, lower: SimRel, upper: SimRel):
+        self.lower = lower
+        self.upper = upper
+        self.name = f"({lower.name} ∘ {upper.name})"
+
+    def map_event(self, event: Event) -> Tuple[Event, ...]:
+        middle = self.upper.map_event(event)
+        return self.lower.map_events(middle)
+
+    def concretize_event(self, event: Event) -> Tuple[Event, ...]:
+        middle = self.upper.concretize_event(event)
+        return self.lower.concretize_events(middle)
+
+    def erases(self, event: Event) -> bool:
+        # A low event is noise if the lower relation erases it, or if the
+        # lower relation passes it through and the upper one erases it.
+        if self.lower.erases(event):
+            return True
+        if self.lower.map_event(event) == (event,):
+            return self.upper.erases(event)
+        return False
+
+    def relate_ret(self, ret_low: Any, ret_high: Any) -> bool:
+        # Return values are threaded unchanged through the middle layer in
+        # all our relations; require agreement end to end.
+        return self.lower.relate_ret(ret_low, ret_high) or self.upper.relate_ret(
+            ret_low, ret_high
+        )
+
+
+class EventMapRel(SimRel):
+    """A relation presented by an event map and an erasure set.
+
+    ``mapping`` sends a high-level event *name* to
+
+    * ``None`` — the high event has no low witness (rare; used when a
+      high-level event is pure specification bookkeeping),
+    * a ``str`` — rename: the low witness is the same event with the new
+      name (the ``acq ↦ hold`` case; args and tid preserved, ret
+      dropped), or
+    * a callable ``Event -> tuple[Event, ...]`` — full control.
+
+    Names absent from the mapping pass through unchanged.  ``erase`` is
+    the set of low-level event names dropped before comparison.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mapping: Optional[Dict[str, EventMapping]] = None,
+        erase: Iterable[str] = (),
+        ret_rel: Optional[Callable[[Any, Any], bool]] = None,
+        concretize: Optional[Dict[str, EventMapping]] = None,
+    ):
+        self.name = name
+        self.mapping: Dict[str, EventMapping] = dict(mapping or {})
+        self.erase_names: Set[str] = set(erase)
+        self._ret_rel = ret_rel
+        self.concretization: Dict[str, EventMapping] = dict(
+            concretize if concretize is not None else self.mapping
+        )
+
+    @staticmethod
+    def _apply(table: Dict[str, EventMapping], event: Event) -> Tuple[Event, ...]:
+        if event.name not in table:
+            return (event,)
+        target = table[event.name]
+        if target is None:
+            return ()
+        if isinstance(target, str):
+            return (Event(event.tid, target, event.args, None),)
+        return tuple(target(event))
+
+    def map_event(self, event: Event) -> Tuple[Event, ...]:
+        return self._apply(self.mapping, event)
+
+    def concretize_event(self, event: Event) -> Tuple[Event, ...]:
+        return self._apply(self.concretization, event)
+
+    def erases(self, event: Event) -> bool:
+        return event.name in self.erase_names
+
+    def relate_ret(self, ret_low: Any, ret_high: Any) -> bool:
+        if self._ret_rel is not None:
+            return self._ret_rel(ret_low, ret_high)
+        return ret_low == ret_high
+
+
+class ErasureRel(EventMapRel):
+    """Erase a set of low-level event names, relate the rest by identity.
+
+    The shape of most fun-lift relations: the low log has extra silent
+    detail that simply disappears at the higher layer.
+    """
+
+    def __init__(self, name: str, erase: Iterable[str]):
+        super().__init__(name, mapping={}, erase=erase)
+
+
+def relate_with_rets(
+    rel: SimRel, log_low: Log, log_high: Log, compare_rets: bool = True
+) -> bool:
+    """Relate logs, optionally also requiring recorded return values of
+    corresponding essential events to agree.
+
+    The default :meth:`SimRel.relate_logs` compares full events (including
+    recorded rets); this helper allows checkers to relax ret comparison
+    when a relation intentionally drops return values (rename mappings).
+    """
+    if compare_rets:
+        return rel.relate_logs(log_low, log_high)
+    strip = lambda events: tuple(
+        Event(e.tid, e.name, e.args, None) for e in events
+    )
+    actual = strip(rel.essential_low(log_low))
+    expected = strip(rel.map_events(e for e in log_high if not e.is_sched()))
+    return actual == expected

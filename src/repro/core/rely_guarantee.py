@@ -1,0 +1,261 @@
+"""Rely and guarantee conditions as invariants over the global log.
+
+In the paper (§3.2, Fig. 7) a layer interface is a tuple ``L[A] = (L, R,
+G)``: the rely condition ``R`` specifies the set of *valid environment
+contexts* and the guarantee condition ``G`` is an invariant the focused
+participants' log must maintain.  Both are per-participant families of log
+invariants ("these conditions are simply expressed as invariants over the
+global log", §2).
+
+The ``Compat`` rule (Fig. 9) requires implications between guarantees and
+relies (``L[B].R(i) ⊆ L[A].G(i)``).  In Coq these are proved once and for
+all; here implication is checked over a *log universe* — every log
+produced while verifying either side, plus structured adversarial logs —
+and the check is recorded in the resulting certificate (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .log import Log
+
+
+class LogInvariant:
+    """A named predicate over logs.
+
+    Supports conjunction (``&``) and implication checking over a finite
+    universe of logs.  ``holds`` must be total: invariants never raise.
+    """
+
+    def __init__(self, name: str, check: Callable[[Log], bool]):
+        self.name = name
+        self._check = check
+
+    def holds(self, log: Log) -> bool:
+        return bool(self._check(log))
+
+    def __and__(self, other: "LogInvariant") -> "LogInvariant":
+        return LogInvariant(
+            f"({self.name} ∧ {other.name})",
+            lambda log: self.holds(log) and other.holds(log),
+        )
+
+    def __or__(self, other: "LogInvariant") -> "LogInvariant":
+        return LogInvariant(
+            f"({self.name} ∨ {other.name})",
+            lambda log: self.holds(log) or other.holds(log),
+        )
+
+    def implies_on(self, other: "LogInvariant", universe: Iterable[Log]) -> Tuple[bool, Optional[Log]]:
+        """Check ``self ⊆ other`` over a finite universe of logs.
+
+        Returns ``(True, None)`` if no counterexample was found, else
+        ``(False, witness)``.
+        """
+        for log in universe:
+            if self.holds(log) and not other.holds(log):
+                return False, log
+        return True, None
+
+    def __repr__(self):
+        return f"Inv({self.name})"
+
+
+TRUE_INV = LogInvariant("true", lambda log: True)
+FALSE_INV = LogInvariant("false", lambda log: False)
+
+
+class Rely:
+    """The rely condition: per-participant validity of environment events.
+
+    ``conditions[i]`` constrains the events participant ``i`` may
+    contribute when it is part of the environment.  Participants without
+    an entry are unconstrained (``TRUE_INV``).  Extra structured fields
+    capture the temporal conditions the paper imposes on environment
+    contexts:
+
+    * ``fairness_bound`` — the (hardware or software) scheduler is fair:
+      any participant is scheduled within ``m`` environment steps (§4.1).
+    * ``release_bound`` — definite action: a participant that acquired a
+      lock releases it within ``n`` of its own steps (§2: "the held locks
+      will eventually be released").
+    """
+
+    def __init__(
+        self,
+        conditions: Optional[Dict[int, LogInvariant]] = None,
+        fairness_bound: Optional[int] = None,
+        release_bound: Optional[int] = None,
+    ):
+        self.conditions: Dict[int, LogInvariant] = dict(conditions or {})
+        self.fairness_bound = fairness_bound
+        self.release_bound = release_bound
+
+    def condition(self, tid: int) -> LogInvariant:
+        return self.conditions.get(tid, TRUE_INV)
+
+    def holds(self, log: Log) -> bool:
+        """All per-participant conditions hold of the log."""
+        return all(inv.holds(log) for inv in self.conditions.values())
+
+    def intersect(self, other: "Rely") -> "Rely":
+        """Pointwise conjunction — ``L[A∪B].R = L[A].R ∩ L[B].R`` (Compat)."""
+        tids = set(self.conditions) | set(other.conditions)
+        merged = {t: self.condition(t) & other.condition(t) for t in tids}
+        return Rely(
+            merged,
+            fairness_bound=_min_opt(self.fairness_bound, other.fairness_bound),
+            release_bound=_min_opt(self.release_bound, other.release_bound),
+        )
+
+    def __repr__(self):
+        return f"Rely({sorted(self.conditions)}, fair≤{self.fairness_bound}, rel≤{self.release_bound})"
+
+
+class Guarantee:
+    """The guarantee condition: per-participant invariants on own events."""
+
+    def __init__(self, conditions: Optional[Dict[int, LogInvariant]] = None):
+        self.conditions: Dict[int, LogInvariant] = dict(conditions or {})
+
+    def condition(self, tid: int) -> LogInvariant:
+        return self.conditions.get(tid, TRUE_INV)
+
+    def holds(self, log: Log, tid: int) -> bool:
+        return self.condition(tid).holds(log)
+
+    def union(self, other: "Guarantee") -> "Guarantee":
+        """Pointwise union — ``L[A∪B].G = L[A].G ∪ L[B].G`` (Compat)."""
+        tids = set(self.conditions) | set(other.conditions)
+        merged = {}
+        for t in tids:
+            mine = self.conditions.get(t)
+            theirs = other.conditions.get(t)
+            if mine is None:
+                merged[t] = theirs
+            elif theirs is None:
+                merged[t] = mine
+            else:
+                merged[t] = mine | theirs
+        return Guarantee(merged)
+
+    def restrict(self, tids: Iterable[int]) -> "Guarantee":
+        """``L[c].G|Ta`` — keep only the focused participants' guarantees."""
+        wanted = set(tids)
+        return Guarantee({t: inv for t, inv in self.conditions.items() if t in wanted})
+
+    def __repr__(self):
+        return f"Guar({sorted(self.conditions)})"
+
+
+def _min_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def check_compat(
+    rely_a: Rely,
+    guar_a: Guarantee,
+    tids_a: Iterable[int],
+    rely_b: Rely,
+    guar_b: Guarantee,
+    tids_b: Iterable[int],
+    universe: Iterable[Log],
+) -> List[str]:
+    """Check the premises of the ``Compat`` rule over a log universe.
+
+    ``∀i ∈ A, L[B].R(i) ⊆ L[A].G(i)`` and symmetrically.  Returns a list
+    of failure descriptions (empty = compatible on the universe).
+    """
+    universe = list(universe)
+    failures: List[str] = []
+    for i in tids_a:
+        ok, witness = rely_b.condition(i).implies_on(guar_a.condition(i), universe)
+        if not ok:
+            failures.append(
+                f"L[B].R({i}) ⊄ L[A].G({i}); counterexample log: {witness!r}"
+            )
+    for i in tids_b:
+        ok, witness = rely_a.condition(i).implies_on(guar_b.condition(i), universe)
+        if not ok:
+            failures.append(
+                f"L[A].R({i}) ⊄ L[B].G({i}); counterexample log: {witness!r}"
+            )
+    return failures
+
+
+# --- common invariant builders --------------------------------------------
+
+
+def events_follow_protocol(
+    tid: int,
+    allowed: Callable[[Log, "Event"], bool],
+    name: str = "protocol",
+) -> LogInvariant:
+    """Every event of ``tid`` is allowed given the log prefix before it.
+
+    The standard shape of rely conditions like ``L'1[i].Rj``: "lock-related
+    events generated by φj must follow φacq'[j] and φrel'[j]" (§2).
+    """
+
+    def check(log: Log) -> bool:
+        prefix = []
+        for event in log:
+            if event.tid == tid and not allowed(Log(prefix), event):
+                return False
+            prefix.append(event)
+        return True
+
+    return LogInvariant(f"{name}[{tid}]", check)
+
+
+def release_within(tid: int, acquire: str, release: str, bound: int) -> LogInvariant:
+    """Definite action: after ``tid.acquire``, ``tid.release`` appears
+    within ``bound`` of ``tid``'s own subsequent events.
+
+    This is the paper's "held locks will eventually be released" rely
+    condition, made quantitative ("the distance between c'.acq and c'.rel
+    in the log is less than some number n", §4.1).  A trailing acquire
+    with fewer than ``bound`` own-events after it is allowed (the log may
+    be a prefix of a longer run).
+    """
+
+    def check(log: Log) -> bool:
+        own_events = [e for e in log if e.tid == tid]
+        pending: Optional[int] = None
+        for idx, event in enumerate(own_events):
+            if event.name == acquire:
+                if pending is not None:
+                    return False
+                pending = idx
+            elif event.name == release:
+                if pending is None:
+                    return False
+                pending = None
+            if pending is not None and idx - pending > bound:
+                return False
+        return True
+
+    return LogInvariant(f"release_within[{tid},{acquire}->{release}≤{bound}]", check)
+
+
+def scheduled_within(tid: int, bound: int) -> LogInvariant:
+    """Fairness: ``tid`` gets a hardware-scheduling event at least once in
+    every window of ``bound`` consecutive events."""
+
+    def check(log: Log) -> bool:
+        gap = 0
+        for event in log:
+            if event.is_sched() and event.tid == tid:
+                gap = 0
+            else:
+                gap += 1
+                if gap > bound:
+                    return False
+        return True
+
+    return LogInvariant(f"fair[{tid}≤{bound}]", check)

@@ -1,0 +1,148 @@
+"""Replay functions: reconstructing shared state from the global log.
+
+"Such functions that reconstruct the current shared state from the log are
+called replay functions" (§2).  The CCAL discipline never stores shared
+state: every shared primitive recomputes whatever state it needs by
+folding over the log.  A replay fold that encounters an impossible event
+sequence (e.g. a ``pull`` of an already-owned location) raises
+:class:`~repro.core.errors.Stuck` — this is exactly how the push/pull
+model detects data races (Fig. 8: the ``None`` branches).
+
+This module provides the fold framework (:class:`ReplayFn`) and the
+paper's ``Rshared`` (Fig. 8).  Object-specific replay functions
+(``Rticket``, ``Rsched``, ``Rqueue``) live with their objects in
+:mod:`repro.objects`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Generic, Optional, Tuple, TypeVar
+
+from .errors import Stuck
+from .events import PULL, PUSH, Event
+from .log import Log
+
+S = TypeVar("S")
+
+
+class ReplayFn(Generic[S]):
+    """A replay function as a fold ``(init, step)`` over the log.
+
+    ``step(state, event) -> state`` may raise :class:`Stuck` to signal an
+    ill-formed log.  Calling the instance on a :class:`Log` runs the fold;
+    results are memoized per (log, params) because logs are immutable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        init: Callable[..., S],
+        step: Callable[[S, Event], S],
+        cache_size: int = 4096,
+    ):
+        self.name = name
+        self._init = init
+        self._step = step
+
+        @lru_cache(maxsize=cache_size)
+        def _run(log: Log, params: Tuple[Any, ...]) -> S:
+            state = init(*params)
+            for event in log:
+                state = step(state, event, *params) if _step_takes_params else step(state, event)
+            return state
+
+        # Detect whether `step` wants the parameters forwarded.
+        _step_takes_params = _arity_at_least(step, 3)
+        self._run = _run
+
+    def __call__(self, log, *params) -> S:
+        if not isinstance(log, Log):
+            log = Log(log)
+        return self._run(log, params)
+
+    def __repr__(self):
+        return f"ReplayFn({self.name})"
+
+
+def _arity_at_least(fn: Callable, n: int) -> bool:
+    code = getattr(fn, "__code__", None)
+    if code is None:  # pragma: no cover - builtins
+        return False
+    return code.co_argcount >= n
+
+
+# --- ownership status for the push/pull memory model ----------------------
+
+
+@dataclass(frozen=True)
+class Ownership:
+    """The ownership status of a shared location: free or owned by one id."""
+
+    owner: Optional[int] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.owner is None
+
+    def __str__(self):
+        return "free" if self.is_free else f"own {self.owner}"
+
+
+FREE = Ownership(None)
+
+
+def own(tid: int) -> Ownership:
+    return Ownership(tid)
+
+
+VUNDEF = ("vundef",)
+"""The undefined initial value of a shared location (paper's ``vundef``)."""
+
+
+@dataclass(frozen=True)
+class SharedCell:
+    """Replayed state of one shared location: its value and ownership."""
+
+    value: Any
+    status: Ownership
+
+    def __iter__(self):
+        # Allow `value, status = replay_shared(...)` unpacking.
+        yield self.value
+        yield self.status
+
+
+def _shared_init(loc) -> SharedCell:
+    return SharedCell(VUNDEF, FREE)
+
+
+def _shared_step(state: SharedCell, event: Event, loc) -> SharedCell:
+    if event.name == PULL and event.args and event.args[0] == loc:
+        if not state.status.is_free:
+            raise Stuck(
+                f"data race: {event.tid}.pull({loc}) while {state.status}"
+            )
+        return SharedCell(state.value, own(event.tid))
+    if event.name == PUSH and event.args and event.args[0] == loc:
+        if state.status.owner != event.tid:
+            raise Stuck(
+                f"data race: {event.tid}.push({loc}) while {state.status}"
+            )
+        return SharedCell(event.args[1], FREE)
+    return state
+
+
+replay_shared = ReplayFn("Rshared", _shared_init, _shared_step)
+"""``Rshared`` from Fig. 8: fold pull/push events for one location.
+
+``replay_shared(log, loc)`` returns a :class:`SharedCell` ``(value,
+status)``; it raises :class:`Stuck` on a racy log (pull of an owned
+location, push by a non-owner).
+"""
+
+
+def replay_owner(log, loc) -> Optional[int]:
+    """The current owner of shared location ``loc`` (or None if free)."""
+    return replay_shared(log, loc).status.owner

@@ -1,0 +1,465 @@
+"""The strategy-simulation checker (Definition 2.1).
+
+``φ ≤_R φ'`` holds "if, and only if, for any two related environmental
+event sequences and any two related initial logs, for any log l produced
+by φ there must exist a log l' produced by φ' such that l and l' satisfy
+R."
+
+The executable check works *spec-first* and exhibits the existential
+witness constructively:
+
+1. enumerate every environment behaviour of the **high-level** run to a
+   bounded depth — at each query point of the specification, branch over
+   an alphabet of environment batches derived from the rely condition
+   (:func:`enumerate_local_runs`);
+2. for each high-level run, build the related **low-level** environment
+   by mapping every delivered batch through the simulation relation
+   (``R`` maps each high event to its low witness sequence) and run the
+   implementation under it;
+3. require the implementation run to be safe (not stuck — this is how
+   data-race freedom is established in the push/pull model) and its log
+   and return value to be ``R``-related to the specification's.
+
+Environment behaviours that violate the rely condition are pruned — the
+machine only owes a simulation against *valid* environment contexts
+(§3.2).  Every run's log is collected into the certificate's log
+universe for later ``Compat`` checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .certificate import Certificate
+from .environment import Batch, ChoiceEnv, RecordingEnv, ScriptedEnv
+from .errors import OutOfFuel
+from .events import Event
+from .interface import LayerInterface
+from .log import Log
+from .machine import LocalRun, run_local
+from .relation import SimRel
+from .rely_guarantee import Rely
+
+
+def prim_player(name: str) -> Callable:
+    """A player that calls primitive ``name`` with its run-time args."""
+
+    def player(ctx, *args):
+        ret = yield from ctx.call(name, *args)
+        return ret
+
+    player.__name__ = f"prim_{name}"
+    return player
+
+
+@dataclass
+class SimConfig:
+    """Bounds and generators for one simulation check.
+
+    ``env_alphabet`` — the batches the environment may produce at a
+    (high-level) query point.  Should include the empty batch to model an
+    idle environment step; derived from the rely condition.
+    ``env_depth`` — how many query points are branched over.
+    ``args_list`` — the argument vectors the primitive is checked at.
+    ``compare_rets`` — also require ``R``-related return values.
+    """
+
+    env_alphabet: Sequence[Batch] = ((),)
+    env_depth: int = 2
+    args_list: Sequence[Tuple[Any, ...]] = ((),)
+    fuel: int = 10_000
+    max_runs: int = 20_000
+    compare_rets: bool = True
+    check_rely: bool = True
+    #: How the witness environment delivers the high-level run's batches
+    #: to the low-level run: ``"per_query"`` — batch *i* at the low run's
+    #: *i*-th query point (fun-lifts: implementation and low-level
+    #: strategy share the query structure exactly); ``"per_call"`` — all
+    #: batches of high-level call *k* at the low run's first query point
+    #: within call *k* (log-lifts: the atomic spec has fewer query points
+    #: than the implementation, so only call boundaries correspond).
+    delivery: str = "per_call"
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "env_alphabet_size": len(self.env_alphabet),
+            "env_depth": self.env_depth,
+            "args_count": len(self.args_list),
+            "fuel": self.fuel,
+        }
+
+
+@dataclass
+class RunRecord:
+    """One enumerated run: the environment choices made, the batches the
+    environment actually delivered, and the run outcome."""
+
+    choices: Tuple[int, ...]
+    batches: Tuple[Batch, ...]
+    run: LocalRun
+
+
+def env_events_valid(log: Log, rely: Rely, env_tids: Set[int]) -> bool:
+    """Every environment event satisfies its rely invariant on its prefix."""
+    events = log.events
+    for idx, event in enumerate(events):
+        if event.tid in env_tids:
+            prefix = Log(events[: idx + 1])
+            if not rely.condition(event.tid).holds(prefix):
+                return False
+    return True
+
+
+def enumerate_local_runs(
+    interface: LayerInterface,
+    tid: int,
+    player: Callable,
+    args: Tuple[Any, ...],
+    config: SimConfig,
+    rely: Optional[Rely] = None,
+) -> List[RunRecord]:
+    """All runs of ``player`` under environment behaviours to the bound.
+
+    DFS over :class:`ChoiceEnv` choice prefixes.  A run whose environment
+    went idle after the prefix is recorded; if the player queried past the
+    prefix and the depth bound allows, the prefix branches over the whole
+    alphabet.  Runs whose delivered environment events violate the rely
+    condition are pruned together with all their extensions.
+    """
+    rely = rely if rely is not None else interface.rely
+    env_tids = {e.tid for batch in config.env_alphabet for e in batch}
+    results: List[RunRecord] = []
+    stack: List[Tuple[int, ...]] = [()]
+    runs = 0
+    seen: Set[Tuple[Any, ...]] = set()
+    while stack:
+        choices = stack.pop()
+        runs += 1
+        if runs > config.max_runs:
+            raise OutOfFuel(
+                f"simulation enumeration exceeded {config.max_runs} runs"
+            )
+        env = RecordingEnv(ChoiceEnv(config.env_alphabet, choices))
+        run = run_local(
+            interface, tid, player, args, env=env, fuel=config.fuel
+        )
+        if run.queries < len(choices):
+            # This prefix is longer than the player's query sequence under
+            # it; it denotes no new behaviour (already covered by the
+            # shorter prefix).  Skip without branching.
+            continue
+        if config.check_rely and not env_events_valid(run.log, rely, env_tids):
+            continue
+        key = (run.log, repr(run.ret), run.finished, run.stuck)
+        if key not in seen:
+            seen.add(key)
+            results.append(
+                RunRecord(choices, tuple(env.batches), run)
+            )
+        if run.queries > len(choices) and len(choices) < config.env_depth:
+            for index in range(len(config.env_alphabet)):
+                stack.append(choices + (index,))
+    return results
+
+
+def check_sim(
+    low_iface: LayerInterface,
+    low_player: Callable,
+    high_iface: LayerInterface,
+    high_player: Callable,
+    relation: SimRel,
+    tid: int,
+    config: SimConfig,
+    judgment: str,
+    rule: str = "sim",
+) -> Certificate:
+    """Check ``low_player ≤_R high_player`` per Def. 2.1 (spec-first).
+
+    Both players receive the same argument vectors.  For every high-level
+    run under a rely-valid environment, the low-level run under the
+    R-mapped environment must finish safely with an R-related log and
+    return value.
+    """
+    cert = Certificate(judgment=judgment, rule=rule, bounds=config.describe())
+    logs: List[Log] = []
+
+    init_ok = relation.relate_logs(
+        Log(low_iface.init_log), Log(high_iface.init_log)
+    )
+    cert.add("initial logs related", init_ok)
+
+    for args in config.args_list:
+        records = enumerate_local_runs(
+            high_iface, tid, high_player, tuple(args), config
+        )
+        for record in records:
+            label = f"args={args} env={record.choices}"
+            logs.append(record.run.log)
+            if not record.run.ok:
+                cert.add(
+                    f"spec safe under valid env [{label}]",
+                    False,
+                    record.run.stuck or "guarantee violated",
+                )
+                continue
+            low_batches = [relation.concretize_events(b) for b in record.batches]
+            low_run = run_local(
+                low_iface,
+                tid,
+                low_player,
+                tuple(args),
+                env=ScriptedEnv(low_batches),
+                fuel=config.fuel,
+            )
+            logs.append(low_run.log)
+            if not low_run.ok:
+                cert.add(
+                    f"impl safe [{label}]",
+                    False,
+                    low_run.stuck or "guarantee violated",
+                )
+                continue
+            related = relation.relate_logs(low_run.log, record.run.log)
+            cert.add(
+                f"logs related [{label}]",
+                related,
+                "" if related else relation.explain(low_run.log, record.run.log),
+            )
+            if config.compare_rets:
+                rets_ok = relation.relate_ret(low_run.ret, record.run.ret)
+                cert.add(
+                    f"rets related [{label}]",
+                    rets_ok,
+                    "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
+                )
+    cert.log_universe = tuple(logs)
+    return cert
+
+
+@dataclass
+class Scenario:
+    """One protocol-respecting call sequence used as a check obligation.
+
+    Primitives with preconditions (``rel`` needs the lock held, ``deQ``
+    needs the queue lock protocol, ...) cannot be checked in isolation;
+    the unit of checking is a *scenario*: a sequence of calls respecting
+    the object's protocol, run against both the implementation and the
+    specification.  ``calls`` is a list of ``(name, args)`` pairs;
+    ``config`` carries the environment bounds for this scenario.
+    """
+
+    label: str
+    calls: Sequence[Tuple[str, Tuple[Any, ...]]]
+    config: SimConfig
+
+
+CALL_MARKS = "__call_marks"
+
+
+def scenario_spec_player(scenario: Scenario) -> Callable:
+    """The specification side: call the overlay primitives in sequence.
+
+    Records a *call mark* (the completed-query count) at the start of
+    every call so the checker can group the environment batches by call
+    and replay them call-aligned on the implementation side.
+    """
+
+    def player(ctx):
+        marks = ctx.priv.setdefault(CALL_MARKS, [])
+        rets = []
+        for index, (name, args) in enumerate(scenario.calls):
+            marks.append(ctx.queries)
+            ctx.scenario_call = index
+            ret = yield from ctx.call(name, *args)
+            rets.append(ret)
+        return rets
+
+    player.__name__ = f"spec_{scenario.label}"
+    return player
+
+
+def scenario_impl_player(module, scenario: Scenario) -> Callable:
+    """The implementation side: run the module's bodies in sequence.
+
+    Maintains ``ctx.scenario_call`` so a :class:`CallScriptedEnv` can
+    deliver witness batches at the right call.
+    """
+
+    def player(ctx):
+        rets = []
+        for index, (name, args) in enumerate(scenario.calls):
+            ctx.scenario_call = index
+            impl = module.funcs[name]
+            ret = yield from impl.player(ctx, *args)
+            rets.append(ret)
+        return rets
+
+    player.__name__ = f"impl_{scenario.label}"
+    return player
+
+
+def _batch_groups(batches: Sequence[Batch], marks: Sequence[int], n_calls: int) -> List[Batch]:
+    """Group delivered batches by the call during which they arrived."""
+    groups: List[Batch] = []
+    for index in range(n_calls):
+        start = marks[index] if index < len(marks) else len(batches)
+        end = marks[index + 1] if index + 1 < len(marks) else len(batches)
+        flat: List[Event] = []
+        for batch in batches[start:end]:
+            flat.extend(batch)
+        groups.append(tuple(flat))
+    return groups
+
+
+def check_scenario_sim(
+    low_iface: LayerInterface,
+    impl_player: Callable,
+    high_iface: LayerInterface,
+    scenario: Scenario,
+    relation: SimRel,
+    tid: int,
+    judgment: str,
+    rule: str = "sim",
+) -> Certificate:
+    """Check one scenario: spec-first enumeration, call-aligned witness.
+
+    Like :func:`check_sim`, but the low-level environment is a
+    :class:`CallScriptedEnv` delivering each high-level call's batches at
+    the corresponding low-level call — the constructive form of Def 2.1's
+    "related environmental event sequences" for multi-call protocols.
+    """
+    from .environment import CallScriptedEnv
+
+    config = scenario.config
+    cert = Certificate(judgment=judgment, rule=rule, bounds=config.describe())
+    logs: List[Log] = []
+    init_ok = relation.relate_logs(
+        Log(low_iface.init_log), Log(high_iface.init_log)
+    )
+    cert.add("initial logs related", init_ok)
+    spec_player = scenario_spec_player(scenario)
+    records = enumerate_local_runs(high_iface, tid, spec_player, (), config)
+    for record in records:
+        label = f"{scenario.label} env={record.choices}"
+        logs.append(record.run.log)
+        if not record.run.ok:
+            cert.add(
+                f"spec safe under valid env [{label}]",
+                False,
+                record.run.stuck or "guarantee violated",
+            )
+            continue
+        if config.delivery == "per_query":
+            env = ScriptedEnv(
+                record.batches, transform=relation.concretize_batch
+            )
+        else:
+            marks = record.run.ctx.priv.get(CALL_MARKS, [])
+            groups = _batch_groups(
+                record.batches, marks, len(scenario.calls)
+            )
+            env = CallScriptedEnv(groups, transform=relation.concretize_batch)
+        low_run = run_local(
+            low_iface,
+            tid,
+            impl_player,
+            (),
+            env=env,
+            fuel=config.fuel,
+        )
+        logs.append(low_run.log)
+        if not low_run.ok:
+            cert.add(
+                f"impl safe [{label}]",
+                False,
+                low_run.stuck or "guarantee violated",
+            )
+            continue
+        related = relation.relate_logs(low_run.log, record.run.log)
+        cert.add(
+            f"logs related [{label}]",
+            related,
+            "" if related else relation.explain(low_run.log, record.run.log),
+        )
+        if config.compare_rets:
+            rets_ok = _relate_ret_lists(relation, low_run.ret, record.run.ret)
+            cert.add(
+                f"rets related [{label}]",
+                rets_ok,
+                "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
+            )
+    cert.log_universe = tuple(logs)
+    return cert
+
+
+def _relate_ret_lists(relation: SimRel, low, high) -> bool:
+    if isinstance(low, list) and isinstance(high, list):
+        return len(low) == len(high) and all(
+            relation.relate_ret(a, b) for a, b in zip(low, high)
+        )
+    return relation.relate_ret(low, high)
+
+
+def check_scenarios(
+    low_iface: LayerInterface,
+    impl_player_for,
+    high_iface: LayerInterface,
+    relation: SimRel,
+    tid: int,
+    scenarios: Sequence[Scenario],
+    judgment: str,
+    rule: str = "sim",
+) -> Certificate:
+    """Check a family of scenarios; one sub-certificate per scenario.
+
+    ``impl_player_for(scenario)`` builds the low-level player (module
+    bodies, or low-interface primitive calls when checking an interface
+    simulation).
+    """
+    cert = Certificate(judgment=judgment, rule=rule)
+    for scenario in scenarios:
+        sub = check_scenario_sim(
+            low_iface,
+            impl_player_for(scenario),
+            high_iface,
+            scenario,
+            relation,
+            tid,
+            judgment=f"{judgment} :: {scenario.label}",
+            rule=rule,
+        )
+        cert.children.append(sub)
+    return cert
+
+
+def check_interface_sim(
+    low_iface: LayerInterface,
+    high_iface: LayerInterface,
+    relation: SimRel,
+    tid: int,
+    configs: Dict[str, SimConfig],
+    judgment: Optional[str] = None,
+) -> Certificate:
+    """Check ``L ≤_R L'`` primitive by primitive.
+
+    ``configs`` maps each checked primitive name to its
+    :class:`SimConfig`; every primitive of the high interface that should
+    be backed by the low interface must appear.  The per-primitive
+    sub-certificates become children of the returned certificate.
+    """
+    judgment = judgment or f"{low_iface.name} ≤_{relation.name} {high_iface.name}"
+    cert = Certificate(judgment=judgment, rule="interface-sim")
+    for name, config in configs.items():
+        sub = check_sim(
+            low_iface,
+            prim_player(name),
+            high_iface,
+            prim_player(name),
+            relation,
+            tid,
+            config,
+            judgment=f"{low_iface.name}.{name} ≤_{relation.name} {high_iface.name}.{name}",
+        )
+        cert.children.append(sub)
+    return cert

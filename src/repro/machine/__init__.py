@@ -1,0 +1,37 @@
+"""Machine models: ``Mx86``, push/pull memory, CPU-local interfaces.
+
+The multicore substrate of the paper's §3: the hardware machine model
+(:mod:`repro.machine.mx86`), the push/pull shared-memory model
+(:mod:`repro.machine.sharedmem`), x86-style atomic cells
+(:mod:`repro.machine.atomics`), the CPU-local bottom interface
+``Lx86[c]`` (:mod:`repro.machine.cpu_local`), hardware schedulers
+(:mod:`repro.machine.hw_sched`), and multicore linking — Thm 3.1
+(:mod:`repro.machine.linking`).
+"""
+
+from .atomics import (
+    ALOAD,
+    ASTORE,
+    ATOMIC_EVENTS,
+    CAS,
+    FAI,
+    SWAP,
+    atomic_prims,
+    replay_atomic,
+)
+from .sharedmem import (
+    SHARED_COPY,
+    local_copy,
+    pull_prim,
+    pull_spec,
+    push_prim,
+    push_spec,
+    read_copy,
+    write_copy,
+)
+from .cpu_local import lx86_interface
+from .mx86 import Mx86State, mx86_behaviors, reconstruct_state
+from .hw_sched import FairScheduler, SeededScheduler, fair_scheduler_family
+from .linking import check_multicore_linking
+
+__all__ = [name for name in dir() if not name.startswith("_")]

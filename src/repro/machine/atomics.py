@@ -1,0 +1,136 @@
+"""x86-style atomic instruction primitives over shared cells.
+
+The bottom of every stack in the paper is a machine interface whose
+shared primitives "are provided by L0 and implemented using x86 atomic
+instructions" (§2).  We model an *atomic cell* as a named shared integer
+whose entire history lives in the log; the provided primitives are the
+classic read-modify-write instructions:
+
+* ``fai(cell)`` — fetch-and-increment (``lock xadd``), returns old value
+* ``cas(cell, old, new)`` — compare-and-swap (``lock cmpxchg``), returns
+  success flag
+* ``swap(cell, new)`` — atomic exchange (``xchg``), returns old value
+* ``aload(cell)`` / ``astore(cell, value)`` — atomic load/store
+
+Cell values are machine integers wrapping at a configurable width — this
+is where the ticket-lock overflow argument (§4.1: "we must also handle
+potential integer overflows for t and n") becomes executable: property
+tests drive the width down until wraparound actually occurs.
+
+``replay_atomic`` reconstructs a cell's current value from the log; the
+recorded ``ret`` of each event is *checked* against the replayed truth,
+so a forged history gets stuck rather than silently diverging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..core.context import ExecutionContext
+from ..core.errors import Stuck
+from ..core.events import Event
+from ..core.interface import Prim, SHARED
+from ..core.log import Log
+from ..core.machint import UINT32, IntWidth
+from ..core.replay import ReplayFn
+
+FAI = "fai"
+CAS = "cas"
+SWAP = "swap"
+ALOAD = "aload"
+ASTORE = "astore"
+
+ATOMIC_EVENTS = (FAI, CAS, SWAP, ALOAD, ASTORE)
+
+
+def _atomic_init(cell, width_bits: int = 32, init: int = 0) -> int:
+    return init
+
+
+def _atomic_step(value: int, event: Event, cell, width_bits: int = 32, init: int = 0) -> int:
+    if not event.args or event.args[0] != cell:
+        return value
+    width = IntWidth(width_bits)
+    if event.name == FAI:
+        if event.ret is not None and event.ret != value:
+            raise Stuck(
+                f"forged log: {event} recorded ret {event.ret} but cell "
+                f"{cell} holds {value}"
+            )
+        return width.wrap(value + 1)
+    if event.name == CAS:
+        _, old, new = event.args
+        if value == old:
+            return width.wrap(new)
+        return value
+    if event.name == SWAP:
+        return width.wrap(event.args[1])
+    if event.name == ASTORE:
+        return width.wrap(event.args[1])
+    if event.name == ALOAD:
+        if event.ret is not None and event.ret != value:
+            raise Stuck(
+                f"forged log: {event} recorded ret {event.ret} but cell "
+                f"{cell} holds {value}"
+            )
+        return value
+    return value
+
+
+replay_atomic = ReplayFn("Ratomic", _atomic_init, _atomic_step)
+"""``replay_atomic(log, cell, width_bits=32, init=0)`` — current value of
+an atomic cell, wrapping at the given width."""
+
+
+def atomic_prims(width: IntWidth = UINT32, cycle_cost: int = 3) -> Tuple[Prim, ...]:
+    """The five atomic-instruction primitives at a given integer width.
+
+    Every primitive queries the environment at its query point (these are
+    shared operations; other CPUs' events must be able to land before the
+    instruction's linearization), then appends its own event and returns
+    the value dictated by the replayed cell state.
+    """
+    bits = width.bits
+
+    def fai_spec(ctx: ExecutionContext, cell):
+        yield from ctx.query()
+        value = replay_atomic(ctx.log, cell, bits)
+        ctx.emit(FAI, cell, ret=value)
+        return value
+
+    def cas_spec(ctx: ExecutionContext, cell, old, new):
+        yield from ctx.query()
+        value = replay_atomic(ctx.log, cell, bits)
+        success = value == width.wrap(old)
+        ctx.emit(CAS, cell, width.wrap(old), width.wrap(new), ret=success)
+        return success
+
+    def swap_spec(ctx: ExecutionContext, cell, new):
+        yield from ctx.query()
+        value = replay_atomic(ctx.log, cell, bits)
+        ctx.emit(SWAP, cell, width.wrap(new), ret=value)
+        return value
+
+    def aload_spec(ctx: ExecutionContext, cell):
+        yield from ctx.query()
+        value = replay_atomic(ctx.log, cell, bits)
+        ctx.emit(ALOAD, cell, ret=value)
+        return value
+
+    def astore_spec(ctx: ExecutionContext, cell, value):
+        yield from ctx.query()
+        ctx.emit(ASTORE, cell, width.wrap(value))
+        return None
+
+    return (
+        Prim(FAI, fai_spec, kind=SHARED, cycle_cost=cycle_cost,
+             doc=f"fetch-and-increment, {bits}-bit wraparound"),
+        Prim(CAS, cas_spec, kind=SHARED, cycle_cost=cycle_cost,
+             doc=f"compare-and-swap, {bits}-bit"),
+        Prim(SWAP, swap_spec, kind=SHARED, cycle_cost=cycle_cost,
+             doc=f"atomic exchange, {bits}-bit"),
+        Prim(ALOAD, aload_spec, kind=SHARED, cycle_cost=1,
+             doc=f"atomic load, {bits}-bit"),
+        Prim(ASTORE, astore_spec, kind=SHARED, cycle_cost=1,
+             doc=f"atomic store, {bits}-bit"),
+    )

@@ -1,0 +1,57 @@
+"""The CPU-local layer interface ``Lx86[c]`` (paper §3.2).
+
+"When focusing on a single CPU c, L[c] is called a CPU-local layer
+interface.  Its machine state is (ρ, m, a, l), where ρ is the private
+state of the CPU c and m is just a local copy of the shared memory."
+
+:func:`lx86_interface` builds the bottom interface of every stack in this
+reproduction: the x86 atomic-instruction primitives
+(:mod:`repro.machine.atomics`), the push/pull shared-memory primitives
+(:mod:`repro.machine.sharedmem`), and any extra example primitives the
+caller supplies (the ``f``/``g`` of Fig. 3).  All higher layers — ticket
+and MCS locks, shared queues, the scheduler — are built above this
+interface exactly as in §4: "All layers are built upon the CPU-local
+layer interface Lx86[c]."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.interface import LayerInterface, Prim
+from ..core.machint import UINT32, IntWidth
+from ..core.rely_guarantee import Guarantee, Rely
+from .atomics import atomic_prims
+from .sharedmem import pull_prim, push_prim
+
+
+def lx86_interface(
+    domain: Iterable[int],
+    width: IntWidth = UINT32,
+    extra_prims: Iterable[Prim] = (),
+    rely: Optional[Rely] = None,
+    guar: Optional[Guarantee] = None,
+    name: str = "Lx86",
+) -> LayerInterface:
+    """Build ``Lx86`` over a CPU domain.
+
+    ``width`` is the machine-integer width of the atomic cells (lower it
+    to exercise the overflow argument).  ``extra_prims`` extends the
+    interface with application primitives.
+    """
+    prims = {}
+    for prim in atomic_prims(width):
+        prims[prim.name] = prim
+    pull = pull_prim()
+    push = push_prim()
+    prims[pull.name] = pull
+    prims[push.name] = push
+    for prim in extra_prims:
+        prims[prim.name] = prim
+    return LayerInterface(
+        name,
+        domain,
+        prims,
+        rely=rely,
+        guar=guar,
+    )

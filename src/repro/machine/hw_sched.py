@@ -1,0 +1,92 @@
+"""Hardware scheduler strategies beyond the core round-robin/script ones.
+
+The paper's rely conditions impose *fairness* on the hardware scheduler
+("any CPU can be scheduled within m steps", §4.1); the progress checker
+in :mod:`repro.verify.progress` quantifies over the fair schedulers
+produced here.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence
+
+from ..core.log import Log
+from ..core.machine import GameScheduler
+
+
+class SeededScheduler(GameScheduler):
+    """A deterministic pseudo-random scheduler (linear congruential).
+
+    Deterministic given the seed, so runs are reproducible; *not*
+    guaranteed fair — used for randomized exploration, not for progress
+    proofs.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._state = seed & 0x7FFFFFFF
+
+    def pick(self, log: Log, ready: FrozenSet[int]) -> int:
+        self._state = (self._state * 1103515245 + 12345) & 0x7FFFFFFF
+        ordered = sorted(ready)
+        return ordered[self._state % len(ordered)]
+
+    def fresh(self) -> "SeededScheduler":
+        return SeededScheduler(self.seed)
+
+
+class FairScheduler(GameScheduler):
+    """A scheduler that guarantees every ready participant runs within
+    ``bound`` rounds.
+
+    Follows an arbitrary preference list but tracks starvation: any
+    participant not scheduled for ``bound`` rounds preempts the
+    preference.  This is the executable form of the fairness rely
+    condition; the ticket-lock liveness bound ``n × m × #CPU`` is checked
+    against schedulers of this class with ``m = bound``.
+    """
+
+    def __init__(self, preference: Sequence[int], bound: int):
+        self.preference = list(preference)
+        self.bound = bound
+        self._starving = {tid: 0 for tid in preference}
+        self._cursor = 0
+
+    def pick(self, log: Log, ready: FrozenSet[int]) -> int:
+        overdue = [
+            tid
+            for tid in sorted(ready)
+            if self._starving.get(tid, 0) >= self.bound - 1
+        ]
+        if overdue:
+            choice = overdue[0]
+        else:
+            choice = None
+            for _ in range(len(self.preference)):
+                candidate = self.preference[self._cursor % len(self.preference)]
+                self._cursor += 1
+                if candidate in ready:
+                    choice = candidate
+                    break
+            if choice is None:
+                choice = min(ready)
+        for tid in ready:
+            if tid == choice:
+                self._starving[tid] = 0
+            else:
+                self._starving[tid] = self._starving.get(tid, 0) + 1
+        return choice
+
+    def fresh(self) -> "FairScheduler":
+        return FairScheduler(self.preference, self.bound)
+
+
+def fair_scheduler_family(domain: Sequence[int], bound: int) -> List[FairScheduler]:
+    """A family of fair schedulers with different preference rotations."""
+    domain = list(domain)
+    family = []
+    for shift in range(len(domain)):
+        rotated = domain[shift:] + domain[:shift]
+        family.append(FairScheduler(rotated, bound))
+        family.append(FairScheduler(list(reversed(rotated)), bound))
+    return family

@@ -1,0 +1,65 @@
+"""Multicore linking (paper Theorem 3.1).
+
+``∀P, [[P]]_{Mx86} ⊑_R [[P]]_{Lx86[D]}``
+
+"We can then prove a contextual refinement from Mx86 to Lx86[D] by
+picking a suitable hardware scheduler of Lx86[D] for every interleaving
+(or log) of Mx86."  Executably: enumerate the fine-grained hardware
+behaviours and the query-point layer behaviours for the same client
+program, and check that every completed hardware log has an identical
+(scheduling-erased) layer log — the witness scheduler is exactly the
+layer run that produced it.
+
+This theorem "ensures that all code verification over Lx86[D] can be
+propagated down to the x86 multicore hardware Mx86."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from ..core.certificate import Certificate
+from ..core.contextual import ClientProgram, check_refinement
+from ..core.interface import LayerInterface
+from ..core.machine import enumerate_game_logs, seq_player
+from ..core.relation import ID_REL, SimRel
+from .mx86 import mx86_behaviors
+
+
+def check_multicore_linking(
+    interface: LayerInterface,
+    clients: Sequence[ClientProgram],
+    relation: SimRel = ID_REL,
+    fuel: int = 10_000,
+    max_rounds: int = 64,
+    max_runs: int = 200_000,
+) -> Certificate:
+    """Check Thm 3.1 for a family of client programs.
+
+    For each client ``P``: ``[[P]]_{Mx86}`` (fine-grained interleaving)
+    must refine ``[[P]]_{Lx86[D]}`` (query-point interleaving) under the
+    identity relation — every hardware log is a layer log under some
+    scheduler.
+    """
+    cert = Certificate(
+        judgment=f"∀P, [[P]]_Mx86 ⊑_{relation.name} [[P]]_{interface.name}[D]",
+        rule="MulticoreLinking",
+        bounds={"clients": len(clients), "max_rounds": max_rounds},
+    )
+    for index, client in enumerate(clients):
+        players = {
+            tid: (seq_player(list(calls)), ()) for tid, calls in client.items()
+        }
+        hw = mx86_behaviors(
+            interface, players, fuel=fuel, max_rounds=max_rounds,
+            max_runs=max_runs,
+        )
+        layer = enumerate_game_logs(
+            interface, players, fuel=fuel, max_rounds=max_rounds,
+            max_runs=max_runs,
+        )
+        check_refinement(hw, layer, relation, cert, label=f"P{index}")
+        cert.log_universe = cert.log_universe + tuple(
+            r.log for r in hw if r.ok
+        )
+    return cert

@@ -1,0 +1,111 @@
+"""The push/pull shared-memory model (paper §3.1, Fig. 6, Fig. 8).
+
+Shared memory is never accessed directly: each location ``b`` carries an
+ownership status, and two shared primitives move data between the shared
+world and a participant's private copy:
+
+* ``pull(b)`` — acquire ownership of ``b`` and load its replayed value
+  into the local copy (``m.b`` in Fig. 8).  Queries the environment
+  first.  Pulling a non-free location is a data race: the machine gets
+  stuck.
+* ``push(b)`` — publish the local copy's value as a ``push(b, v)`` event
+  and free the ownership.  Does not query (the pusher is in critical
+  state).  Pushing a location one does not own gets stuck.
+
+The ownership fold is :func:`repro.core.replay.replay_shared`; values
+flowing through ``push`` events are deep-frozen
+(:func:`repro.core.events.freeze`) so logs stay immutable, and thawed on
+``pull``.
+
+Private copies live in ``ctx.priv["shared"]`` — a dict from location to
+the thawed value.  Interpreted C code reads and writes the copy through
+ordinary private operations; only pull/push touch the log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..core.context import ExecutionContext
+from ..core.errors import Stuck
+from ..core.events import PULL, PUSH, freeze, thaw
+from ..core.interface import Prim, SHARED, shared_prim
+from ..core.replay import VUNDEF, replay_shared
+
+SHARED_COPY = "shared"
+
+
+def local_copy(ctx: ExecutionContext) -> Dict[Any, Any]:
+    """The participant's private copies of pulled shared locations."""
+    return ctx.priv.setdefault(SHARED_COPY, {})
+
+
+def pull_spec(ctx: ExecutionContext, loc):
+    """``σpull`` (Fig. 8): query E, take ownership, load the local copy."""
+    yield from ctx.query()
+    cell = replay_shared(ctx.log, loc)  # raises Stuck on a racy prefix
+    if not cell.status.is_free:
+        raise Stuck(
+            f"data race: {ctx.tid}.pull({loc}) while {cell.status}"
+        )
+    ctx.emit(PULL, loc)
+    value = None if cell.value == VUNDEF else thaw(cell.value)
+    local_copy(ctx)[loc] = value
+    return value
+
+
+def push_spec(ctx: ExecutionContext, loc):
+    """``σpush`` (Fig. 8): publish the local copy, free ownership.
+
+    No query — push happens in critical state.
+    """
+    copies = local_copy(ctx)
+    if loc not in copies:
+        raise Stuck(f"{ctx.tid}.push({loc}) without a pulled local copy")
+    cell = replay_shared(ctx.log, loc)
+    if cell.status.owner != ctx.tid:
+        raise Stuck(
+            f"data race: {ctx.tid}.push({loc}) while {cell.status}"
+        )
+    value = freeze(copies.pop(loc))
+    ctx.emit(PUSH, loc, value)
+    return None
+    yield  # pragma: no cover - marks push_spec as a (non-querying) player
+
+
+def pull_prim(cycle_cost: int = 2) -> Prim:
+    return Prim(
+        PULL,
+        pull_spec,
+        kind=SHARED,
+        enters_critical=True,
+        cycle_cost=cycle_cost,
+        doc="acquire ownership of a shared location and load its value",
+    )
+
+
+def push_prim(cycle_cost: int = 2) -> Prim:
+    return Prim(
+        PUSH,
+        push_spec,
+        kind=SHARED,
+        exits_critical=True,
+        cycle_cost=cycle_cost,
+        doc="publish the local copy of a shared location and free it",
+    )
+
+
+def read_copy(ctx: ExecutionContext, loc) -> Any:
+    """Read the pulled local copy (private operation; no events)."""
+    copies = local_copy(ctx)
+    if loc not in copies:
+        raise Stuck(f"{ctx.tid} reads {loc} without ownership")
+    return copies[loc]
+
+
+def write_copy(ctx: ExecutionContext, loc, value) -> None:
+    """Write the pulled local copy (private operation; no events)."""
+    copies = local_copy(ctx)
+    if loc not in copies:
+        raise Stuck(f"{ctx.tid} writes {loc} without ownership")
+    copies[loc] = value

@@ -1,0 +1,33 @@
+"""The certified concurrent object stack of Fig. 1.
+
+Bottom up: ticket lock (:mod:`repro.objects.ticket_lock`), MCS lock
+(:mod:`repro.objects.mcs_lock`), the sequential queue library
+(:mod:`repro.objects.local_queue`), the lock-protected shared queue
+(:mod:`repro.objects.shared_queue`), the thread scheduler
+(:mod:`repro.objects.sched`), the queuing lock
+(:mod:`repro.objects.qlock`), condition variables
+(:mod:`repro.objects.condvar`) and synchronous IPC
+(:mod:`repro.objects.ipc`).
+"""
+
+from . import (
+    condvar,
+    ipc,
+    local_queue,
+    mcs_lock,
+    qlock,
+    sched,
+    shared_queue,
+    ticket_lock,
+)
+
+__all__ = [
+    "condvar",
+    "ipc",
+    "local_queue",
+    "mcs_lock",
+    "qlock",
+    "sched",
+    "shared_queue",
+    "ticket_lock",
+]

@@ -1,0 +1,323 @@
+"""The local (sequential) queue library (paper §4.2, Table 2).
+
+Queues are "implemented as doubly linked lists" over a node pool — the
+CertiKOS style, where thread queues link TCB-array entries by index
+rather than by pointer (the kernel has no allocator).  Node ids run from
+1 to ``capacity``; 0 is NIL.  A queue value is a dict::
+
+    {"head": nid, "tail": nid, "prev": [...], "next": [...]}
+
+with ``prev``/``next`` indexed by node id.
+
+The same mini-C code operates on any *place* — a private global array
+element for the local layer, the pulled copy of a shared block for the
+shared layer (``queue_functions`` is parameterized by the place builder).
+This is the reuse the paper reports in Table 2: "we also reuse the
+implementation and proof of the local (or sequential) queue library"
+when building the shared queue.
+
+The abstract specification of a queue is simply a Python list of node
+ids; :func:`linked_to_list` is the representation abstraction relating
+the two, and the data-refinement obligations (every operation commutes
+with the abstraction) are what the sequential layer check discharges —
+"the queue is represented as a logical list in the specification, while
+it is implemented as a doubly linked list" (§6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..clight.ast import (
+    Arr,
+    Assert,
+    Assign,
+    Binop,
+    Call,
+    CFunction,
+    Const,
+    Expr,
+    Fld,
+    Glob,
+    If,
+    Return,
+    Seq,
+    Shared,
+    Skip,
+    TranslationUnit,
+    Var,
+    While,
+    eq,
+    ne,
+)
+
+NIL = 0
+
+
+def new_queue(capacity: int) -> Dict[str, Any]:
+    """A fresh empty queue over a node pool of the given capacity."""
+    return {
+        "head": NIL,
+        "tail": NIL,
+        "prev": [NIL] * (capacity + 1),
+        "next": [NIL] * (capacity + 1),
+    }
+
+
+def linked_to_list(queue: Dict[str, Any]) -> List[int]:
+    """The representation abstraction: linked structure → logical list.
+
+    Walks the next-chain from the head; raises ``ValueError`` on a
+    malformed structure (cycle or broken back-links), which is how the
+    data-refinement tests detect representation-invariant violations.
+    """
+    out: List[int] = []
+    seen = set()
+    nid = queue["head"]
+    prev = NIL
+    while nid != NIL:
+        if nid in seen:
+            raise ValueError(f"cycle in queue at node {nid}")
+        seen.add(nid)
+        if queue["prev"][nid] != prev:
+            raise ValueError(
+                f"broken back-link at node {nid}: prev={queue['prev'][nid]}, "
+                f"expected {prev}"
+            )
+        out.append(nid)
+        prev = nid
+        nid = queue["next"][nid]
+    if queue["tail"] != (out[-1] if out else NIL):
+        raise ValueError(f"tail {queue['tail']} does not match walk {out}")
+    return out
+
+
+# --- the Python model (specification) ------------------------------------------
+
+
+def model_enq(queue: List[int], nid: int) -> List[int]:
+    return queue + [nid]
+
+
+def model_deq(queue: List[int]) -> tuple:
+    if not queue:
+        return NIL, queue
+    return queue[0], queue[1:]
+
+
+def model_rmv(queue: List[int], nid: int) -> List[int]:
+    return [n for n in queue if n != nid]
+
+
+# --- the mini-C implementation ---------------------------------------------------
+
+
+def queue_functions(place: Callable[[], Expr], suffix: str = "") -> List[CFunction]:
+    """The doubly-linked-list queue operations over an arbitrary place.
+
+    ``place()`` builds the expression for the queue struct (the functions
+    take the queue identifier as parameter ``q``; the place builder may
+    reference it).  Returns ``enQ_t``, ``deQ_t``, ``rmv_t`` and
+    ``inQ_t`` — the ``_t`` suffix marks the lock-free "trusted critical
+    section" forms of §4.2 (``deQ_t`` "performs the actual dequeue
+    operation over a local copy, under the assumption that the
+    corresponding lock is held").
+    """
+    Q = place
+
+    def head():
+        return Fld(Q(), "head")
+
+    def tail():
+        return Fld(Q(), "tail")
+
+    def nxt(of):
+        return Arr(Fld(Q(), "next"), of)
+
+    def prv(of):
+        return Arr(Fld(Q(), "prev"), of)
+
+    enq = CFunction(
+        f"enQ_t{suffix}",
+        ["q", "nid"],
+        Seq(
+            [
+                If(
+                    eq(tail(), Const(NIL)),
+                    Assign(head(), Var("nid")),
+                    Seq(
+                        [
+                            Assign(nxt(tail()), Var("nid")),
+                            Assign(prv(Var("nid")), tail()),
+                        ]
+                    ),
+                ),
+                Assign(nxt(Var("nid")), Const(NIL)),
+                Assign(tail(), Var("nid")),
+            ]
+        ),
+        doc="append a node at the tail (critical-section body)",
+    )
+
+    deq = CFunction(
+        f"deQ_t{suffix}",
+        ["q"],
+        Seq(
+            [
+                Assign(Var("nid"), head()),
+                If(
+                    ne(Var("nid"), Const(NIL)),
+                    Seq(
+                        [
+                            Assign(head(), nxt(Var("nid"))),
+                            If(
+                                eq(head(), Const(NIL)),
+                                Assign(tail(), Const(NIL)),
+                                Assign(prv(head()), Const(NIL)),
+                            ),
+                            Assign(nxt(Var("nid")), Const(NIL)),
+                            Assign(prv(Var("nid")), Const(NIL)),
+                        ]
+                    ),
+                ),
+                Return(Var("nid")),
+            ]
+        ),
+        doc="remove and return the head node, NIL when empty",
+    )
+
+    rmv = CFunction(
+        f"rmv_t{suffix}",
+        ["q", "nid"],
+        Seq(
+            [
+                If(
+                    eq(head(), Var("nid")),
+                    # Removing the head is a dequeue of this node.
+                    Seq(
+                        [
+                            Assign(head(), nxt(Var("nid"))),
+                            If(
+                                eq(head(), Const(NIL)),
+                                Assign(tail(), Const(NIL)),
+                                Assign(prv(head()), Const(NIL)),
+                            ),
+                        ]
+                    ),
+                    If(
+                        eq(tail(), Var("nid")),
+                        Seq(
+                            [
+                                Assign(tail(), prv(Var("nid"))),
+                                Assign(nxt(tail()), Const(NIL)),
+                            ]
+                        ),
+                        # Interior node: splice prev/next together.
+                        Seq(
+                            [
+                                Assign(nxt(prv(Var("nid"))), nxt(Var("nid"))),
+                                Assign(prv(nxt(Var("nid"))), prv(Var("nid"))),
+                            ]
+                        ),
+                    ),
+                ),
+                Assign(nxt(Var("nid")), Const(NIL)),
+                Assign(prv(Var("nid")), Const(NIL)),
+            ]
+        ),
+        doc="unlink a node from anywhere in the queue (used by wakeup)",
+    )
+
+    inq = CFunction(
+        f"inQ_t{suffix}",
+        ["q", "nid"],
+        Seq(
+            [
+                Assign(Var("cur"), head()),
+                Assign(Var("found"), Const(0)),
+                While(
+                    ne(Var("cur"), Const(NIL)),
+                    Seq(
+                        [
+                            If(eq(Var("cur"), Var("nid")), Assign(Var("found"), Const(1))),
+                            Assign(Var("cur"), nxt(Var("cur"))),
+                        ]
+                    ),
+                ),
+                Return(Var("found")),
+            ]
+        ),
+        doc="membership test (walks the next-chain)",
+    )
+    return [enq, deq, rmv, inq]
+
+
+def local_queue_unit(capacity: int = 8, num_queues: int = 4) -> TranslationUnit:
+    """The sequential queue library over a private global queue array.
+
+    ``tdqp`` — the thread-queue pool (the paper's abstract ``a.tdqp``) —
+    is a CPU-private global: a dict from queue index to queue struct.
+    """
+    unit = TranslationUnit("local_queue")
+    unit.globals["tdqp"] = lambda: {
+        q: new_queue(capacity) for q in range(num_queues)
+    }
+    for fn in queue_functions(lambda: Arr(Glob("tdqp"), Var("q"))):
+        unit.add(fn)
+    return unit
+
+
+def shared_queue_body_unit() -> TranslationUnit:
+    """The same queue code operating on a pulled shared block.
+
+    Reused verbatim by the shared-queue module (§4.2): the only
+    difference is the place the code operates on.
+    """
+    unit = TranslationUnit("shared_queue_body")
+    for fn in queue_functions(lambda: Shared(Var("q"))):
+        unit.add(fn)
+    return unit
+
+
+# --- reference interpreter-level implementations (for property tests) -----------
+
+
+def linked_enq(queue: Dict[str, Any], nid: int) -> None:
+    """Direct Python transliteration of ``enQ_t`` (differential testing)."""
+    if queue["tail"] == NIL:
+        queue["head"] = nid
+    else:
+        queue["next"][queue["tail"]] = nid
+        queue["prev"][nid] = queue["tail"]
+    queue["next"][nid] = NIL
+    queue["tail"] = nid
+
+
+def linked_deq(queue: Dict[str, Any]) -> int:
+    nid = queue["head"]
+    if nid != NIL:
+        queue["head"] = queue["next"][nid]
+        if queue["head"] == NIL:
+            queue["tail"] = NIL
+        else:
+            queue["prev"][queue["head"]] = NIL
+        queue["next"][nid] = NIL
+        queue["prev"][nid] = NIL
+    return nid
+
+
+def linked_rmv(queue: Dict[str, Any], nid: int) -> None:
+    if queue["head"] == nid:
+        queue["head"] = queue["next"][nid]
+        if queue["head"] == NIL:
+            queue["tail"] = NIL
+        else:
+            queue["prev"][queue["head"]] = NIL
+    elif queue["tail"] == nid:
+        queue["tail"] = queue["prev"][nid]
+        queue["next"][queue["tail"]] = NIL
+    elif queue["prev"][nid] != NIL or queue["next"][nid] != NIL:
+        queue["next"][queue["prev"][nid]] = queue["next"][nid]
+        queue["prev"][queue["next"][nid]] = queue["prev"][nid]
+    queue["next"][nid] = NIL
+    queue["prev"][nid] = NIL

@@ -1,0 +1,29 @@
+"""Multithreaded and thread-local layer interfaces (paper §5).
+
+Interface builders (:mod:`repro.threads.interface`), thread-local
+semantics and the yield-back termination check
+(:mod:`repro.threads.thread_local`), and multithreaded linking — Thm 5.1
+(:mod:`repro.threads.linking`).  Per-thread stack composition for the
+thread-safe compiler lives in :mod:`repro.compiler.memjoin` (§5.5).
+"""
+
+from .interface import (
+    ATOMIC_HIDE,
+    build_lbtd,
+    build_lhtd,
+    build_thread_underlay,
+    focus_threads,
+    initial_ready_log,
+)
+from .thread_local import yield_back_batches, yield_back_terminates
+from .stackmerge import StackMergeTracker, check_stack_merge
+from .linking import (
+    SCHED_EVENTS,
+    canonical_skeleton,
+    exiting,
+    check_multithreaded_linking,
+    enumerate_thread_games,
+    sched_projection,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

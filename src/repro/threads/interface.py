@@ -1,0 +1,144 @@
+"""Multithreaded layer interfaces ``L[c][Ta]`` (paper §5.2).
+
+"Let Tc denote the whole thread set running over CPU c.  Based upon
+L[c], we construct a multithreaded layer interface L[c][Ta] :=
+(L[c].L, L[c].R ∪ R^{Ta}, L[c].G|Ta), parameterized over a focused
+thread set Ta ⊆ Tc."
+
+This module assembles the full thread-layer tower used by the upper
+objects (queuing locks, condition variables, IPC):
+
+* :func:`build_thread_underlay` — the composition of the certified lower
+  stacks: atomic spinlocks (``L_lock``) + atomic shared queues
+  (``L_q_high``) over ``Lx86``.  In the paper this interface is *derived*
+  by ``Vcomp`` from the lock and queue certifications; here the same
+  interface value is produced directly and the derivation is exercised by
+  the Fig. 5 pipeline benchmarks.
+* :func:`build_lbtd` — ``Lbtd[c]``: scheduling primitives implemented
+  over the queues (queue traffic visible in the log).
+* :func:`build_lhtd` — ``Lhtd[c][Ta]``: the atomic scheduling overlay
+  (one event per scheduling primitive; queues hidden), with the focused
+  thread set expressed through rely/guarantee restriction exactly as in
+  the paper: relies extended with the thread context's validity,
+  guarantees restricted to the focused set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.interface import LayerInterface, Prim
+from ..core.machint import UINT32, IntWidth
+from ..core.rely_guarantee import Guarantee, Rely
+from ..machine.cpu_local import lx86_interface
+from ..objects.sched import CpuMap, sched_interface
+from ..objects.shared_queue import (
+    q_alloc_prim,
+    queue_atomic_interface,
+    queue_wellformed_inv,
+)
+from ..objects.ticket_lock import (
+    lock_atomic_interface,
+    lock_guarantee,
+    lock_rely,
+)
+
+ATOMIC_HIDE = ["fai", "aload", "astore", "cas", "swap", "pull", "push"]
+
+
+def initial_ready_log(cpus: CpuMap, init_current: Dict[int, int]):
+    """Boot-time log prefix: every non-running thread sits in its CPU's
+    ready queue (kernel thread spawn, modelled as initial enqueues)."""
+    from ..core.events import ENQ, Event
+    from ..objects.sched import rdq
+
+    events = []
+    for cpu in cpus.cpus:
+        for tid in cpus.threads_on(cpu):
+            if tid != init_current[cpu]:
+                events.append(Event(tid, ENQ, (rdq(cpu), tid)))
+    return tuple(events)
+
+
+def build_thread_underlay(
+    thread_domain: Iterable[int],
+    locks: Sequence[Any] = (),
+    queues: Sequence[Any] = (),
+    width: IntWidth = UINT32,
+    capacity: int = 64,
+    name: str = "L_lock+q",
+) -> LayerInterface:
+    """Atomic locks + atomic queues over ``Lx86`` — the §4 output.
+
+    The participant domain is the *thread* domain: at the multithreaded
+    layers every event is attributed to a thread (the per-CPU attribution
+    of the lower layers is recovered through the CPU map).
+    """
+    all_locks = list(locks)
+    rely = lock_rely(thread_domain, all_locks) if all_locks else Rely()
+    guar = lock_guarantee(thread_domain, all_locks) if all_locks else Guarantee()
+    base = lx86_interface(thread_domain, width=width, rely=rely, guar=guar)
+    layered = lock_atomic_interface(base, name=name, hide=ATOMIC_HIDE)
+    layered = layered.extend(name, [q_alloc_prim(capacity)])
+    layered = queue_atomic_interface(layered, name=name)
+    return layered
+
+
+def build_lbtd(
+    cpus: CpuMap,
+    init_current: Dict[int, int],
+    locks: Sequence[Any] = (),
+    name: str = "Lbtd",
+    capacity: int = 64,
+) -> LayerInterface:
+    """``Lbtd[c]``: scheduling primitives as queue-level implementations."""
+    underlay = build_thread_underlay(
+        sorted(cpus.assignment), locks=locks, capacity=capacity
+    )
+    underlay = underlay.with_init_log(initial_ready_log(cpus, init_current))
+    return sched_interface(
+        underlay, cpus, init_current, name=name, atomic=False
+    )
+
+
+def build_lhtd(
+    cpus: CpuMap,
+    init_current: Dict[int, int],
+    locks: Sequence[Any] = (),
+    name: str = "Lhtd",
+    capacity: int = 64,
+    hide_queues: bool = True,
+) -> LayerInterface:
+    """``Lhtd[c][Tc]``: the atomic scheduling overlay.
+
+    With ``hide_queues`` the shared-queue primitives disappear from the
+    interface — the scheduler abstraction owns them now; upper objects
+    interact with threads only through ``yield``/``sleep``/``wakeup``
+    (plus the still-exposed spinlocks, which the queuing lock needs).
+    """
+    underlay = build_thread_underlay(
+        sorted(cpus.assignment), locks=locks, capacity=capacity
+    )
+    hide = ["deQ", "enQ", "q_alloc"] if hide_queues else []
+    return sched_interface(
+        underlay, cpus, init_current, name=name, atomic=True, hide=hide
+    )
+
+
+def focus_threads(
+    interface: LayerInterface,
+    focused: Iterable[int],
+    thread_rely: Optional[Rely] = None,
+) -> LayerInterface:
+    """``L[c][Ta]``: restrict guarantees to ``Ta``, extend relies.
+
+    The primitive collection is unchanged (the paper keeps ``L[c].L``);
+    only the rely/guarantee pair moves: ``R ∪ R^{Ta}`` and ``G|Ta``.
+    """
+    focused = set(focused)
+    rely = interface.rely
+    if thread_rely is not None:
+        rely = rely.intersect(thread_rely)
+    return interface.with_rely(rely).with_guar(
+        interface.guar.restrict(focused)
+    )

@@ -1,0 +1,148 @@
+"""Per-thread stack composition (paper §5.5).
+
+"On top of the thread-local layer Lhtd[c][t], a function called within a
+thread will allocate its stack frame into the thread-private memory
+state, and conversely, a thread is never aware of any newer memory
+blocks allocated by other threads. ... in the thread composition proof,
+we need to account for all such stack frames."
+
+The solution the paper engineered: the extended ``yield``/``sleep``
+semantics "also allocates empty memory blocks as 'placeholders' for
+other threads' new stack frames during this yield/sleep", and the
+algebraic memory model (Fig. 12, :mod:`repro.compiler.memjoin`) then
+joins the per-thread memories into the single CPU-local memory.
+
+:func:`check_stack_merge` plays the scenario executably: several threads
+run assembly code (each allocating real frames in its private block
+memory); at every scheduling point the blocked threads receive
+placeholder blocks for the frames the running thread allocates; at every
+switch point the join ``m1 ⊛ m2 ⊛ ... ≃ m`` must be defined and satisfy
+the Fig. 12 axioms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..asm.semantics import ASM_MEM, asm_memory
+from ..compiler.memjoin import check_join, join, join_all
+from ..compiler.memmodel import Memory
+from ..core.certificate import Certificate
+from ..core.errors import Stuck
+
+
+class StackMergeTracker:
+    """Track per-thread memories through a simulated schedule.
+
+    Threads allocate frames only while running; on every switch, every
+    *other* thread's memory is lifted with placeholders for the blocks
+    the running thread created (the extended scheduling-primitive
+    semantics).  ``merged()`` computes the CPU-local memory and checks
+    the join at the same time.
+    """
+
+    def __init__(self, thread_ids: Sequence[int]):
+        self.memories: Dict[int, Memory] = {tid: Memory() for tid in thread_ids}
+        self.running: Optional[int] = None
+        self._nb_at_switch: Dict[int, int] = {tid: 0 for tid in thread_ids}
+
+    def switch_to(self, tid: int) -> None:
+        """Perform the placeholder bookkeeping of a thread switch."""
+        if tid not in self.memories:
+            raise Stuck(f"unknown thread {tid}")
+        previous = self.running
+        self.running = tid
+        # The paper's extended yield/sleep: the thread being resumed
+        # allocates empty placeholders for every block the others created
+        # since it last ran.
+        world_nb = max(m.nb() for m in self.memories.values())
+        mine = self.memories[tid]
+        if world_nb > mine.nb():
+            mine.liftnb(world_nb - mine.nb())
+
+    def memory_of(self, tid: int) -> Memory:
+        if self.running != tid:
+            raise Stuck(
+                f"thread {tid} touched memory while {self.running} runs"
+            )
+        return self.memories[tid]
+
+    def merged(self) -> Memory:
+        """The CPU-local memory: the N-way join of the thread memories."""
+        return join_all(list(self.memories.values()))
+
+
+def check_stack_merge(
+    thread_programs: Dict[int, Sequence[Tuple[str, Tuple[int, int]]]],
+    schedule: Sequence[int],
+    judgment: str = "per-thread stacks compose (§5.5)",
+) -> Certificate:
+    """Simulate frame allocation under a schedule and check every join.
+
+    ``thread_programs[tid]`` is a list of actions executed in schedule
+    order when ``tid`` runs: ``("alloc", (lo, hi))``, ``("store",
+    (offset, value))`` (into the last own frame), or ``("free", (k,
+    0))`` (free the ``k``-th own frame).  ``schedule`` is the switch
+    sequence; each entry runs the next action of that thread.
+    """
+    tracker = StackMergeTracker(sorted(thread_programs))
+    cursors = {tid: 0 for tid in thread_programs}
+    own_frames: Dict[int, List[int]] = {tid: [] for tid in thread_programs}
+    cert = Certificate(
+        judgment=judgment,
+        rule="StackMerge",
+        bounds={"threads": len(thread_programs), "schedule": len(schedule)},
+    )
+    for step, tid in enumerate(schedule):
+        tracker.switch_to(tid)
+        actions = thread_programs[tid]
+        if cursors[tid] >= len(actions):
+            continue
+        action, payload = actions[cursors[tid]]
+        cursors[tid] += 1
+        memory = tracker.memory_of(tid)
+        if action == "alloc":
+            lo, hi = payload
+            own_frames[tid].append(memory.alloc(lo, hi))
+        elif action == "store":
+            offset, value = payload
+            if own_frames[tid]:
+                memory.store(own_frames[tid][-1], offset, value)
+        elif action == "free":
+            index, _ = payload
+            if index < len(own_frames[tid]):
+                memory.free(own_frames[tid][index])
+        else:
+            raise Stuck(f"unknown stack action {action!r}")
+        # At every switch point the composition must be defined and
+        # correct (this is the content of the §5.5 construction).
+        try:
+            merged = tracker.merged()
+            defined = True
+        except Stuck as err:
+            defined = False
+            cert.add(f"join defined after step {step} ({tid}:{action})",
+                     False, err.reason)
+            continue
+        cert.add(f"join defined after step {step} ({tid}:{action})", True)
+        # Every thread's own frames are readable in the composite with
+        # their own contents (the Ld rule, end to end).
+        for owner, frames in own_frames.items():
+            mine = tracker.memories[owner]
+            for frame in frames:
+                block = mine.blocks.get(frame)
+                if block is None or block.empty:
+                    continue
+                for offset, value in block.data.items():
+                    if merged.load_opt(frame, offset) != value:
+                        cert.add(
+                            f"Ld preserved for thread {owner} frame {frame}",
+                            False,
+                            f"offset {offset}",
+                        )
+        # nb agreement (the Nb rule, N-way).
+        cert.add(
+            f"Nb after step {step}",
+            merged.nb() == max(m.nb() for m in tracker.memories.values()),
+        )
+    return cert

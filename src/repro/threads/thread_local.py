@@ -1,0 +1,101 @@
+"""Thread-local layer interfaces ``L[c][t]`` (paper §5.3).
+
+"If a multithreaded interface L[c][t] focuses only on a single thread t,
+yield and sleep primitives always switch to an unfocused thread and then
+repeatedly query E and E^t until yielding back to t. ... We call L[c][t]
+a 'thread-local' layer interface because scheduling primitives always
+end up switching back to the same thread; they ... effectively act as a
+'no-op', except that the shared log gets updated.  Thus, these
+scheduling primitives indeed satisfy C calling conventions."
+
+This is the interface the queuing lock (Fig. 11), condition variables
+and IPC are verified against: from thread ``t``'s point of view,
+``yield()`` and ``sleep(i, lk)`` are ordinary C function calls that
+return; the other threads' activity arrives as environment events during
+the call.
+
+:func:`yield_back_terminates` is the §5.3 termination check: "we can
+prove that this yielding back procedure in our system always terminates"
+given a fair software scheduler in which "every running thread gives up
+the CPU within a finite number of steps" — executably, the block loop
+must re-acquire control within ``fairness_bound`` environment queries
+under every generated environment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.certificate import Certificate
+from ..core.environment import ScriptedEnv
+from ..core.errors import OutOfFuel
+from ..core.events import Event, SLEEP, WAKEUP, YIELD
+from ..core.interface import LayerInterface
+from ..core.log import Log
+from ..core.machine import run_local
+from ..core.simulation import prim_player
+from ..objects.sched import CpuMap
+
+
+def yield_back_batches(
+    env_threads: Sequence[int],
+    me: int,
+    rounds: int = 1,
+) -> List[Tuple[Event, ...]]:
+    """Environment batches in which every other thread runs then yields.
+
+    The shape of a fair software scheduler's behaviour as seen from one
+    thread: after my ``yield``, each other thread gets the CPU and
+    eventually yields onward; the final yield targets me.
+    """
+    batch: List[Event] = []
+    order = list(env_threads)
+    for _ in range(rounds):
+        for index, tid in enumerate(order):
+            target = order[index + 1] if index + 1 < len(order) else me
+            batch.append(Event(tid, YIELD, (target,)))
+    return [tuple(batch)]
+
+
+def yield_back_terminates(
+    interface: LayerInterface,
+    tid: int,
+    env_threads: Sequence[int],
+    fairness_bound: int,
+    fuel: int = 2_000,
+    rounds: Iterable[int] = (1, 2, 3),
+) -> Certificate:
+    """Check the §5.3 claim: the yield-back loop terminates under
+    fairness.
+
+    For each round count, run ``yield`` locally with an environment in
+    which the other threads pass control around fairly; the call must
+    return within ``fairness_bound`` queries.
+    """
+    cert = Certificate(
+        judgment=f"yield-back terminates for thread {tid}",
+        rule="yield-back",
+        bounds={"fairness_bound": fairness_bound, "env_threads": list(env_threads)},
+    )
+    for count in rounds:
+        batches = yield_back_batches(env_threads, tid, count)
+        run = run_local(
+            interface,
+            tid,
+            prim_player(YIELD),
+            (),
+            env=ScriptedEnv(batches * (fairness_bound + 1)),
+            fuel=fuel,
+        )
+        cert.add(
+            f"yield returns under fair env (rounds={count})",
+            run.ok,
+            run.stuck or "",
+        )
+        cert.add(
+            f"yield-back within fairness bound (rounds={count})",
+            run.queries <= fairness_bound,
+            f"{run.queries} queries > {fairness_bound}",
+        )
+        cert.log_universe = cert.log_universe + (run.log,)
+    return cert

@@ -1,0 +1,35 @@
+"""Verifiers and property checkers.
+
+The C/asm verifiers (:mod:`repro.verify.verifiers`), the Herlihy–Wing
+linearizability checker (:mod:`repro.verify.linearizability`), progress
+checking (:mod:`repro.verify.progress`), and the code/effort inventory
+behind the Table 1 & 2 reproductions (:mod:`repro.verify.inventory`).
+"""
+
+from .linearizability import (
+    INV,
+    Operation,
+    RES,
+    check_linearizable,
+    fifo_queue_model,
+    history_of,
+    instrument,
+    lock_model,
+    register_model,
+)
+from .progress import (
+    check_starvation_freedom,
+    check_ticket_liveness_bound,
+    spin_iterations,
+)
+from .verifiers import verify_asm_function, verify_c_function, verify_c_module
+from .inventory import (
+    TABLE1_COMPONENTS,
+    TABLE2_OBJECTS,
+    c_source_lines,
+    module_loc,
+    table1_inventory,
+    table2_paper_rows,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

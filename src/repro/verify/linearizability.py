@@ -1,0 +1,176 @@
+"""A Herlihy–Wing linearizability checker.
+
+The paper grounds its atomic interfaces in linearizability: "Herlihy and
+Wing introduced linearizability as a key technique for building
+abstraction over concurrent objects ... linearizability is actually
+equivalent to a termination-insensitive version of the contextual
+refinement property" (§7).  The log-lift simulations establish contextual
+refinement directly; this module provides the classical check as an
+independent cross-validation: concurrent histories harvested from
+whole-machine games must be linearizable against the object's sequential
+model.
+
+Histories are sequences of invocation/response marker events that test
+players emit around each operation (:func:`instrument`); the checker
+(:func:`check_linearizable`) does the standard search for a legal
+sequential witness respecting real-time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.context import ExecutionContext
+from ..core.log import Log
+
+INV = "op_inv"
+RES = "op_res"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed operation in a history."""
+
+    tid: int
+    name: str
+    args: Tuple[Any, ...]
+    ret: Any
+    inv_index: int
+    res_index: int
+
+    def __repr__(self):
+        return (
+            f"{self.tid}.{self.name}{self.args}→{self.ret} "
+            f"[{self.inv_index},{self.res_index}]"
+        )
+
+
+def instrument(op_name: str, player_body: Callable) -> Callable:
+    """Wrap an operation player with invocation/response markers.
+
+    ``player_body(ctx, *args) -> ret`` is any player; the wrapper emits
+    ``op_inv`` before and ``op_res`` (carrying the result) after, so
+    game logs double as linearizability histories.
+    """
+
+    def player(ctx: ExecutionContext, *args):
+        ctx.emit(INV, op_name, *args)
+        ret = yield from player_body(ctx, *args)
+        ctx.emit(RES, op_name, ret=ret)
+        return ret
+
+    player.__name__ = f"linz_{op_name}"
+    return player
+
+
+def history_of(log: Log) -> List[Operation]:
+    """Extract the completed operations of a log (pending ops dropped)."""
+    pending: Dict[int, Tuple[str, Tuple[Any, ...], int]] = {}
+    operations: List[Operation] = []
+    for index, event in enumerate(log):
+        if event.name == INV:
+            pending[event.tid] = (event.args[0], tuple(event.args[1:]), index)
+        elif event.name == RES and event.tid in pending:
+            name, args, inv_index = pending.pop(event.tid)
+            operations.append(
+                Operation(event.tid, name, args, event.ret, inv_index, index)
+            )
+    return operations
+
+
+def check_linearizable(
+    operations: Sequence[Operation],
+    model_init: Callable[[], Any],
+    model_apply: Callable[[Any, Operation], Tuple[bool, Any]],
+) -> Optional[List[Operation]]:
+    """Search for a legal sequential witness (Herlihy–Wing).
+
+    ``model_apply(state, op) -> (legal, new_state)`` is the sequential
+    specification: whether ``op`` (with its recorded return value) is
+    legal in ``state``.  Returns a witness order, or ``None`` when the
+    history is not linearizable.
+
+    Real-time order: op A precedes op B iff A's response is before B's
+    invocation; the witness must respect it.  Complexity is exponential
+    in the number of overlapping operations — fine for the bounded
+    histories games produce.
+    """
+    operations = list(operations)
+
+    def precedes(a: Operation, b: Operation) -> bool:
+        return a.res_index < b.inv_index
+
+    def search(remaining: List[Operation], state: Any, acc: List[Operation]):
+        if not remaining:
+            return list(acc)
+        # Minimal ops: no other remaining op strictly precedes them.
+        for index, op in enumerate(remaining):
+            if any(precedes(other, op) for other in remaining if other is not op):
+                continue
+            legal, new_state = model_apply(state, op)
+            if not legal:
+                continue
+            acc.append(op)
+            rest = remaining[:index] + remaining[index + 1:]
+            witness = search(rest, new_state, acc)
+            if witness is not None:
+                return witness
+            acc.pop()
+        return None
+
+    return search(operations, model_init(), [])
+
+
+# --- standard sequential models -------------------------------------------------
+
+
+def fifo_queue_model():
+    """Sequential FIFO queue: ops ``enq(x)`` and ``deq() → x | NIL``."""
+
+    def init():
+        return ()
+
+    def apply(state: Tuple, op: Operation):
+        if op.name == "enq":
+            return True, state + (op.args[-1],)
+        if op.name == "deq":
+            if not state:
+                return op.ret in (0, None), state
+            return op.ret == state[0], state[1:]
+        return False, state
+
+    return init, apply
+
+
+def lock_model():
+    """Sequential mutual-exclusion lock: ``acq``/``rel`` strictly alternate
+    per holder."""
+
+    def init():
+        return None  # current holder
+
+    def apply(state, op: Operation):
+        if op.name == "acq":
+            return state is None, op.tid
+        if op.name == "rel":
+            return state == op.tid, None
+        return False, state
+
+    return init, apply
+
+
+def register_model(initial: Any = 0):
+    """Sequential read/write register."""
+
+    def init():
+        return initial
+
+    def apply(state, op: Operation):
+        if op.name == "write":
+            return True, op.args[-1]
+        if op.name == "read":
+            return op.ret == state, state
+        return False, state
+
+    return init, apply

@@ -1,0 +1,130 @@
+"""Progress properties: starvation freedom and termination bounds.
+
+"Certified concurrent layers enforce termination-sensitive contextual
+correctness ... every certified concurrent object satisfies not only a
+safety property (e.g., linearizability) but also a progress property
+(e.g., starvation-freedom)" (§1).
+
+Two executable forms:
+
+* :func:`check_starvation_freedom` — under every scheduler of a *fair*
+  family, every participant's whole program completes within a bound.
+* :func:`check_ticket_liveness_bound` — the paper's quantitative §4.1
+  claim: "the while-loop in acq terminates in ``n × m × #CPU`` steps",
+  where ``n`` is the rely's critical-section (release) bound and ``m``
+  the scheduler fairness bound.  We measure the actual number of spin
+  iterations (``aload`` events between a thread's ``fai`` and ``pull``)
+  across all fair schedules and compare against the formula.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.certificate import Certificate
+from ..core.interface import LayerInterface
+from ..core.log import Log
+from ..core.machine import GameScheduler, run_game, sample_game_logs
+from ..machine.hw_sched import fair_scheduler_family
+
+
+def check_starvation_freedom(
+    interface: LayerInterface,
+    players: Dict[int, Tuple[Callable, Tuple[Any, ...]]],
+    fairness_bound: int,
+    round_bound: int,
+    fuel: int = 50_000,
+    schedulers: Optional[Sequence[GameScheduler]] = None,
+    judgment: str = "starvation freedom",
+) -> Certificate:
+    """Every fair schedule completes every participant within the bound."""
+    if schedulers is None:
+        schedulers = fair_scheduler_family(sorted(players), fairness_bound)
+    results = sample_game_logs(
+        interface, players, schedulers, fuel=fuel, max_rounds=round_bound
+    )
+    cert = Certificate(
+        judgment=judgment,
+        rule="Progress",
+        bounds={
+            "fairness_bound": fairness_bound,
+            "round_bound": round_bound,
+            "schedulers": len(list(schedulers)),
+        },
+    )
+    for index, result in enumerate(results):
+        cert.add(
+            f"fair schedule {index} completes within {round_bound} rounds",
+            result.ok,
+            result.stuck or f"unfinished after {result.rounds} rounds",
+        )
+    cert.log_universe = tuple(r.log for r in results)
+    return cert
+
+
+def spin_iterations(log: Log, tid: int, lock: Any) -> List[int]:
+    """Spin counts of each of ``tid``'s ticket-lock acquisitions.
+
+    Counts the ``aload`` events between each of the thread's ``fai`` (on
+    the lock's t-cell) and the following ``pull``.
+    """
+    from ..machine.atomics import ALOAD, FAI
+    from ..objects.ticket_lock import t_cell
+
+    counts: List[int] = []
+    current: Optional[int] = None
+    for event in log:
+        if event.tid != tid:
+            continue
+        if event.name == FAI and event.args and event.args[0] == t_cell(lock):
+            current = 0
+        elif event.name == ALOAD and current is not None:
+            current += 1
+        elif event.name == "pull" and current is not None:
+            counts.append(current)
+            current = None
+    return counts
+
+
+def check_ticket_liveness_bound(
+    interface: LayerInterface,
+    players: Dict[int, Tuple[Callable, Tuple[Any, ...]]],
+    lock: Any,
+    release_bound: int,
+    fairness_bound: int,
+    fuel: int = 50_000,
+    round_bound: int = 2_000,
+) -> Certificate:
+    """§4.1: acq's spin loop terminates within ``n × m × #CPU`` steps.
+
+    Runs the system under the fair scheduler family and checks the
+    measured spin counts against the formula's step budget.
+    """
+    ncpu = len(players)
+    budget = release_bound * fairness_bound * ncpu
+    schedulers = fair_scheduler_family(sorted(players), fairness_bound)
+    results = sample_game_logs(
+        interface, players, schedulers, fuel=fuel, max_rounds=round_bound
+    )
+    cert = Certificate(
+        judgment=f"ticket acq terminates within n×m×#CPU = "
+        f"{release_bound}×{fairness_bound}×{ncpu} = {budget} steps",
+        rule="Progress",
+        bounds={"budget": budget, "schedulers": len(schedulers)},
+    )
+    worst = 0
+    for index, result in enumerate(results):
+        cert.add(
+            f"fair schedule {index} completes", result.ok,
+            result.stuck or f"unfinished after {result.rounds} rounds",
+        )
+        for tid in players:
+            for count in spin_iterations(result.log, tid, lock):
+                worst = max(worst, count)
+                cert.add(
+                    f"schedule {index}, thread {tid}: spin {count} ≤ {budget}",
+                    count <= budget,
+                )
+    cert.bounds["worst_observed_spin"] = worst
+    cert.log_universe = tuple(r.log for r in results)
+    return cert

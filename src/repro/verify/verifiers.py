@@ -1,0 +1,77 @@
+"""The C and assembly program verifiers (Fig. 2's verifier boxes).
+
+Thin, stable fronts over the simulation machinery: given a translation
+unit (C or asm), a layer interface, and the specification primitive in an
+overlay, discharge the ``Fun`` obligation ``LκM_{L[c]} ≤_R σ`` and return
+a certified layer.  These are the entry points a user reaches for when
+certifying their own objects; the lock/queue modules use the same
+machinery through their ``certify_*`` drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from ..asm.ast import AsmUnit
+from ..asm.semantics import asm_func_impl
+from ..clight.ast import TranslationUnit
+from ..clight.semantics import c_func_impl
+from ..core.calculus import fun_rule, module_rule
+from ..core.certificate import Certificate, CertifiedLayer
+from ..core.interface import LayerInterface
+from ..core.module import Module
+from ..core.relation import ID_REL, SimRel
+from ..core.simulation import Scenario, SimConfig
+
+
+def verify_c_function(
+    underlay: LayerInterface,
+    unit: TranslationUnit,
+    name: str,
+    overlay: LayerInterface,
+    tid: int,
+    config: SimConfig,
+    relation: SimRel = ID_REL,
+) -> CertifiedLayer:
+    """The C verifier: one function against its overlay specification."""
+    return fun_rule(
+        underlay, c_func_impl(unit, name), overlay, relation, tid, config
+    )
+
+
+def verify_asm_function(
+    underlay: LayerInterface,
+    unit: AsmUnit,
+    name: str,
+    overlay: LayerInterface,
+    tid: int,
+    config: SimConfig,
+    relation: SimRel = ID_REL,
+    width_bits: int = 32,
+) -> CertifiedLayer:
+    """The Asm verifier: one assembly function against its specification."""
+    return fun_rule(
+        underlay,
+        asm_func_impl(unit, name, width_bits),
+        overlay,
+        relation,
+        tid,
+        config,
+    )
+
+
+def verify_c_module(
+    underlay: LayerInterface,
+    unit: TranslationUnit,
+    names: Sequence[str],
+    overlay: LayerInterface,
+    tid: int,
+    scenarios: Sequence[Scenario],
+    relation: SimRel = ID_REL,
+) -> CertifiedLayer:
+    """The C verifier, module-at-a-time with protocol scenarios."""
+    module = Module(
+        {name: c_func_impl(unit, name) for name in names},
+        name=unit.name,
+    )
+    return module_rule(underlay, module, overlay, relation, tid, scenarios)

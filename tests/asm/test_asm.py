@@ -1,0 +1,188 @@
+"""The mini-x86 interpreter: registers, frames, control flow, prims."""
+
+import pytest
+
+from repro.asm import (
+    Alu,
+    AsmFunction,
+    AsmUnit,
+    Br,
+    Call,
+    EAX,
+    EBX,
+    Imm,
+    Jmp,
+    Label,
+    Load,
+    MakeTuple,
+    Mov,
+    Pop,
+    PrimCall,
+    Push,
+    Reg,
+    Ret,
+    Slot,
+    Store,
+    asm_memory,
+    asm_player,
+)
+from repro.core import LayerInterface, run_local, simple_event_prim
+from repro.machine import lx86_interface
+
+_EAX, _EBX = Reg(EAX), Reg(EBX)
+
+
+def run_asm(fn, args=(), unit=None, iface=None, fuel=5000):
+    unit = unit or AsmUnit("test")
+    unit.add(fn)
+    iface = iface or lx86_interface([1])
+    return run_local(iface, 1, asm_player(unit, fn.name), tuple(args), fuel=fuel)
+
+
+class TestBasics:
+    def test_mov_ret(self):
+        fn = AsmFunction("f", [], [Mov(_EAX, Imm(42)), Ret()])
+        assert run_asm(fn).ret == 42
+
+    def test_params_in_slots(self):
+        fn = AsmFunction("f", ["a", "b"], [
+            Mov(_EAX, Slot(0)),
+            Alu("+", _EAX, _EAX, Slot(1)),
+            Ret(),
+        ])
+        assert run_asm(fn, (3, 4)).ret == 7
+
+    def test_alu_wraps(self):
+        fn = AsmFunction("f", [], [
+            Alu("-", _EAX, Imm(0), Imm(1)),
+            Ret(),
+        ])
+        assert run_asm(fn).ret == 2**32 - 1
+
+    def test_push_pop(self):
+        fn = AsmFunction("f", [], [
+            Push(Imm(5)), Push(Imm(6)),
+            Pop(_EAX), Pop(_EBX),
+            Alu("-", _EAX, _EAX, _EBX),
+            Ret(),
+        ])
+        assert run_asm(fn).ret == 1
+
+    def test_branching(self):
+        fn = AsmFunction("abs_diff", ["a", "b"], [
+            Mov(_EAX, Slot(0)),
+            Alu("<", _EBX, Slot(0), Slot(1)),
+            Br(_EBX, "swap"),
+            Alu("-", _EAX, Slot(0), Slot(1)),
+            Ret(),
+            Label("swap"),
+            Alu("-", _EAX, Slot(1), Slot(0)),
+            Ret(),
+        ])
+        assert run_asm(fn, (7, 3)).ret == 4
+        assert run_asm(fn, (3, 7)).ret == 4
+
+    def test_loop(self):
+        fn = AsmFunction("sum", ["n"], [
+            Mov(Slot(1), Imm(0)),   # acc
+            Mov(Slot(2), Imm(0)),   # i
+            Label("loop"),
+            Alu("<", _EAX, Slot(2), Slot(0)),
+            Alu("==", _EAX, _EAX, Imm(0)),
+            Br(_EAX, "done"),
+            Alu("+", _EBX, Slot(1), Slot(2)),
+            Mov(Slot(1), _EBX),
+            Alu("+", _EBX, Slot(2), Imm(1)),
+            Mov(Slot(2), _EBX),
+            Jmp("loop"),
+            Label("done"),
+            Mov(_EAX, Slot(1)),
+            Ret(),
+        ])
+        assert run_asm(fn, (5,)).ret == 10
+
+    def test_mktuple(self):
+        fn = AsmFunction("f", ["b"], [
+            Push(Imm("cell")), Push(Slot(0)),
+            MakeTuple(_EAX, 2),
+            Ret(),
+        ])
+        assert run_asm(fn, (3,)).ret == ("cell", 3)
+
+    def test_undefined_label_sticks(self):
+        fn = AsmFunction("f", [], [Jmp("nowhere"), Ret()])
+        assert not run_asm(fn).ok
+
+    def test_fuel_bound(self):
+        fn = AsmFunction("f", [], [Label("x"), Jmp("x")])
+        run = run_asm(fn, fuel=100)
+        assert not run.ok and "fuel" in run.stuck
+
+
+class TestFramesAndMemory:
+    def test_frames_allocated_and_freed(self):
+        fn = AsmFunction("f", [], [Mov(_EAX, Imm(0)), Ret()])
+        run = run_asm(fn)
+        mem = asm_memory(run.ctx)
+        assert mem.nb() == 1            # one frame was allocated ...
+        assert mem.owned_blocks() == []  # ... and freed on return
+
+    def test_nested_calls_nest_frames(self):
+        unit = AsmUnit("u")
+        unit.add(AsmFunction("inner", ["x"], [
+            Alu("*", _EAX, Slot(0), Imm(2)), Ret(),
+        ]))
+        fn = AsmFunction("outer", ["x"], [
+            Push(Slot(0)),
+            Call("inner", 1),
+            Alu("+", _EAX, _EAX, Imm(1)),
+            Ret(),
+        ])
+        run = run_asm(fn, (10,), unit=unit)
+        assert run.ret == 21
+        assert asm_memory(run.ctx).nb() == 2
+
+    def test_load_store_through_pointer(self):
+        # ESP holds the frame pointer; store/load through it.
+        from repro.asm import ESP
+
+        fn = AsmFunction("f", [], [
+            Store(Reg(ESP), Imm(99), offset=5),
+            Load(_EAX, Reg(ESP), offset=5),
+            Ret(),
+        ])
+        assert run_asm(fn).ret == 99
+
+    def test_out_of_bounds_frame_access_sticks(self):
+        fn = AsmFunction("f", [], [Mov(_EAX, Slot(999)), Ret()],
+                         frame_size=4)
+        assert not run_asm(fn).ok
+
+
+class TestPrimCalls:
+    def test_prim_call_emits_event(self):
+        iface = LayerInterface("I", [1], {"f": simple_event_prim("f")})
+        fn = AsmFunction("g", [], [
+            Push(Imm(7)),
+            PrimCall("f", 1),
+            Ret(),
+        ])
+        run = run_asm(fn, iface=iface)
+        assert run.ok
+        assert run.log[0].args == (7,)
+
+    def test_fai_through_prim(self):
+        fn = AsmFunction("g", [], [
+            Push(Imm(("c", 0))),
+            PrimCall("fai", 1),
+            Push(Imm(("c", 0))),
+            PrimCall("fai", 1),
+            Ret(),
+        ])
+        run = run_asm(fn)
+        assert run.ret == 1  # second fai returns old value 1
+
+    def test_cycles_charged_per_instruction(self):
+        fn = AsmFunction("f", [], [Mov(_EAX, Imm(0))] * 10 + [Ret()])
+        run = run_asm(fn)
+        assert run.cycles >= 11

@@ -1,0 +1,257 @@
+"""The mini-C interpreter: expressions, statements, calls, places."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clight import (
+    Arr,
+    Assert,
+    Assign,
+    Binop,
+    Break,
+    Call,
+    CFunction,
+    Const,
+    Continue,
+    Fld,
+    Glob,
+    If,
+    Interp,
+    Return,
+    Seq,
+    Shared,
+    Skip,
+    TranslationUnit,
+    Tup,
+    Unop,
+    Var,
+    While,
+    c_player,
+    eq,
+    ne,
+    pretty_function,
+    pretty_unit,
+)
+from repro.core import LayerInterface, call_player, run_local, simple_event_prim
+from repro.machine import lx86_interface
+
+
+def run_c(fn, args=(), unit=None, iface=None, fuel=5000):
+    unit = unit or TranslationUnit("test")
+    unit.add(fn)
+    iface = iface or lx86_interface([1])
+    return run_local(iface, 1, c_player(unit, fn.name), tuple(args), fuel=fuel)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        fn = CFunction("f", ["a", "b"], Return(
+            Binop("+", Binop("*", Var("a"), Const(3)), Var("b"))
+        ))
+        assert run_c(fn, (4, 5)).ret == 17
+
+    def test_wraparound(self):
+        unit = TranslationUnit("w", width_bits=8)
+        fn = CFunction("f", ["a"], Return(Binop("+", Var("a"), Const(1))))
+        assert run_c(fn, (255,), unit=unit).ret == 0
+
+    def test_comparisons(self):
+        fn = CFunction("f", ["a", "b"], Return(Binop("<", Var("a"), Var("b"))))
+        assert run_c(fn, (1, 2)).ret == 1
+        assert run_c(fn, (2, 1)).ret == 0
+
+    def test_unops(self):
+        fn = CFunction("f", ["a"], Return(Unop("!", Var("a"))))
+        assert run_c(fn, (0,)).ret == 1
+        assert run_c(fn, (5,)).ret == 0
+
+    def test_division_by_zero_sticks(self):
+        fn = CFunction("f", ["a"], Return(Binop("/", Const(1), Var("a"))))
+        assert not run_c(fn, (0,)).ok
+
+    def test_short_circuit_and(self):
+        # (a != 0) && (1/a > 0): safe when a == 0 thanks to &&.
+        fn = CFunction(
+            "f", ["a"],
+            Return(Binop("&&", ne(Var("a"), Const(0)),
+                         Binop(">", Binop("/", Const(10), Var("a")), Const(0)))),
+        )
+        assert run_c(fn, (0,)).ret == 0
+        assert run_c(fn, (2,)).ret == 1
+
+    def test_tuple_formation(self):
+        fn = CFunction("f", ["b"], Return(Tup([Const("cell"), Var("b")])))
+        assert run_c(fn, (3,)).ret == ("cell", 3)
+
+    def test_undefined_local_sticks(self):
+        fn = CFunction("f", [], Return(Var("nope")))
+        assert not run_c(fn).ok
+
+
+class TestStatements:
+    def test_while_loop(self):
+        fn = CFunction("f", ["n"], Seq([
+            Assign(Var("acc"), Const(0)),
+            Assign(Var("i"), Const(0)),
+            While(Binop("<", Var("i"), Var("n")), Seq([
+                Assign(Var("acc"), Binop("+", Var("acc"), Var("i"))),
+                Assign(Var("i"), Binop("+", Var("i"), Const(1))),
+            ])),
+            Return(Var("acc")),
+        ]))
+        assert run_c(fn, (5,)).ret == 10
+
+    def test_break_continue(self):
+        fn = CFunction("f", [], Seq([
+            Assign(Var("i"), Const(0)),
+            Assign(Var("acc"), Const(0)),
+            While(Const(1), Seq([
+                Assign(Var("i"), Binop("+", Var("i"), Const(1))),
+                If(Binop(">", Var("i"), Const(10)), Break()),
+                If(eq(Binop("%", Var("i"), Const(2)), Const(0)), Continue()),
+                Assign(Var("acc"), Binop("+", Var("acc"), Var("i"))),
+            ])),
+            Return(Var("acc")),
+        ]))
+        assert run_c(fn).ret == 25  # 1+3+5+7+9
+
+    def test_if_else(self):
+        fn = CFunction("f", ["a"], If(
+            Binop(">", Var("a"), Const(0)), Return(Const(1)), Return(Const(2)),
+        ))
+        assert run_c(fn, (5,)).ret == 1
+        assert run_c(fn, (0,)).ret == 2
+
+    def test_void_function_returns_none(self):
+        fn = CFunction("f", [], Assign(Var("x"), Const(1)))
+        assert run_c(fn).ret is None
+
+    def test_assert_failure_sticks(self):
+        fn = CFunction("f", ["a"], Assert(eq(Var("a"), Const(1)), "a must be 1"))
+        assert run_c(fn, (1,)).ok
+        assert not run_c(fn, (2,)).ok
+
+    def test_infinite_loop_exhausts_fuel(self):
+        fn = CFunction("f", [], While(Const(1), Skip()))
+        run = run_c(fn, fuel=200)
+        assert not run.ok and "fuel" in run.stuck
+
+
+class TestCallsAndPrims:
+    def test_intra_unit_call(self):
+        unit = TranslationUnit("u")
+        unit.add(CFunction("double", ["x"], Return(Binop("*", Var("x"), Const(2)))))
+        fn = CFunction("f", ["x"], Seq([
+            Call(Var("y"), "double", [Var("x")]),
+            Call(Var("z"), "double", [Var("y")]),
+            Return(Var("z")),
+        ]))
+        assert run_c(fn, (3,), unit=unit).ret == 12
+
+    def test_recursion(self):
+        unit = TranslationUnit("u")
+        fact = CFunction("fact", ["n"], If(
+            eq(Var("n"), Const(0)),
+            Return(Const(1)),
+            Seq([
+                Call(Var("r"), "fact", [Binop("-", Var("n"), Const(1))]),
+                Return(Binop("*", Var("n"), Var("r"))),
+            ]),
+        ))
+        assert run_c(fact, (6,), unit=unit).ret == 720
+
+    def test_primitive_call_emits_events(self):
+        iface = LayerInterface("I", [1], {"f": simple_event_prim("f")})
+        fn = CFunction("g", [], Seq([Call(None, "f", [Const(7)])]))
+        run = run_c(fn, iface=iface)
+        assert run.log[0].name == "f"
+        assert run.log[0].args == (7,)
+
+    def test_wrong_arity_sticks(self):
+        unit = TranslationUnit("u")
+        unit.add(CFunction("one", ["x"], Return(Var("x"))))
+        fn = CFunction("f", [], Seq([Call(Var("r"), "one", [])]))
+        assert not run_c(fn, unit=unit).ok
+
+
+class TestPlaces:
+    def test_globals_per_participant(self):
+        unit = TranslationUnit("u")
+        unit.globals["counter"] = lambda: {"n": 0}
+        fn = CFunction("f", [], Seq([
+            Assign(Fld(Glob("counter"), "n"),
+                   Binop("+", Fld(Glob("counter"), "n"), Const(1))),
+            Return(Fld(Glob("counter"), "n")),
+        ]))
+        unit.add(fn)
+        iface = lx86_interface([1, 2])
+        run1 = run_local(iface, 1, c_player(unit, "f"))
+        assert run1.ret == 1
+        # A different participant gets its own globals.
+        run2 = run_local(iface, 2, c_player(unit, "f"))
+        assert run2.ret == 1
+
+    def test_array_fields(self):
+        unit = TranslationUnit("u")
+        unit.globals["arr"] = lambda: [{"v": 0} for _ in range(4)]
+        fn = CFunction("f", ["i"], Seq([
+            Assign(Fld(Arr(Glob("arr"), Var("i")), "v"), Const(9)),
+            Return(Fld(Arr(Glob("arr"), Var("i")), "v")),
+        ]))
+        unit.add(fn)
+        assert run_c(fn, (2,), unit=unit).ret == 9
+
+    def test_out_of_bounds_sticks(self):
+        unit = TranslationUnit("u")
+        unit.globals["arr"] = lambda: [0, 0]
+        fn = CFunction("f", [], Return(Arr(Glob("arr"), Const(7))))
+        assert not run_c(fn, unit=unit).ok
+
+    def test_shared_requires_pull(self):
+        fn = CFunction("f", ["b"], Return(Shared(Var("b"))))
+        assert not run_c(fn, ("blk",)).ok
+
+    def test_shared_after_pull(self):
+        fn = CFunction("f", ["b"], Seq([
+            Call(None, "pull", [Var("b")]),
+            Assign(Shared(Var("b")), Const(5)),
+            Assign(Var("v"), Shared(Var("b"))),
+            Call(None, "push", [Var("b")]),
+            Return(Var("v")),
+        ]))
+        assert run_c(fn, ("blk",)).ret == 5
+
+
+class TestPretty:
+    def test_pretty_function_renders(self):
+        fn = CFunction("f", ["a"], Seq([
+            If(eq(Var("a"), Const(0)), Return(Const(1))),
+            While(Const(1), Break()),
+            Return(Var("a")),
+        ]), doc="demo")
+        text = pretty_function(fn)
+        assert "void f(uint a)" in text
+        assert "while" in text and "if" in text
+
+    def test_pretty_unit(self):
+        unit = TranslationUnit("u", width_bits=16)
+        unit.add(CFunction("f", [], Return(Const(0))))
+        text = pretty_unit(unit)
+        assert "uint16" in text and "void f()" in text
+
+    def test_source_lines_counts(self):
+        unit = TranslationUnit("u")
+        unit.add(CFunction("f", [], Return(Const(0))))
+        assert unit.source_lines() > 0
+
+
+@given(st.integers(0, 50), st.integers(0, 50))
+def test_c_arith_matches_python(a, b):
+    fn = CFunction("f", ["a", "b"], Return(
+        Binop("+", Binop("*", Var("a"), Var("b")), Binop("-", Var("a"), Var("b")))
+    ))
+    unit = TranslationUnit("t")
+    unit.add(fn)
+    iface = lx86_interface([1])
+    run = run_local(iface, 1, c_player(unit, "f"), (a, b))
+    assert run.ret == (a * b + a - b) % 2**32

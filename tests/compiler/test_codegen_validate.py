@@ -1,0 +1,177 @@
+"""CompCertX analog: codegen correctness and translation validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clight import (
+    Assign,
+    Binop,
+    Break,
+    Call,
+    CFunction,
+    Const,
+    Glob,
+    If,
+    Return,
+    Seq,
+    TranslationUnit,
+    Tup,
+    Var,
+    While,
+    c_player,
+    eq,
+    ne,
+)
+from repro.asm import asm_player
+from repro.compiler import CompileError, compile_function, compile_unit, compile_and_validate
+from repro.core import run_local
+from repro.core.simulation import SimConfig
+from repro.machine import lx86_interface
+
+
+def roundtrip(fn, args=(), unit=None, iface=None):
+    """Run the C and the compiled version; both results."""
+    unit = unit or TranslationUnit("t")
+    unit.add(fn)
+    iface = iface or lx86_interface([1])
+    asm_unit = compile_unit(unit)
+    c_run = run_local(iface, 1, c_player(unit, fn.name), tuple(args))
+    a_run = run_local(iface, 1, asm_player(asm_unit, fn.name), tuple(args))
+    return c_run, a_run
+
+
+class TestCodegen:
+    def test_arithmetic_agrees(self):
+        fn = CFunction("f", ["a", "b"], Return(
+            Binop("-", Binop("*", Var("a"), Const(7)), Var("b"))
+        ))
+        c_run, a_run = roundtrip(fn, (6, 5))
+        assert c_run.ret == a_run.ret == 37
+
+    def test_control_flow_agrees(self):
+        fn = CFunction("f", ["n"], Seq([
+            Assign(Var("acc"), Const(0)),
+            Assign(Var("i"), Const(0)),
+            While(Binop("<", Var("i"), Var("n")), Seq([
+                If(eq(Binop("%", Var("i"), Const(2)), Const(0)),
+                   Assign(Var("acc"), Binop("+", Var("acc"), Var("i")))),
+                Assign(Var("i"), Binop("+", Var("i"), Const(1))),
+            ])),
+            Return(Var("acc")),
+        ]))
+        c_run, a_run = roundtrip(fn, (10,))
+        assert c_run.ret == a_run.ret == 20
+
+    def test_break_and_early_return(self):
+        fn = CFunction("f", ["n"], Seq([
+            Assign(Var("i"), Const(0)),
+            While(Const(1), Seq([
+                If(eq(Var("i"), Var("n")), Break()),
+                If(Binop(">", Var("i"), Const(100)), Return(Const(999))),
+                Assign(Var("i"), Binop("+", Var("i"), Const(1))),
+            ])),
+            Return(Var("i")),
+        ]))
+        c_run, a_run = roundtrip(fn, (7,))
+        assert c_run.ret == a_run.ret == 7
+
+    def test_prim_calls_emit_same_events(self):
+        fn = CFunction("f", ["b"], Seq([
+            Call(Var("t"), "fai", [Tup([Const("c"), Var("b")])]),
+            Call(Var("u"), "fai", [Tup([Const("c"), Var("b")])]),
+            Return(Binop("+", Var("t"), Var("u"))),
+        ]))
+        c_run, a_run = roundtrip(fn, (0,))
+        assert c_run.ret == a_run.ret == 1
+        assert c_run.log == a_run.log
+
+    def test_intra_unit_calls(self):
+        unit = TranslationUnit("u")
+        unit.add(CFunction("sq", ["x"], Return(Binop("*", Var("x"), Var("x")))))
+        fn = CFunction("f", ["x"], Seq([
+            Call(Var("a"), "sq", [Var("x")]),
+            Call(Var("b"), "sq", [Var("a")]),
+            Return(Var("b")),
+        ]))
+        c_run, a_run = roundtrip(fn, (3,), unit=unit)
+        assert c_run.ret == a_run.ret == 81
+
+    def test_structured_places_rejected(self):
+        fn = CFunction("f", [], Return(Glob("g")))
+        unit = TranslationUnit("t")
+        unit.add(fn)
+        with pytest.raises(CompileError):
+            compile_function(fn, unit)
+
+    def test_skip_uncompilable(self):
+        unit = TranslationUnit("t")
+        unit.add(CFunction("good", ["x"], Return(Var("x"))))
+        unit.add(CFunction("bad", [], Return(Glob("g"))))
+        asm_unit = compile_unit(unit, skip_uncompilable=True)
+        assert "good" in asm_unit.functions
+        assert "bad" not in asm_unit.functions
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 6))
+    def test_random_arithmetic_roundtrip(self, a, b, n):
+        fn = CFunction("f", ["a", "b", "n"], Seq([
+            Assign(Var("acc"), Binop("+", Var("a"), Var("b"))),
+            Assign(Var("i"), Const(0)),
+            While(Binop("<", Var("i"), Var("n")), Seq([
+                Assign(Var("acc"), Binop("*", Var("acc"), Const(3))),
+                Assign(Var("i"), Binop("+", Var("i"), Const(1))),
+            ])),
+            Return(Var("acc")),
+        ]))
+        c_run, a_run = roundtrip(fn, (a, b, n))
+        assert c_run.ret == a_run.ret
+
+
+class TestValidation:
+    def test_ticket_lock_validates(self):
+        from repro.objects.ticket_lock import (
+            lock_guarantee,
+            lock_rely,
+            low_env_alphabet,
+            ticket_lock_unit,
+        )
+
+        D, lock = [1, 2], "q0"
+        base = lx86_interface(
+            D, rely=lock_rely(D, [lock]), guar=lock_guarantee(D, [lock])
+        )
+        cfg = SimConfig(
+            env_alphabet=low_env_alphabet([2], [lock]), env_depth=1, fuel=500
+        )
+        scenarios = [
+            ("acq", [("acq", (lock,))], cfg),
+            ("acq_rel", [("acq", (lock,)), ("rel", (lock,))], cfg),
+        ]
+        asm_unit, cert = compile_and_validate(
+            base, ticket_lock_unit(), 1, scenarios
+        )
+        assert cert.ok
+        assert set(asm_unit.functions) == {"acq", "rel"}
+
+    def test_miscompilation_detected(self):
+        """A deliberately wrong 'compiler output' fails validation."""
+        from repro.compiler.validate import validate_function
+        from repro.asm import AsmFunction, AsmUnit, Imm, Mov, Reg, Ret, EAX
+
+        unit = TranslationUnit("t")
+        unit.add(CFunction("f", ["x"], Return(Binop("+", Var("x"), Const(1)))))
+        bad_asm = AsmUnit("bad")
+        bad_asm.add(AsmFunction("f", ["x"], [Mov(Reg(EAX), Imm(0)), Ret()]))
+        iface = lx86_interface([1])
+        cert = validate_function(
+            iface, unit, bad_asm, "f", 1,
+            SimConfig(env_alphabet=[()], env_depth=0, args_list=((5,),)),
+        )
+        assert not cert.ok
+
+    def test_uncovered_function_flagged(self):
+        unit = TranslationUnit("t")
+        unit.add(CFunction("f", ["x"], Return(Var("x"))))
+        iface = lx86_interface([1])
+        _asm, cert = compile_and_validate(iface, unit, 1, scenarios=[])
+        assert not cert.ok

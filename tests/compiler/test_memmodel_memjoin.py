@@ -1,0 +1,226 @@
+"""The block memory model and the Fig. 12 algebraic memory model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    Memory,
+    check_join,
+    extends,
+    join,
+    join_all,
+    rule_alloc,
+    rule_comm,
+    rule_ld,
+    rule_lift_l,
+    rule_lift_r,
+    rule_nb,
+    rule_st,
+)
+from repro.core import Stuck
+
+
+class TestMemory:
+    def test_alloc_load_store(self):
+        mem = Memory()
+        bid = mem.alloc(0, 8)
+        mem.store(bid, 3, "v")
+        assert mem.load(bid, 3) == "v"
+
+    def test_nb_counts_allocations(self):
+        mem = Memory()
+        mem.alloc(0, 4)
+        mem.alloc(0, 4)
+        mem.alloc_empty()
+        assert mem.nb() == 3
+
+    def test_free_drops_permissions(self):
+        mem = Memory()
+        bid = mem.alloc(0, 4)
+        mem.store(bid, 0, 1)
+        mem.free(bid)
+        with pytest.raises(Stuck):
+            mem.load(bid, 0)
+
+    def test_empty_block_inaccessible(self):
+        mem = Memory()
+        bid = mem.alloc_empty()
+        with pytest.raises(Stuck):
+            mem.store(bid, 0, 1)
+
+    def test_bounds_checked(self):
+        mem = Memory()
+        bid = mem.alloc(0, 4)
+        with pytest.raises(Stuck):
+            mem.store(bid, 9, 1)
+
+    def test_undefined_load(self):
+        mem = Memory()
+        bid = mem.alloc(0, 4)
+        assert mem.load_opt(bid, 0) is None
+
+    def test_liftnb(self):
+        mem = Memory()
+        mem.liftnb(3)
+        assert mem.nb() == 3
+        assert mem.owned_blocks() == []
+
+    def test_snapshot_independent(self):
+        mem = Memory()
+        bid = mem.alloc(0, 4)
+        snap = mem.snapshot()
+        mem.store(bid, 0, 1)
+        assert snap.load_opt(bid, 0) is None
+
+    def test_equality(self):
+        a, b = Memory(), Memory()
+        a.alloc(0, 4)
+        b.alloc(0, 4)
+        assert a == b
+        a.store(1, 0, 5)
+        assert a != b
+
+    def test_extends(self):
+        small = Memory()
+        bid = small.alloc(0, 4)
+        small.store(bid, 0, 7)
+        big = small.snapshot()
+        big.alloc(0, 4)
+        assert extends(small, big)
+        assert not extends(big, small)
+
+
+def two_thread_memories():
+    """m1 owns block 1, placeholder for 2; m2 symmetric."""
+    m1, m2 = Memory(), Memory()
+    b1 = m1.alloc(0, 8)
+    m1.store(b1, 0, "one")
+    m1.liftnb(1)  # placeholder for m2's block
+    m2.liftnb(1)  # placeholder for m1's block
+    b2 = m2.alloc(0, 8)
+    m2.store(b2, 0, "two")
+    return m1, m2
+
+
+class TestJoin:
+    def test_join_disjoint(self):
+        m1, m2 = two_thread_memories()
+        m = join(m1, m2)
+        assert check_join(m1, m2, m)
+        assert m.load(1, 0) == "one"
+        assert m.load(2, 0) == "two"
+        assert m.nb() == 2
+
+    def test_join_conflict_rejected(self):
+        m1, m2 = Memory(), Memory()
+        m1.alloc(0, 4)
+        m2.alloc(0, 4)
+        with pytest.raises(Stuck):
+            join(m1, m2)
+
+    def test_check_join_rejects_tampered(self):
+        m1, m2 = two_thread_memories()
+        m = join(m1, m2)
+        m.store(1, 1, "tampered")
+        assert not check_join(m1, m2, m)
+
+    def test_join_all_three_threads(self):
+        mems = [Memory() for _ in range(3)]
+        for index, mem in enumerate(mems):
+            mem.liftnb(index)          # placeholders for earlier threads
+            bid = mem.alloc(0, 4)
+            mem.store(bid, 0, index)
+            for later in mems[index + 1:]:
+                pass
+        # Backfill placeholders so ids align.
+        for index, mem in enumerate(mems):
+            mem.liftnb(len(mems) - 1 - index)
+        merged = join_all(mems)
+        for index in range(3):
+            assert merged.load(index + 1, 0) == index
+
+    def test_join_empty_list(self):
+        assert join_all([]).nb() == 0
+
+
+class TestFig12Rules:
+    def test_nb(self):
+        m1, m2 = two_thread_memories()
+        assert rule_nb(m1, m2, join(m1, m2))
+
+    def test_comm(self):
+        m1, m2 = two_thread_memories()
+        assert rule_comm(m1, m2, join(m1, m2))
+
+    def test_ld(self):
+        m1, m2 = two_thread_memories()
+        m = join(m1, m2)
+        assert rule_ld(m1, m2, m, 2, 0)
+        assert rule_ld(m2, m1, m, 1, 0)
+
+    def test_st(self):
+        m1, m2 = two_thread_memories()
+        m = join(m1, m2)
+        assert rule_st(m1, m2, m, 2, 1, "new")
+
+    def test_alloc(self):
+        m1, m2 = two_thread_memories()
+        m = join(m1, m2)
+        assert rule_alloc(m1, m2, m, 0, 16)
+
+    def test_lift_r(self):
+        m1, m2 = two_thread_memories()
+        m = join(m1, m2)
+        assert rule_lift_r(m1, m2, m, 3)
+
+    def test_lift_l(self):
+        m1, m2 = two_thread_memories()
+        m = join(m1, m2)
+        for n in (0, 1, 2, 5):
+            assert rule_lift_l(m1, m2, m, n)
+
+
+# --- property tests: random thread histories satisfy every axiom -----------
+
+
+@st.composite
+def thread_pair(draw):
+    """Two memories built by an interleaved alloc/placeholder history."""
+    m1, m2 = Memory(), Memory()
+    owners = draw(st.lists(st.sampled_from([1, 2]), min_size=0, max_size=8))
+    for owner in owners:
+        mine, other = (m1, m2) if owner == 1 else (m2, m1)
+        bid = mine.alloc(0, 4)
+        mine.store(bid, 0, f"v{bid}-{owner}")
+        other.liftnb(1)
+    return m1, m2
+
+
+@settings(max_examples=60)
+@given(thread_pair())
+def test_join_always_defined_for_histories(pair):
+    m1, m2 = pair
+    m = join(m1, m2)
+    assert check_join(m1, m2, m)
+
+
+@settings(max_examples=60)
+@given(thread_pair(), st.integers(1, 8), st.integers(0, 3))
+def test_rules_hold_on_random_histories(pair, bid, offset):
+    m1, m2 = pair
+    m = join(m1, m2)
+    assert rule_nb(m1, m2, m)
+    assert rule_comm(m1, m2, m)
+    assert rule_ld(m1, m2, m, bid, offset)
+    assert rule_ld(m2, m1, m, bid, offset)
+    assert rule_st(m1, m2, m, bid, offset, "x")
+    assert rule_alloc(m1, m2, m, 0, 4)
+    assert rule_lift_r(m1, m2, m, 2)
+    assert rule_lift_l(m1, m2, m, 2)
+
+
+@settings(max_examples=40)
+@given(thread_pair())
+def test_join_commutative_value(pair):
+    m1, m2 = pair
+    assert join(m1, m2) == join(m2, m1)

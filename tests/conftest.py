@@ -1,0 +1,59 @@
+"""Shared fixtures for the CCAL reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Event,
+    Guarantee,
+    LayerInterface,
+    Rely,
+    shared_prim,
+    simple_event_prim,
+)
+from repro.machine import lx86_interface
+from repro.objects.sched import CpuMap
+from repro.objects.ticket_lock import lock_guarantee, lock_rely
+
+
+DOMAIN = [1, 2]
+LOCK = "q0"
+
+
+@pytest.fixture
+def lock_base():
+    """``Lx86`` over two CPUs with the ticket-lock rely/guarantee."""
+    return lx86_interface(
+        DOMAIN,
+        rely=lock_rely(DOMAIN, [LOCK]),
+        guar=lock_guarantee(DOMAIN, [LOCK]),
+    )
+
+
+@pytest.fixture
+def plain_base():
+    """``Lx86`` over two CPUs with trivial rely/guarantee."""
+    return lx86_interface(DOMAIN)
+
+
+@pytest.fixture
+def toy_interface():
+    """A tiny interface with one shared event primitive ``ping``."""
+    return LayerInterface(
+        "Toy",
+        DOMAIN,
+        {"ping": simple_event_prim("ping")},
+    )
+
+
+@pytest.fixture
+def single_cpu_threads():
+    """Three threads on one CPU, thread 1 running."""
+    return CpuMap({1: 0, 2: 0, 3: 0}), {0: 1}
+
+
+@pytest.fixture
+def dual_cpu_threads():
+    """Two threads on each of two CPUs."""
+    return CpuMap({1: 0, 2: 0, 3: 1, 4: 1}), {0: 1, 1: 3}

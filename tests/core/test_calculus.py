@@ -1,0 +1,303 @@
+"""The Fig. 9 layer calculus: every rule, positive and negative cases."""
+
+import pytest
+
+from repro.core import (
+    Certificate,
+    CertifiedLayer,
+    ComposeError,
+    Event,
+    EventMapRel,
+    FuncImpl,
+    ID_REL,
+    LayerInterface,
+    Module,
+    SimConfig,
+    VerificationError,
+    check_compat_interfaces,
+    empty_rule,
+    fun_rule,
+    hcomp,
+    interface_sim_rule,
+    module_rule,
+    pcomp,
+    pcomp_all,
+    prim_player,
+    shared_prim,
+    vcomp,
+    weaken,
+)
+from repro.core.log import Log
+from repro.core.rely_guarantee import FALSE_INV, Guarantee, Rely, TRUE_INV
+from repro.core.simulation import Scenario
+
+
+def bump_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump") + 1
+    ctx.emit("bump", ret=count)
+    return count
+
+
+def bump2_spec(ctx):
+    """The abstract 'double bump' primitive: two events atomically."""
+    yield from ctx.query()
+    count = ctx.log.count("bump")
+    ctx.emit("bump", ret=count + 1)
+    ctx.emit("bump", ret=count + 2)
+    return None
+
+
+def base_iface(domain=(1, 2)):
+    return LayerInterface(
+        "L0", domain, {"bump": shared_prim("bump", bump_spec)}
+    )
+
+
+def bump2_impl(ctx):
+    # The pair must be uninterruptible for bump2 to be atomic: after the
+    # first bump's query point the implementation enters critical state,
+    # so the second bump emits adjacently (no interleaving between them).
+    yield from ctx.call("bump")
+    ctx.enter_critical()
+    yield from ctx.call("bump")
+    ctx.exit_critical()
+    return None
+
+
+def certify_bump2(tid=1, domain=(1, 2)):
+    base = base_iface(domain)
+    overlay = base.extend("L1", [shared_prim("bump2", bump2_spec)], hide=["bump"])
+    rel = EventMapRel("Rb", ret_rel=lambda lo, hi: True)
+    config = SimConfig(env_alphabet=[(), (Event(2, "bump"),)], env_depth=1,
+                       compare_rets=False)
+    return base, overlay, fun_rule(
+        base, FuncImpl("bump2", bump2_impl), overlay, rel, tid, config
+    )
+
+
+class TestEmptyRule:
+    def test_empty(self):
+        iface = base_iface()
+        layer = empty_rule(iface, [1])
+        assert layer.underlay is layer.overlay
+        assert len(layer.module) == 0
+        assert layer.certificate.ok
+
+
+class TestFunRule:
+    def test_accepts_correct_impl(self):
+        _base, _overlay, layer = certify_bump2()
+        assert layer.certificate.ok
+        assert "bump2" in layer.module
+
+    def test_rejects_missing_spec(self):
+        base = base_iface()
+        with pytest.raises(ComposeError):
+            fun_rule(
+                base, FuncImpl("bump2", bump2_impl), base, ID_REL, 1,
+                SimConfig(),
+            )
+
+    def test_rejects_wrong_impl(self):
+        base = base_iface()
+        overlay = base.extend(
+            "L1", [shared_prim("bump2", bump2_spec)], hide=["bump"]
+        )
+
+        def wrong(ctx):
+            yield from ctx.call("bump")  # only one!
+            return None
+
+        with pytest.raises(VerificationError):
+            fun_rule(
+                base, FuncImpl("bump2", wrong), overlay,
+                EventMapRel("Rb"), 1,
+                SimConfig(env_alphabet=[()], env_depth=0, compare_rets=False),
+            )
+
+
+class TestVcomp:
+    def test_stacks_two_layers(self):
+        base, middle_iface, lower = certify_bump2()
+        # Upper: bump4 = bump2; bump2 over the middle.
+        def bump4_spec(ctx):
+            yield from ctx.query()
+            count = ctx.log.count("bump")
+            for step in range(4):
+                ctx.emit("bump", ret=count + step + 1)
+            return None
+
+        top = middle_iface.extend(
+            "L2", [shared_prim("bump4", bump4_spec)], hide=["bump2"]
+        )
+
+        def bump4_impl(ctx):
+            yield from ctx.call("bump2")
+            yield from ctx.call("bump2")
+            return None
+
+        upper = fun_rule(
+            middle_iface, FuncImpl("bump4", bump4_impl), top,
+            EventMapRel("Rb2", ret_rel=lambda lo, hi: True), 1,
+            SimConfig(env_alphabet=[()], env_depth=0, compare_rets=False),
+        )
+        stacked = vcomp(lower, upper)
+        assert set(stacked.module.names()) == {"bump2", "bump4"}
+        assert stacked.underlay is base
+        assert stacked.overlay is top
+        assert "∘" in stacked.relation.name
+
+    def test_rejects_mismatched_middle(self):
+        _b1, _o1, layer1 = certify_bump2()
+        _b2, _o2, layer2 = certify_bump2()
+        # layer2's underlay is a *different* interface object with the
+        # same name — accepted (structural agreement).
+        stacked_ok = True
+        try:
+            vcomp(layer1, layer2)
+        except ComposeError:
+            stacked_ok = False
+        # bump2's underlay is L0, not L1 — structural mismatch.
+        assert not stacked_ok
+
+    def test_rejects_focus_mismatch(self):
+        _b, _o, layer1 = certify_bump2(tid=1)
+        _b2, _o2, layer2 = certify_bump2(tid=2)
+        with pytest.raises(ComposeError):
+            vcomp(layer1, layer2)
+
+
+class TestHcomp:
+    def make_pair(self):
+        base = base_iface()
+        over_a = base.extend("LA", [shared_prim("a2", bump2_spec)])
+        over_b = base.extend("LB", [shared_prim("b2", bump2_spec)])
+        rel_name = EventMapRel("Rb", ret_rel=lambda lo, hi: True)
+        config = SimConfig(env_alphabet=[()], env_depth=0, compare_rets=False)
+        layer_a = fun_rule(base, FuncImpl("a2", bump2_impl), over_a, rel_name, 1, config)
+        layer_b = fun_rule(base, FuncImpl("b2", bump2_impl), over_b, rel_name, 1, config)
+        return base, layer_a, layer_b
+
+    def test_combines_siblings(self):
+        base, layer_a, layer_b = self.make_pair()
+        combined = hcomp(layer_a, layer_b)
+        assert set(combined.module.names()) == {"a2", "b2"}
+        assert combined.overlay.has("a2") and combined.overlay.has("b2")
+
+    def test_rejects_different_relations(self):
+        base, layer_a, _ = self.make_pair()
+        base2 = base_iface()
+        over_b = base.extend("LB", [shared_prim("b2", bump2_spec)])
+        layer_b = fun_rule(
+            base, FuncImpl("b2", bump2_impl), over_b,
+            EventMapRel("Other", ret_rel=lambda lo, hi: True), 1,
+            SimConfig(env_alphabet=[()], env_depth=0, compare_rets=False),
+        )
+        with pytest.raises(ComposeError):
+            hcomp(layer_a, layer_b)
+
+
+class TestWeaken:
+    def test_post_weakening(self):
+        base, overlay, layer = certify_bump2()
+        # An 'even higher' interface: same primitive, related by id.
+        higher = overlay.with_name("L1'")
+        sim = interface_sim_rule(
+            overlay, higher, ID_REL, 1,
+            [Scenario("bump2", [("bump2", ())],
+                      SimConfig(env_alphabet=[()], env_depth=0))],
+        )
+        weakened = weaken(layer, post=sim)
+        assert weakened.overlay is higher
+
+    def test_rejects_misaligned_sim(self):
+        base, overlay, layer = certify_bump2()
+        other = base_iface()
+        sim = interface_sim_rule(
+            other, other.with_name("X"), ID_REL, 1,
+            [Scenario("bump", [("bump", ())],
+                      SimConfig(env_alphabet=[()], env_depth=0))],
+        )
+        with pytest.raises(ComposeError):
+            weaken(layer, post=sim)
+
+
+class TestCompatAndPcomp:
+    def test_compat_disjointness_required(self):
+        iface = base_iface()
+        cert = check_compat_interfaces(iface, [1], [1], [Log()])
+        assert not cert.ok
+
+    def test_compat_implications_on_universe(self):
+        iface = base_iface().with_rely(Rely({1: TRUE_INV, 2: TRUE_INV}))
+        iface = iface.with_guar(Guarantee({1: TRUE_INV, 2: TRUE_INV}))
+        cert = check_compat_interfaces(iface, [1], [2], [Log()])
+        assert cert.ok
+
+    def test_compat_failure_reported(self):
+        iface = base_iface().with_rely(Rely({1: TRUE_INV}))
+        iface = iface.with_guar(Guarantee({1: FALSE_INV}))
+        cert = check_compat_interfaces(iface, [1], [2], [Log()])
+        assert not cert.ok
+
+    def test_pcomp_unions_focus(self):
+        _b1, _o1, layer1 = certify_bump2(tid=1)
+        base, overlay, _ = certify_bump2(tid=2)
+        # Rebuild layer2 over the *same* interface objects as layer1.
+        rel = EventMapRel("Rb", ret_rel=lambda lo, hi: True)
+        config = SimConfig(env_alphabet=[(), (Event(1, "bump"),)],
+                           env_depth=1, compare_rets=False)
+        layer2 = fun_rule(
+            layer1.underlay,
+            layer1.module.funcs["bump2"],
+            layer1.overlay,
+            layer1.relation,
+            2,
+            config,
+        )
+        combined = pcomp(layer1, layer2)
+        assert combined.focused == {1, 2}
+
+    def test_pcomp_rejects_overlap(self):
+        _b, _o, layer = certify_bump2(tid=1)
+        with pytest.raises(ComposeError):
+            pcomp(layer, layer)
+
+    def test_pcomp_all_requires_nonempty(self):
+        with pytest.raises(ComposeError):
+            pcomp_all([])
+
+
+class TestModuleRule:
+    def test_requires_scenario_coverage(self):
+        base = base_iface()
+        overlay = base.extend("L1", [shared_prim("bump2", bump2_spec)])
+        module = Module({"bump2": FuncImpl("bump2", bump2_impl)}, name="M")
+        with pytest.raises(ComposeError):
+            module_rule(base, module, overlay, ID_REL, 1, [])
+
+    def test_requires_specs(self):
+        base = base_iface()
+        module = Module({"bump2": FuncImpl("bump2", bump2_impl)}, name="M")
+        scenario = Scenario("s", [("bump2", ())], SimConfig())
+        with pytest.raises(ComposeError):
+            module_rule(base, module, base, ID_REL, 1, [scenario])
+
+
+class TestCertificateDiscipline:
+    def test_invalid_certificate_cannot_be_packaged(self):
+        iface = base_iface()
+        cert = Certificate("bogus", "None")
+        cert.add("fails", False)
+        with pytest.raises(VerificationError):
+            CertifiedLayer(iface, Module.empty(), iface, ID_REL, [1], cert)
+
+    def test_certificate_counts_children(self):
+        parent = Certificate("p", "r")
+        child = Certificate("c", "r")
+        child.add("x", True)
+        parent.children.append(child)
+        parent.add("y", True)
+        assert parent.obligation_count() == 2
+        assert parent.ok

@@ -1,0 +1,137 @@
+"""Contextual refinement and the soundness theorem (Thm 2.2)."""
+
+import pytest
+
+from repro.core import (
+    ComposeError,
+    Event,
+    EventMapRel,
+    FuncImpl,
+    LayerInterface,
+    SimConfig,
+    behaviors_of,
+    check_refinement,
+    check_soundness,
+    fun_rule,
+    shared_prim,
+)
+from repro.core.certificate import Certificate
+
+
+def bump_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump") + 1
+    ctx.emit("bump", ret=count)
+    return count
+
+
+def bump2_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump")
+    ctx.emit("bump", ret=count + 1)
+    ctx.emit("bump", ret=count + 2)
+    return None
+
+
+def bump2_impl(ctx):
+    # The pair must be uninterruptible for bump2 to be atomic: after the
+    # first bump's query point the implementation enters critical state,
+    # so the second bump emits adjacently (no interleaving between them).
+    yield from ctx.call("bump")
+    ctx.enter_critical()
+    yield from ctx.call("bump")
+    ctx.exit_critical()
+    return None
+
+
+@pytest.fixture
+def certified():
+    base = LayerInterface("L0", [1, 2], {"bump": shared_prim("bump", bump_spec)})
+    overlay = base.extend("L1", [shared_prim("bump2", bump2_spec)], hide=["bump"])
+    rel = EventMapRel("Rb", ret_rel=lambda lo, hi: True)
+    config = SimConfig(
+        env_alphabet=[(), (Event(2, "bump"), Event(2, "bump"))],
+        env_depth=1, compare_rets=False,
+    )
+    layer1 = fun_rule(base, FuncImpl("bump2", bump2_impl), overlay, rel, 1, config)
+    config2 = SimConfig(
+        env_alphabet=[(), (Event(1, "bump"), Event(1, "bump"))],
+        env_depth=1, compare_rets=False,
+    )
+    layer2 = fun_rule(base, FuncImpl("bump2", bump2_impl), overlay, rel, 2, config2)
+    from repro.core import pcomp
+
+    return pcomp(layer1, layer2)
+
+
+class TestBehaviorsOf:
+    def test_linked_behaviours(self, certified):
+        results = behaviors_of(
+            certified.underlay,
+            {1: [("bump2", ())], 2: [("bump2", ())]},
+            certified.module,
+            max_rounds=16,
+        )
+        assert results
+        assert all(r.ok for r in results)
+        for result in results:
+            assert result.log.without_sched().count("bump") == 4
+
+    def test_spec_behaviours(self, certified):
+        results = behaviors_of(
+            certified.overlay,
+            {1: [("bump2", ())], 2: [("bump2", ())]},
+            None,
+            max_rounds=16,
+        )
+        assert all(r.ok for r in results)
+
+
+class TestSoundness:
+    def test_theorem_2_2(self, certified):
+        """∀P, [[P ⊕ M]]_{L0[D]} ⊑_R [[P]]_{L1[D]} for small clients."""
+        cert = check_soundness(
+            certified,
+            clients=[
+                {1: [("bump2", ())], 2: [("bump2", ())]},
+                {1: [("bump2", ()), ("bump2", ())], 2: [("bump2", ())]},
+            ],
+            max_rounds=24,
+        )
+        assert cert.ok
+        assert cert.obligation_count() >= 2
+
+    def test_rejects_uncertified_participants(self, certified):
+        with pytest.raises(ComposeError):
+            check_soundness(certified, clients=[{3: [("bump2", ())]}])
+
+    def test_bad_refinement_detected(self, certified):
+        """A low behaviour with no high witness fails the check."""
+        from repro.core.machine import GameResult
+        from repro.core.log import Log
+
+        bogus_low = GameResult(
+            log=Log([Event(1, "bump"), Event(1, "unmatched")]),
+            rets={}, finished=True, stuck=None, cycles={}, rounds=1,
+            schedule=(1,),
+        )
+        cert = Certificate("refinement test", "test")
+        check_refinement([bogus_low], [], certified.relation, cert)
+        assert not cert.ok
+
+    def test_stuck_low_run_fails_progress(self, certified):
+        from repro.core.machine import GameResult
+        from repro.core.log import Log
+
+        stuck_run = GameResult(
+            log=Log(), rets={}, finished=False, stuck="boom", cycles={},
+            rounds=0, schedule=(),
+        )
+        cert = Certificate("progress test", "test")
+        check_refinement([stuck_run], [], certified.relation, cert,
+                         require_progress=True)
+        assert not cert.ok
+        cert2 = Certificate("progress test 2", "test")
+        check_refinement([stuck_run], [], certified.relation, cert2,
+                         require_progress=False)
+        assert cert2.ok

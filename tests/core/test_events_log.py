@@ -1,0 +1,156 @@
+"""Events, logs and the freeze/thaw value discipline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import EMPTY_LOG, Event, Log, LogBuffer, format_log, freeze, hw_sched, thaw
+from repro.core.events import HW_SCHED
+
+
+events_st = st.builds(
+    Event,
+    tid=st.integers(1, 4),
+    name=st.sampled_from(["acq", "rel", "f", "g", "fai"]),
+    args=st.tuples(st.integers(0, 3)),
+)
+
+
+class TestEvent:
+    def test_str_with_args_and_ret(self):
+        assert str(Event(1, "FAI_t", ("q0",), 3)) == "1.FAI_t(q0)↓3"
+
+    def test_str_bare(self):
+        assert str(Event(2, "f")) == "2.f"
+
+    def test_with_ret(self):
+        assert Event(1, "aload", ("c",)).with_ret(7).ret == 7
+
+    def test_hw_sched(self):
+        event = hw_sched(3)
+        assert event.is_sched()
+        assert event.tid == 3
+        assert event.name == HW_SCHED
+
+    def test_hashable_frozen(self):
+        assert len({Event(1, "a"), Event(1, "a"), Event(2, "a")}) == 2
+        with pytest.raises(AttributeError):
+            Event(1, "a").tid = 2
+
+    def test_format_log(self):
+        log = [Event(1, "FAI_t"), Event(2, "get_n")]
+        assert format_log(log) == "(1.FAI_t)•(2.get_n)"
+
+
+class TestLog:
+    def test_empty(self):
+        assert len(EMPTY_LOG) == 0
+        assert EMPTY_LOG.last() is None
+
+    def test_append_is_persistent(self):
+        log = Log()
+        log2 = log.append(Event(1, "a"))
+        assert len(log) == 0
+        assert len(log2) == 1
+
+    def test_extend_and_iter(self):
+        log = Log().extend([Event(1, "a"), Event(2, "b")])
+        assert [e.name for e in log] == ["a", "b"]
+
+    def test_indexing_and_slicing(self):
+        log = Log([Event(1, "a"), Event(2, "b"), Event(1, "c")])
+        assert log[0].name == "a"
+        assert isinstance(log[1:], Log)
+        assert len(log[1:]) == 2
+
+    def test_project(self):
+        log = Log([Event(1, "a"), Event(2, "b"), Event(1, "c")])
+        assert [e.name for e in log.project(1)] == ["a", "c"]
+
+    def test_events_named(self):
+        log = Log([Event(1, "a"), Event(2, "b"), Event(1, "a")])
+        assert len(log.events_named("a")) == 2
+
+    def test_count(self):
+        log = Log([Event(1, "a"), Event(2, "a"), Event(1, "b")])
+        assert log.count("a") == 2
+        assert log.count("a", tid=1) == 1
+
+    def test_current_control(self):
+        log = Log([Event(1, "a"), hw_sched(2), Event(2, "b")])
+        assert log.current_control() == 2
+        assert Log().current_control(default=9) == 9
+
+    def test_without_sched(self):
+        log = Log([hw_sched(1), Event(1, "a"), hw_sched(2)])
+        assert [e.name for e in log.without_sched()] == ["a"]
+
+    def test_hash_eq(self):
+        a = Log([Event(1, "x")])
+        b = Log([Event(1, "x")])
+        assert a == b and hash(a) == hash(b)
+
+    @given(st.lists(events_st, max_size=8))
+    def test_append_preserves_prefix(self, events):
+        log = Log()
+        for event in events:
+            previous = log
+            log = log.append(event)
+            assert log[: len(previous)] == previous
+            assert log.last() == event
+
+
+class TestLogBuffer:
+    def test_snapshot_reflects_appends(self):
+        buffer = LogBuffer()
+        snap0 = buffer.snapshot()
+        buffer.append(Event(1, "a"))
+        snap1 = buffer.snapshot()
+        assert len(snap0) == 0
+        assert len(snap1) == 1
+
+    def test_snapshot_cached(self):
+        buffer = LogBuffer()
+        buffer.append(Event(1, "a"))
+        assert buffer.snapshot() is buffer.snapshot()
+
+    def test_snapshot_immutable_after_more_appends(self):
+        buffer = LogBuffer()
+        buffer.append(Event(1, "a"))
+        snap = buffer.snapshot()
+        buffer.extend([Event(2, "b")])
+        assert len(snap) == 1
+        assert len(buffer.snapshot()) == 2
+
+    def test_initial_events(self):
+        buffer = LogBuffer([Event(1, "boot")])
+        assert buffer.snapshot()[0].name == "boot"
+
+
+class TestFreezeThaw:
+    def test_dict_roundtrip(self):
+        value = {"busy": 3, "items": [1, 2]}
+        assert thaw(freeze(value)) == value
+
+    def test_nested_roundtrip(self):
+        value = {"a": [{"b": 1}, [2, 3]], "c": 4}
+        assert thaw(freeze(value)) == value
+
+    def test_frozen_hashable(self):
+        hash(freeze({"a": [1, {"b": 2}]}))
+
+    def test_scalars_pass_through(self):
+        assert freeze(5) == 5
+        assert thaw("x") == "x"
+
+    @given(
+        st.recursive(
+            st.integers() | st.text(max_size=3),
+            lambda children: st.lists(children, max_size=3)
+            | st.dictionaries(st.text(max_size=3), children, max_size=3),
+            max_leaves=10,
+        )
+    )
+    def test_roundtrip_property(self, value):
+        thawed = thaw(freeze(value))
+        # Tuples and lists both thaw to lists; normalize via freeze again.
+        assert freeze(thawed) == freeze(value)

@@ -1,0 +1,155 @@
+"""Layer interfaces, primitives, modules and linking."""
+
+import pytest
+
+from repro.core import (
+    ComposeError,
+    Event,
+    FuncImpl,
+    LayerInterface,
+    Module,
+    Prim,
+    Stuck,
+    call_player,
+    ghost_prim,
+    link,
+    private_prim,
+    run_local,
+    shared_prim,
+    simple_event_prim,
+)
+
+
+def noop_spec(ctx):
+    return None
+    yield
+
+
+class TestPrim:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            Prim("x", noop_spec, kind="weird")
+
+    def test_private_prim_runs_plain_function(self):
+        prim = private_prim("get5", lambda ctx: 5)
+        iface = LayerInterface("I", [1], {"get5": prim})
+        run = run_local(iface, 1, call_player("get5"))
+        assert run.ret == 5
+        assert len(run.log) == 0  # silent
+
+    def test_simple_event_prim(self):
+        iface = LayerInterface("I", [1], {"f": simple_event_prim("f")})
+        run = run_local(iface, 1, call_player("f", "x"))
+        assert run.log[0] == Event(1, "f", ("x",))
+
+    def test_ghost_prim_costs_cycles(self):
+        iface = LayerInterface("I", [1], {"g": ghost_prim("g", cycle_cost=10)})
+        run = run_local(iface, 1, call_player("g"))
+        assert run.cycles == 10
+        assert len(run.log) == 0
+
+
+class TestLayerInterface:
+    def base(self):
+        return LayerInterface(
+            "L0", [1, 2],
+            {"f": simple_event_prim("f"), "g": simple_event_prim("g")},
+        )
+
+    def test_lookup(self):
+        iface = self.base()
+        assert iface.lookup("f").name == "f"
+        with pytest.raises(Stuck):
+            iface.lookup("missing")
+
+    def test_extend_adds_and_hides(self):
+        iface = self.base().extend("L1", [simple_event_prim("h")], hide=["g"])
+        assert iface.has("h") and iface.has("f") and not iface.has("g")
+        assert iface.name == "L1"
+
+    def test_extend_rejects_duplicates(self):
+        with pytest.raises(ComposeError):
+            self.base().extend("L1", [simple_event_prim("f")])
+
+    def test_hiding(self):
+        iface = self.base().hiding(["f"])
+        assert not iface.has("f")
+
+    def test_merge_prims(self):
+        left = self.base().hiding(["g"])
+        right = self.base().hiding(["f"])
+        merged = left.merge_prims(right)
+        assert merged.has("f") and merged.has("g")
+
+    def test_merge_rejects_conflicts(self):
+        other = LayerInterface("Lx", [1, 2], {"f": simple_event_prim("f")})
+        with pytest.raises(ComposeError):
+            self.base().merge_prims(other)
+
+    def test_merge_rejects_domain_mismatch(self):
+        other = LayerInterface("Lx", [1, 2, 3], {"h": simple_event_prim("h")})
+        with pytest.raises(ComposeError):
+            self.base().merge_prims(other)
+
+    def test_init_priv_factory(self):
+        iface = self.base().with_init_priv(lambda tid: {"me": tid})
+        assert iface.init_priv(2) == {"me": 2}
+        assert self.base().init_priv(2) == {}
+
+    def test_with_init_log(self):
+        boot = (Event(1, "boot"),)
+        iface = self.base().with_init_log(boot)
+        run = run_local(iface, 1, call_player("f"))
+        assert run.log[0].name == "boot"
+
+
+class TestModule:
+    def impl(self, name):
+        def player(ctx):
+            ret = yield from ctx.call("f")
+            return name
+
+        return FuncImpl(name, player, lang="spec")
+
+    def test_single_and_empty(self):
+        assert len(Module.single(self.impl("a"))) == 1
+        assert len(Module.empty()) == 0
+
+    def test_oplus_disjoint(self):
+        merged = Module.single(self.impl("a")).oplus(
+            Module.single(self.impl("b"))
+        )
+        assert set(merged.names()) == {"a", "b"}
+
+    def test_oplus_conflict(self):
+        with pytest.raises(ComposeError):
+            Module.single(self.impl("a")).oplus(Module.single(self.impl("a")))
+
+    def test_oplus_idempotent_same_object(self):
+        module = Module.single(self.impl("a"))
+        assert len(module.oplus(module)) == 1
+
+    def test_contains_iter(self):
+        module = Module.single(self.impl("a"))
+        assert "a" in module
+        assert [impl.name for impl in module] == ["a"]
+
+
+class TestLink:
+    def test_linked_function_callable_as_prim(self):
+        iface = LayerInterface("L0", [1], {"f": simple_event_prim("f")})
+
+        def foo(ctx):
+            yield from ctx.call("f")
+            yield from ctx.call("f")
+            return "done"
+
+        linked = link(iface, Module.single(FuncImpl("foo", foo)))
+        run = run_local(linked, 1, call_player("foo"))
+        assert run.ret == "done"
+        assert run.log.count("f") == 2
+
+    def test_link_rejects_name_clash(self):
+        iface = LayerInterface("L0", [1], {"f": simple_event_prim("f")})
+        with pytest.raises(ComposeError):
+            link(iface, Module.single(FuncImpl("f", noop_spec)))

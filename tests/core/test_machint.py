@@ -1,0 +1,117 @@
+"""Machine integers: wraparound arithmetic and the overflow substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.machint import (
+    IntWidth,
+    MachInt,
+    UINT8,
+    UINT16,
+    UINT32,
+    modular_distance,
+    uint32,
+)
+
+
+class TestIntWidth:
+    def test_modulus(self):
+        assert UINT8.modulus == 256
+        assert UINT32.modulus == 2**32
+
+    def test_wrap_in_range(self):
+        assert UINT8.wrap(255) == 255
+        assert UINT8.wrap(256) == 0
+        assert UINT8.wrap(257) == 1
+
+    def test_wrap_negative(self):
+        assert UINT8.wrap(-1) == 255
+        assert UINT32.wrap(-1) == 2**32 - 1
+
+    def test_to_signed(self):
+        assert UINT8.to_signed(255) == -1
+        assert UINT8.to_signed(127) == 127
+        assert UINT8.to_signed(128) == -128
+
+
+class TestMachInt:
+    def test_construction_wraps(self):
+        assert MachInt(256, UINT8).value == 0
+        assert uint32(2**32 + 5).value == 5
+
+    def test_addition_wraps(self):
+        a = MachInt(250, UINT8)
+        assert (a + 10).value == 4
+
+    def test_subtraction_wraps(self):
+        a = MachInt(0, UINT8)
+        assert (a - 1).value == 255
+
+    def test_multiplication_wraps(self):
+        a = MachInt(16, UINT8)
+        assert (a * 16).value == 0
+
+    def test_radd_rsub(self):
+        a = MachInt(5, UINT8)
+        assert (3 + a).value == 8
+        assert (3 - a).value == 254
+
+    def test_comparisons_unsigned(self):
+        assert MachInt(200, UINT8) > MachInt(100, UINT8)
+        assert MachInt(200, UINT8) > 100
+        assert MachInt(1, UINT8) <= 1
+
+    def test_eq_across_types(self):
+        assert MachInt(5, UINT8) == 5
+        assert MachInt(5, UINT8) == MachInt(5, UINT8)
+        assert MachInt(5, UINT8) != MachInt(6, UINT8)
+
+    def test_eq_wraps_int_operand(self):
+        assert MachInt(0, UINT8) == 256
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            MachInt(1, UINT8) + MachInt(1, UINT16)
+
+    def test_immutable(self):
+        a = uint32(1)
+        with pytest.raises(AttributeError):
+            a.value = 2
+
+    def test_hashable(self):
+        assert len({uint32(1), uint32(1), uint32(2)}) == 2
+
+    def test_int_conversion(self):
+        assert int(uint32(42)) == 42
+        assert [0, 1, 2][uint32(1)] == 1  # __index__
+
+    def test_repr(self):
+        assert repr(uint32(7)) == "u32(7)"
+
+
+class TestModularDistance:
+    def test_simple(self):
+        assert modular_distance(3, 7, UINT8) == 4
+
+    def test_wrapped(self):
+        assert modular_distance(250, 4, UINT8) == 10
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_distance_inverts(self, a, b):
+        d = modular_distance(a, b, UINT8)
+        assert UINT8.wrap(a + d) == b
+
+    @given(st.integers(), st.integers())
+    def test_distance_in_range(self, a, b):
+        assert 0 <= modular_distance(a, b, UINT32) < UINT32.modulus
+
+
+@given(st.integers(), st.integers())
+def test_add_homomorphism(a, b):
+    """MachInt addition is the wrap of integer addition."""
+    assert (MachInt(a, UINT16) + MachInt(b, UINT16)).value == UINT16.wrap(a + b)
+
+
+@given(st.integers(), st.integers())
+def test_mul_homomorphism(a, b):
+    assert (MachInt(a, UINT16) * MachInt(b, UINT16)).value == UINT16.wrap(a * b)

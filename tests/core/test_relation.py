@@ -1,0 +1,179 @@
+"""Simulation relations: identity, event maps, erasure, composition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ErasureRel,
+    Event,
+    EventMapRel,
+    ID_REL,
+    Log,
+    hw_sched,
+)
+from repro.core.relation import relate_with_rets
+
+
+class TestIdRel:
+    def test_equal_logs_related(self):
+        log = Log([Event(1, "a"), Event(2, "b")])
+        assert ID_REL.relate_logs(log, log)
+
+    def test_sched_events_ignored(self):
+        low = Log([hw_sched(1), Event(1, "a"), hw_sched(2)])
+        high = Log([Event(1, "a")])
+        assert ID_REL.relate_logs(low, high)
+
+    def test_different_logs_unrelated(self):
+        assert not ID_REL.relate_logs(
+            Log([Event(1, "a")]), Log([Event(1, "b")])
+        )
+
+    def test_ret_equality(self):
+        assert ID_REL.relate_ret(3, 3)
+        assert not ID_REL.relate_ret(3, 4)
+
+
+class TestEventMapRel:
+    def rel(self):
+        # The §2 relation R1: acq ↦ hold, rel ↦ inc_n, noise erased.
+        return EventMapRel(
+            "R1",
+            mapping={"acq": "hold", "rel": "inc_n"},
+            erase={"FAI_t", "get_n"},
+        )
+
+    def test_paper_example(self):
+        """The exact log pair of §2 (thread events only)."""
+        low = Log(
+            [
+                Event(1, "FAI_t"),
+                Event(2, "FAI_t"),
+                Event(2, "get_n"),
+                Event(1, "get_n"),
+                Event(1, "hold"),
+                Event(2, "get_n"),
+                Event(1, "f"),
+                Event(2, "get_n"),
+                Event(1, "g"),
+                Event(1, "inc_n"),
+                Event(2, "get_n"),
+                Event(2, "hold"),
+            ]
+        )
+        high = Log(
+            [
+                Event(1, "acq"),
+                Event(1, "f"),
+                Event(1, "g"),
+                Event(1, "rel"),
+                Event(2, "acq"),
+            ]
+        )
+        assert self.rel().relate_logs(low, high)
+
+    def test_rename_preserves_tid_args(self):
+        rel = self.rel()
+        mapped = rel.map_event(Event(3, "acq", ("L",)))
+        assert mapped == (Event(3, "hold", ("L",), None),)
+
+    def test_unmapped_passthrough(self):
+        rel = self.rel()
+        assert rel.map_event(Event(1, "f")) == (Event(1, "f"),)
+
+    def test_erasure(self):
+        rel = self.rel()
+        assert rel.erases(Event(1, "get_n"))
+        assert not rel.erases(Event(1, "hold"))
+
+    def test_none_mapping_erases_high_event(self):
+        rel = EventMapRel("drop", mapping={"ghost": None})
+        assert rel.map_event(Event(1, "ghost")) == ()
+
+    def test_callable_mapping(self):
+        rel = EventMapRel(
+            "split",
+            mapping={"both": lambda e: (Event(e.tid, "x"), Event(e.tid, "y"))},
+        )
+        assert [e.name for e in rel.map_event(Event(1, "both"))] == ["x", "y"]
+
+    def test_custom_concretize_differs_from_map(self):
+        rel = EventMapRel(
+            "R",
+            mapping={"acq": "hold"},
+            concretize={"acq": lambda e: (Event(e.tid, "FAI_t"), Event(e.tid, "hold"))},
+        )
+        assert len(rel.map_event(Event(1, "acq"))) == 1
+        assert len(rel.concretize_event(Event(1, "acq"))) == 2
+
+    def test_ret_rel_override(self):
+        rel = EventMapRel("mod", ret_rel=lambda lo, hi: lo == hi % 16)
+        assert rel.relate_ret(3, 19)
+        assert not rel.relate_ret(4, 19)
+
+    def test_explain_mentions_both_sides(self):
+        rel = self.rel()
+        text = rel.explain(Log([Event(1, "hold")]), Log([Event(2, "acq")]))
+        assert "hold" in text
+
+
+class TestErasureRel:
+    def test_erases_only(self):
+        rel = ErasureRel("noise", ["tick"])
+        low = Log([Event(1, "tick"), Event(1, "a"), Event(1, "tick")])
+        high = Log([Event(1, "a")])
+        assert rel.relate_logs(low, high)
+
+
+class TestComposition:
+    def test_compose_maps_through_middle(self):
+        # high "op" → middle "step" → low "micro"
+        upper = EventMapRel("U", mapping={"op": "step"})
+        lower = EventMapRel("L", mapping={"step": "micro"})
+        composed = lower.compose(upper)
+        assert composed.map_event(Event(1, "op")) == (
+            Event(1, "micro", (), None),
+        )
+
+    def test_compose_erasure(self):
+        upper = EventMapRel("U", mapping={"op": "step"}, erase={"mid_noise"})
+        lower = EventMapRel("L", mapping={"step": "micro"}, erase={"low_noise"})
+        composed = lower.compose(upper)
+        assert composed.erases(Event(1, "low_noise"))
+        assert composed.erases(Event(1, "mid_noise"))
+
+    def test_compose_with_id(self):
+        rel = EventMapRel("R", mapping={"a": "b"})
+        left = ID_REL.compose(rel)
+        right = rel.compose(ID_REL)
+        event = Event(1, "a")
+        assert left.map_event(event) == rel.map_event(event)
+        assert right.map_event(event) == rel.map_event(event)
+
+    def test_name_records_composition(self):
+        composed = ID_REL.compose(EventMapRel("R", {}))
+        assert "∘" in composed.name
+
+
+class TestRelateWithRets:
+    def test_ignores_rets_when_asked(self):
+        rel = ID_REL
+        low = Log([Event(1, "a", (), 1)])
+        high = Log([Event(1, "a", (), 2)])
+        assert not rel.relate_logs(low, high)
+        assert relate_with_rets(rel, low, high, compare_rets=False)
+
+
+@given(
+    st.lists(
+        st.builds(
+            Event,
+            tid=st.integers(1, 3),
+            name=st.sampled_from(["a", "b", "f"]),
+        ),
+        max_size=6,
+    )
+)
+def test_id_rel_reflexive(events):
+    log = Log(events)
+    assert ID_REL.relate_logs(log, log)

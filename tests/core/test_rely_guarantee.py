@@ -1,0 +1,137 @@
+"""Rely/guarantee conditions as log invariants."""
+
+import pytest
+
+from repro.core import (
+    Event,
+    FALSE_INV,
+    Guarantee,
+    Log,
+    LogInvariant,
+    Rely,
+    TRUE_INV,
+    check_compat,
+    events_follow_protocol,
+    release_within,
+    scheduled_within,
+)
+from repro.core.events import hw_sched
+
+
+def log_of(*specs):
+    return Log([Event(tid, name) for tid, name in specs])
+
+
+class TestLogInvariant:
+    def test_basic(self):
+        inv = LogInvariant("has_a", lambda log: log.count("a") > 0)
+        assert inv.holds(log_of((1, "a")))
+        assert not inv.holds(Log())
+
+    def test_conjunction(self):
+        both = TRUE_INV & FALSE_INV
+        assert not both.holds(Log())
+        assert (TRUE_INV & TRUE_INV).holds(Log())
+
+    def test_disjunction(self):
+        assert (TRUE_INV | FALSE_INV).holds(Log())
+        assert not (FALSE_INV | FALSE_INV).holds(Log())
+
+    def test_implies_on_universe(self):
+        narrow = LogInvariant("len<2", lambda log: len(log) < 2)
+        wide = LogInvariant("len<5", lambda log: len(log) < 5)
+        universe = [Log(), log_of((1, "a")), log_of((1, "a"), (2, "b"))]
+        ok, witness = narrow.implies_on(wide, universe)
+        assert ok and witness is None
+        ok, witness = wide.implies_on(narrow, universe)
+        assert not ok
+        assert len(witness) == 2
+
+
+class TestRely:
+    def test_default_unconstrained(self):
+        assert Rely().condition(5) is TRUE_INV
+
+    def test_holds_all(self):
+        rely = Rely({1: FALSE_INV})
+        assert not rely.holds(Log())
+
+    def test_intersect_conjunction(self):
+        r1 = Rely({1: LogInvariant("a", lambda log: log.count("a") > 0)},
+                  fairness_bound=5)
+        r2 = Rely({1: LogInvariant("b", lambda log: log.count("b") > 0)},
+                  fairness_bound=3)
+        merged = r1.intersect(r2)
+        assert merged.fairness_bound == 3
+        assert not merged.condition(1).holds(log_of((1, "a")))
+        assert merged.condition(1).holds(log_of((1, "a"), (1, "b")))
+
+
+class TestGuarantee:
+    def test_union_pointwise(self):
+        g1 = Guarantee({1: FALSE_INV})
+        g2 = Guarantee({1: TRUE_INV, 2: TRUE_INV})
+        union = g1.union(g2)
+        assert union.holds(Log(), 1)  # FALSE ∨ TRUE
+        assert union.holds(Log(), 2)
+
+    def test_restrict(self):
+        g = Guarantee({1: FALSE_INV, 2: FALSE_INV})
+        restricted = g.restrict([1])
+        assert 2 not in restricted.conditions
+        assert 1 in restricted.conditions
+
+
+class TestCompat:
+    def test_compatible(self):
+        rely = Rely({1: TRUE_INV, 2: TRUE_INV})
+        guar = Guarantee({1: TRUE_INV, 2: TRUE_INV})
+        failures = check_compat(rely, guar, [1], rely, guar, [2], [Log()])
+        assert failures == []
+
+    def test_incompatible_reports_witness(self):
+        rely = Rely({1: TRUE_INV})
+        guar = Guarantee({1: FALSE_INV})
+        failures = check_compat(rely, guar, [1], rely, guar, [2], [Log()])
+        assert failures
+
+
+class TestProtocolInvariants:
+    def test_events_follow_protocol(self):
+        # tid 2 may only emit "b" after an "a" exists.
+        inv = events_follow_protocol(
+            2, lambda prefix, e: e.name != "b" or prefix.count("a") > 0
+        )
+        assert inv.holds(log_of((1, "a"), (2, "b")))
+        assert not inv.holds(log_of((2, "b")))
+        # Other participants unconstrained.
+        assert inv.holds(log_of((1, "b")))
+
+    def test_release_within_ok(self):
+        inv = release_within(1, "acq", "rel", bound=2)
+        assert inv.holds(log_of((1, "acq"), (1, "x"), (1, "rel")))
+
+    def test_release_within_violated(self):
+        inv = release_within(1, "acq", "rel", bound=1)
+        assert not inv.holds(
+            log_of((1, "acq"), (1, "x"), (1, "y"), (1, "rel"))
+        )
+
+    def test_release_within_trailing_acquire_is_prefix(self):
+        inv = release_within(1, "acq", "rel", bound=3)
+        assert inv.holds(log_of((1, "acq")))
+
+    def test_release_without_acquire(self):
+        inv = release_within(1, "acq", "rel", bound=3)
+        assert not inv.holds(log_of((1, "rel")))
+
+    def test_double_acquire(self):
+        inv = release_within(1, "acq", "rel", bound=3)
+        assert not inv.holds(log_of((1, "acq"), (1, "acq")))
+
+    def test_scheduled_within(self):
+        inv = scheduled_within(1, bound=2)
+        good = Log([hw_sched(1), Event(2, "a"), hw_sched(1), Event(2, "b")])
+        assert inv.holds(good)
+        bad = Log([hw_sched(1), Event(2, "a"), Event(2, "b"), Event(2, "c")])
+        assert not inv.holds(bad)

@@ -1,0 +1,112 @@
+"""Replay functions: Rshared (Fig. 8) and the fold framework."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Event,
+    FREE,
+    Log,
+    ReplayFn,
+    SharedCell,
+    Stuck,
+    VUNDEF,
+    own,
+    replay_owner,
+    replay_shared,
+)
+from repro.core.events import PULL, PUSH
+
+
+def pull(tid, loc="b"):
+    return Event(tid, PULL, (loc,))
+
+
+def push(tid, value, loc="b"):
+    return Event(tid, PUSH, (loc, value))
+
+
+class TestReplayShared:
+    def test_initial_state(self):
+        cell = replay_shared(Log(), "b")
+        assert cell.value == VUNDEF
+        assert cell.status.is_free
+
+    def test_pull_takes_ownership(self):
+        cell = replay_shared(Log([pull(1)]), "b")
+        assert cell.status == own(1)
+
+    def test_push_frees_and_stores(self):
+        cell = replay_shared(Log([pull(1), push(1, 42)]), "b")
+        assert cell.status.is_free
+        assert cell.value == 42
+
+    def test_value_survives_other_pull(self):
+        log = Log([pull(1), push(1, 42), pull(2)])
+        cell = replay_shared(log, "b")
+        assert cell.value == 42
+        assert cell.status == own(2)
+
+    def test_double_pull_is_race(self):
+        with pytest.raises(Stuck):
+            replay_shared(Log([pull(1), pull(2)]), "b")
+
+    def test_push_by_nonowner_is_race(self):
+        with pytest.raises(Stuck):
+            replay_shared(Log([pull(1), push(2, 0)]), "b")
+
+    def test_push_without_pull_is_race(self):
+        with pytest.raises(Stuck):
+            replay_shared(Log([push(1, 0)]), "b")
+
+    def test_other_locations_ignored(self):
+        log = Log([pull(1, "x"), pull(2, "y")])
+        assert replay_shared(log, "x").status == own(1)
+        assert replay_shared(log, "y").status == own(2)
+        assert replay_shared(log, "z").status.is_free
+
+    def test_unrelated_events_ignored(self):
+        log = Log([Event(1, "f"), pull(1), Event(2, "g")])
+        assert replay_shared(log, "b").status == own(1)
+
+    def test_replay_owner_helper(self):
+        assert replay_owner(Log([pull(3)]), "b") == 3
+        assert replay_owner(Log(), "b") is None
+
+    def test_unpacking(self):
+        value, status = replay_shared(Log([pull(1), push(1, 7)]), "b")
+        assert value == 7 and status is FREE or status.is_free
+
+    @given(st.lists(st.integers(1, 3), max_size=6))
+    def test_alternating_protocol_never_stuck(self, tids):
+        """Any sequence of complete pull/push round trips is race free."""
+        events = []
+        for tid in tids:
+            events.append(pull(tid))
+            events.append(push(tid, tid))
+        cell = replay_shared(Log(events), "b")
+        assert cell.status.is_free
+        if tids:
+            assert cell.value == tids[-1]
+
+
+class TestReplayFnFramework:
+    def test_custom_counter(self):
+        counter = ReplayFn(
+            "count",
+            lambda name: 0,
+            lambda state, event, name: state + (event.name == name),
+        )
+        log = Log([Event(1, "a"), Event(2, "b"), Event(1, "a")])
+        assert counter(log, "a") == 2
+        assert counter(log, "b") == 1
+
+    def test_accepts_plain_sequences(self):
+        assert replay_shared([pull(1)], "b").status == own(1)
+
+    def test_memoized(self):
+        log = Log([pull(1), push(1, 5)])
+        assert replay_shared(log, "b") is replay_shared(log, "b")
+
+    def test_repr(self):
+        assert "Rshared" in repr(replay_shared)

@@ -1,0 +1,213 @@
+"""The Def. 2.1 strategy-simulation checker."""
+
+import pytest
+
+from repro.core import (
+    Event,
+    EventMapRel,
+    ID_REL,
+    LayerInterface,
+    LogInvariant,
+    Rely,
+    Scenario,
+    SimConfig,
+    VerificationError,
+    check_scenarios,
+    check_sim,
+    enumerate_local_runs,
+    env_events_valid,
+    prim_player,
+    scenario_impl_player,
+    scenario_spec_player,
+    shared_prim,
+    simple_event_prim,
+)
+from repro.core.log import Log
+from repro.core.module import FuncImpl, Module
+
+
+def counter_iface(name="Cnt", domain=(1, 2)):
+    def bump_spec(ctx):
+        yield from ctx.query()
+        count = ctx.log.count("bump") + 1
+        ctx.emit("bump", ret=count)
+        return count
+
+    return LayerInterface(name, domain, {"bump": shared_prim("bump", bump_spec)})
+
+
+ENV_BUMP = (Event(2, "bump"),)
+
+
+class TestEnumerateLocalRuns:
+    def test_idle_env_single_run(self):
+        iface = counter_iface()
+        config = SimConfig(env_alphabet=[()], env_depth=2)
+        records = enumerate_local_runs(
+            iface, 1, prim_player("bump"), (), config
+        )
+        assert len(records) == 1
+        assert records[0].run.ret == 1
+
+    def test_branches_over_alphabet(self):
+        iface = counter_iface()
+        config = SimConfig(env_alphabet=[(), ENV_BUMP], env_depth=1)
+        records = enumerate_local_runs(
+            iface, 1, prim_player("bump"), (), config
+        )
+        rets = sorted(r.run.ret for r in records)
+        assert rets == [1, 2]  # env idle vs env bumped first
+
+    def test_depth_bounds_branching(self):
+        iface = counter_iface()
+        two_calls = scenario_spec_player(
+            Scenario("two", [("bump", ()), ("bump", ())], None)
+        )
+        config = SimConfig(env_alphabet=[(), ENV_BUMP], env_depth=2)
+        records = enumerate_local_runs(iface, 1, two_calls, (), config)
+        # 2 query points × binary alphabet → 4 behaviours.
+        assert len(records) == 4
+
+    def test_rely_prunes_invalid_envs(self):
+        iface = counter_iface().with_rely(
+            Rely({2: LogInvariant(
+                "no_bumps", lambda log: log.count("bump", tid=2) == 0
+            )})
+        )
+        config = SimConfig(env_alphabet=[(), ENV_BUMP], env_depth=1)
+        records = enumerate_local_runs(
+            iface, 1, prim_player("bump"), (), config
+        )
+        assert len(records) == 1  # only the idle env survives
+        assert records[0].run.ret == 1
+
+    def test_env_events_valid_helper(self):
+        rely = Rely({2: LogInvariant("none", lambda log: log.count("x", tid=2) == 0)})
+        assert env_events_valid(Log([Event(1, "x")]), rely, {2})
+        assert not env_events_valid(Log([Event(2, "x")]), rely, {2})
+
+
+class TestCheckSim:
+    def test_identical_players_related(self):
+        iface = counter_iface()
+        cert = check_sim(
+            iface, prim_player("bump"), iface, prim_player("bump"),
+            ID_REL, 1, SimConfig(env_alphabet=[(), ENV_BUMP], env_depth=1),
+            judgment="bump ≤ bump",
+        )
+        assert cert.ok
+        assert cert.obligation_count() > 2
+
+    def test_wrong_impl_detected(self):
+        iface = counter_iface()
+
+        def double_bump(ctx):
+            yield from ctx.call("bump")
+            ret = yield from ctx.call("bump")
+            return ret
+
+        cert = check_sim(
+            iface, double_bump, iface, prim_player("bump"),
+            ID_REL, 1, SimConfig(env_alphabet=[()], env_depth=1),
+            judgment="2bump ≤ bump",
+        )
+        assert not cert.ok
+
+    def test_wrong_ret_detected(self):
+        iface = counter_iface()
+
+        def lying_bump(ctx):
+            yield from ctx.call("bump")
+            return 999
+
+        cert = check_sim(
+            iface, lying_bump, iface, prim_player("bump"),
+            ID_REL, 1, SimConfig(env_alphabet=[()], env_depth=1),
+            judgment="lie ≤ bump",
+        )
+        assert not cert.ok
+        assert any("rets" in o.description for o in cert.failures)
+
+    def test_ret_comparison_disabled(self):
+        iface = counter_iface()
+
+        def lying_bump(ctx):
+            yield from ctx.call("bump")
+            return 999
+
+        cert = check_sim(
+            iface, lying_bump, iface, prim_player("bump"),
+            ID_REL, 1,
+            SimConfig(env_alphabet=[()], env_depth=1, compare_rets=False),
+            judgment="lie ≤ bump (rets ignored)",
+        )
+        assert cert.ok
+
+    def test_erasure_relation(self):
+        """A low machine with extra noise events refines the clean one."""
+        low = counter_iface("Low")
+
+        def noisy_bump(ctx):
+            ret = yield from ctx.call("bump")
+            ctx.emit("noise")
+            return ret
+
+        rel = EventMapRel("strip", erase={"noise"})
+        cert = check_sim(
+            low, noisy_bump, counter_iface("High"), prim_player("bump"),
+            rel, 1, SimConfig(env_alphabet=[(), ENV_BUMP], env_depth=1),
+            judgment="noisy ≤ clean",
+        )
+        assert cert.ok
+
+    def test_log_universe_collected(self):
+        iface = counter_iface()
+        cert = check_sim(
+            iface, prim_player("bump"), iface, prim_player("bump"),
+            ID_REL, 1, SimConfig(env_alphabet=[()], env_depth=1),
+            judgment="j",
+        )
+        assert cert.log_universe
+
+
+class TestScenarios:
+    def test_scenario_players_agree(self):
+        iface = counter_iface()
+        module = Module(
+            {"bump": FuncImpl("bump", prim_player("bump"))}, name="M"
+        )
+        scenario = Scenario(
+            "twice", [("bump", ()), ("bump", ())],
+            SimConfig(env_alphabet=[(), ENV_BUMP], env_depth=2),
+        )
+        cert = check_scenarios(
+            iface,
+            lambda s: scenario_impl_player(module, s),
+            iface,
+            ID_REL,
+            1,
+            [scenario],
+            judgment="module ≤ iface",
+        )
+        assert cert.ok
+
+    def test_per_query_delivery_mode(self):
+        iface = counter_iface()
+        module = Module(
+            {"bump": FuncImpl("bump", prim_player("bump"))}, name="M"
+        )
+        scenario = Scenario(
+            "twice", [("bump", ()), ("bump", ())],
+            SimConfig(env_alphabet=[(), ENV_BUMP], env_depth=2,
+                      delivery="per_query"),
+        )
+        cert = check_scenarios(
+            iface,
+            lambda s: scenario_impl_player(module, s),
+            iface,
+            ID_REL,
+            1,
+            [scenario],
+            judgment="module ≤ iface (per query)",
+        )
+        assert cert.ok

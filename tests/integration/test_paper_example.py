@@ -1,0 +1,196 @@
+"""The paper's §2 running example, end to end (Fig. 3 + Fig. 5).
+
+The client program ``P`` has two threads on two CPUs, each calling
+``foo()`` once; ``foo`` calls ``f`` and ``g`` inside a critical section
+protected by the ticket lock (module ``M2`` over ``L1``, which ``M1``
+implements over ``L0``).  This test builds the whole derivation of
+Fig. 5 and checks its conclusion — the contextual refinement
+``∀P, [[P ⊕ CompCertX(M1 ⊕ M2)]]_{L0[{1,2}]} ⊑ [[P]]_{L2[{1,2}]}`` —
+plus the intermediate log shapes the section narrates.
+"""
+
+import pytest
+
+from repro.clight import Call, CFunction, Const, Seq, TranslationUnit, Var
+from repro.clight.semantics import c_func_impl
+from repro.core import (
+    Event,
+    SimConfig,
+    behaviors_of,
+    check_refinement,
+    check_soundness,
+    module_rule,
+    vcomp,
+)
+from repro.core.certificate import Certificate
+from repro.core.interface import simple_event_prim
+from repro.core.module import Module
+from repro.core.relation import EventMapRel
+from repro.core.simulation import Scenario
+from repro.machine import lx86_interface
+from repro.objects.ticket_lock import (
+    atomic_env_alphabet,
+    certify_ticket_lock,
+    lock_guarantee,
+    lock_rely,
+)
+
+LOCK = "b"
+D = [1, 2]
+
+
+@pytest.fixture(scope="module")
+def fig3_stack():
+    """L0 (+f,g) → M1 (ticket lock) → L1 → M2 (foo) → L2."""
+    # L0: the lock substrate plus the f/g primitives of Fig. 3.
+    extra = [simple_event_prim("f"), simple_event_prim("g")]
+    base = lx86_interface(
+        D, extra_prims=extra,
+        rely=lock_rely(D, [LOCK]), guar=lock_guarantee(D, [LOCK]),
+    )
+    # The certify driver rebuilds interfaces; do the steps by hand so f/g
+    # ride along.
+    from repro.objects.ticket_lock import (
+        lock_atomic_interface,
+        lock_low_interface,
+        lock_relation,
+        lock_scenarios,
+        low_env_alphabet,
+        ticket_lock_unit,
+    )
+    from repro.core.calculus import interface_sim_rule, pcomp_all, weaken
+    from repro.core.relation import ID_REL
+
+    low = lock_low_interface(base)
+    atomic = lock_atomic_interface(
+        base, hide=["fai", "aload", "astore", "cas", "swap", "pull", "push"]
+    )
+    unit = ticket_lock_unit()
+    m1 = Module(
+        {"acq": c_func_impl(unit, "acq"), "rel": c_func_impl(unit, "rel")},
+        name="M1",
+    )
+    layers = []
+    for tid in D:
+        env = [t for t in D if t != tid]
+        low_cfg = SimConfig(
+            env_alphabet=low_env_alphabet(env, [LOCK]), env_depth=1,
+            fuel=1500, delivery="per_query",
+        )
+        at_cfg = SimConfig(
+            env_alphabet=atomic_env_alphabet(env, [LOCK]), env_depth=1,
+            fuel=1500,
+        )
+        fun = module_rule(base, m1, low, ID_REL, tid,
+                          lock_scenarios(LOCK, low_cfg))
+        lift = interface_sim_rule(low, atomic, lock_relation(), tid,
+                                  lock_scenarios(LOCK, at_cfg))
+        layers.append(weaken(fun, post=lift))
+    lock_layer = pcomp_all(layers)
+
+    # M2: void foo() { acq(b); f(); g(); rel(b); } over L1 = atomic.
+    foo_unit = TranslationUnit("M2")
+    foo_unit.add(CFunction("foo", [], Seq([
+        Call(None, "acq", [Const(LOCK)]),
+        Call(None, "f", []),
+        Call(None, "g", []),
+        Call(None, "rel", [Const(LOCK)]),
+    ]), doc="Fig. 3 foo"))
+
+    def foo_spec(ctx):
+        """L2's atomic foo: ?E, !i.foo — one event per call."""
+        yield from ctx.query()
+        ctx.emit("foo")
+        return None
+
+    from repro.core.interface import Prim
+
+    l2 = atomic.extend(
+        "L2", [Prim("foo", foo_spec, kind="atomic", cycle_cost=0)],
+        hide=["acq", "rel", "f", "g"],
+    )
+
+    def map_foo(event):
+        return (
+            Event(event.tid, "acq", (LOCK,)),
+            Event(event.tid, "f"),
+            Event(event.tid, "g"),
+            Event(event.tid, "rel", (LOCK, None)),  # untouched vundef data thaws to None
+        )
+
+    r2 = EventMapRel("R2", mapping={"foo": map_foo})
+    m2 = Module({"foo": c_func_impl(foo_unit, "foo")}, name="M2")
+
+    foo_layers = []
+    for tid in D:
+        env = [t for t in D if t != tid]
+        config = SimConfig(
+            env_alphabet=[()] + [
+                (Event(t, "foo"),) for t in env
+            ],
+            env_depth=1,
+            fuel=1500,
+        )
+        foo_layers.append(
+            module_rule(atomic, m2, l2, r2, tid,
+                        [Scenario("foo", [("foo", ())], config),
+                         Scenario("foofoo", [("foo", ()), ("foo", ())],
+                                  config)])
+        )
+    from repro.core.calculus import pcomp
+
+    foo_layer = pcomp(foo_layers[0], foo_layers[1])
+    # Vcomp: L0 ⊢_{R1∘R2} M1 ⊕ M2 : L2 (Fig. 5's vertical composition).
+    return vcomp(lock_layer, foo_layer)
+
+
+class TestFig3:
+    def test_full_derivation_composes(self, fig3_stack):
+        assert fig3_stack.certificate.ok
+        assert set(fig3_stack.module.names()) == {"acq", "rel", "foo"}
+        assert fig3_stack.focused == {1, 2}
+        assert "∘" in fig3_stack.relation.name
+
+    def test_soundness_for_the_client_P(self, fig3_stack):
+        """The Fig. 5 conclusion for P = {T1: foo, T2: foo}."""
+        cert = check_soundness(
+            fig3_stack,
+            clients=[{1: [("foo", ())], 2: [("foo", ())]}],
+            max_rounds=24,
+            require_progress=False,
+        )
+        assert cert.ok
+
+    def test_high_level_log_shape(self, fig3_stack):
+        """At L2 the only events are whole foo's, serialized per CPU."""
+        results = behaviors_of(
+            fig3_stack.overlay, {1: [("foo", ())], 2: [("foo", ())]},
+            None, max_rounds=12,
+        )
+        for result in results:
+            if not result.ok:
+                continue
+            names = [e.name for e in result.log.without_sched()]
+            assert names == ["foo", "foo"]
+
+    def test_low_level_log_shape(self, fig3_stack):
+        """At L0 the §2 narrative holds: whoever pulls first runs f, g
+        and releases before the other CPU pulls."""
+        results = behaviors_of(
+            fig3_stack.underlay, {1: [("foo", ())], 2: [("foo", ())]},
+            fig3_stack.module, max_rounds=24, fuel=20_000,
+        )
+        complete = [r for r in results if r.ok]
+        assert complete
+        for result in complete:
+            essential = [
+                (e.tid, e.name)
+                for e in result.log.without_sched()
+                if e.name in ("pull", "f", "g", "push")
+            ]
+            first = essential[0][0]
+            second = [t for t in D if t != first][0]
+            assert essential == [
+                (first, "pull"), (first, "f"), (first, "g"), (first, "push"),
+                (second, "pull"), (second, "f"), (second, "g"), (second, "push"),
+            ]

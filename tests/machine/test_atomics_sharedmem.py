@@ -1,0 +1,179 @@
+"""Atomic cells, push/pull memory, and the CPU-local interface."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Event, Log, Stuck, call_player, run_local, seq_player
+from repro.core.machint import UINT8, IntWidth
+from repro.machine import (
+    ALOAD,
+    ASTORE,
+    CAS,
+    FAI,
+    SWAP,
+    lx86_interface,
+    replay_atomic,
+)
+from repro.machine.sharedmem import local_copy, read_copy, write_copy
+
+
+@pytest.fixture
+def iface():
+    return lx86_interface([1, 2])
+
+
+CELL = ("counter", 0)
+
+
+class TestAtomicPrims:
+    def test_fai_returns_old(self, iface):
+        run = run_local(iface, 1, seq_player([(FAI, (CELL,)), (FAI, (CELL,))]))
+        assert run.ret == [0, 1]
+
+    def test_aload_astore(self, iface):
+        run = run_local(
+            iface, 1,
+            seq_player([(ASTORE, (CELL, 7)), (ALOAD, (CELL,))]),
+        )
+        assert run.ret[1] == 7
+
+    def test_cas_success_and_failure(self, iface):
+        run = run_local(
+            iface, 1,
+            seq_player([
+                (ASTORE, (CELL, 5)),
+                (CAS, (CELL, 5, 9)),
+                (CAS, (CELL, 5, 11)),
+                (ALOAD, (CELL,)),
+            ]),
+        )
+        assert run.ret[1] is True
+        assert run.ret[2] is False
+        assert run.ret[3] == 9
+
+    def test_swap(self, iface):
+        run = run_local(
+            iface, 1,
+            seq_player([(ASTORE, (CELL, 3)), (SWAP, (CELL, 8)), (ALOAD, (CELL,))]),
+        )
+        assert run.ret[1] == 3
+        assert run.ret[2] == 8
+
+    def test_cells_independent(self, iface):
+        other = ("counter", 1)
+        run = run_local(
+            iface, 1,
+            seq_player([(FAI, (CELL,)), (ALOAD, (other,))]),
+        )
+        assert run.ret == [0, 0]
+
+    def test_width_wraps(self):
+        iface8 = lx86_interface([1], width=UINT8)
+        calls = [(FAI, (CELL,))] * 257
+        run = run_local(iface8, 1, seq_player(calls), fuel=2000)
+        assert run.ret[-1] == 0  # wrapped back around
+
+    def test_forged_ret_detected(self):
+        log = Log([Event(1, FAI, (CELL,), 5)])  # claims old value 5
+        with pytest.raises(Stuck):
+            replay_atomic(log, CELL)
+
+
+class TestReplayAtomic:
+    def test_initial_zero(self):
+        assert replay_atomic(Log(), CELL) == 0
+
+    def test_fold_sequence(self):
+        log = Log([
+            Event(1, ASTORE, (CELL, 10)),
+            Event(2, FAI, (CELL,)),
+            Event(1, SWAP, (CELL, 3)),
+        ])
+        assert replay_atomic(log, CELL) == 3
+
+    def test_cas_only_applies_on_match(self):
+        log = Log([Event(1, CAS, (CELL, 0, 5))])
+        assert replay_atomic(log, CELL) == 5
+        log2 = Log([Event(1, CAS, (CELL, 9, 5))])
+        assert replay_atomic(log2, CELL) == 0
+
+    @given(st.lists(st.integers(0, 300), max_size=8))
+    def test_astore_wraps_at_width(self, values):
+        events = [Event(1, ASTORE, (CELL, v)) for v in values]
+        result = replay_atomic(Log(events), CELL, 8)
+        expected = IntWidth(8).wrap(values[-1]) if values else 0
+        assert result == expected
+
+
+class TestPushPull:
+    def test_pull_loads_undefined_as_none(self, iface):
+        run = run_local(iface, 1, call_player("pull", "b"))
+        assert run.ok
+        assert run.ret is None
+        assert run.ctx.priv["shared"]["b"] is None
+
+    def test_push_publishes_value(self, iface):
+        def player(ctx):
+            yield from ctx.call("pull", "b")
+            local_copy(ctx)["b"] = {"x": 1}
+            yield from ctx.call("push", "b")
+            value = yield from ctx.call("pull", "b")
+            return value
+
+        run = run_local(iface, 1, player)
+        assert run.ret == {"x": 1}
+
+    def test_push_without_pull_sticks(self, iface):
+        run = run_local(iface, 1, call_player("push", "b"))
+        assert not run.ok
+
+    def test_double_pull_race_sticks(self, iface):
+        env_pull = Event(2, "pull", ("b",))
+        from repro.core import ScriptedEnv
+
+        run = run_local(
+            iface, 1, call_player("pull", "b"),
+            env=ScriptedEnv([(env_pull,)]),
+        )
+        assert not run.ok
+        assert "race" in run.stuck
+
+    def test_critical_state_maintained(self, iface):
+        def player(ctx):
+            yield from ctx.call("pull", "b")
+            depth_inside = ctx.critical
+            yield from ctx.call("push", "b")
+            return (depth_inside, ctx.critical)
+
+        run = run_local(iface, 1, player)
+        assert run.ret == (1, 0)
+
+    def test_read_write_copy_helpers(self, iface):
+        def player(ctx):
+            yield from ctx.call("pull", "b")
+            write_copy(ctx, "b", 42)
+            value = read_copy(ctx, "b")
+            yield from ctx.call("push", "b")
+            return value
+
+        assert run_local(iface, 1, player).ret == 42
+
+    def test_copy_access_without_ownership_sticks(self, iface):
+        def player(ctx):
+            read_copy(ctx, "b")
+            return None
+            yield
+
+        assert not run_local(iface, 1, player).ok
+
+
+class TestLx86Interface:
+    def test_has_all_prims(self, iface):
+        for name in (FAI, CAS, SWAP, ALOAD, ASTORE, "pull", "push"):
+            assert iface.has(name)
+
+    def test_extra_prims(self):
+        from repro.core import simple_event_prim
+
+        iface = lx86_interface([1], extra_prims=[simple_event_prim("f")])
+        assert iface.has("f")

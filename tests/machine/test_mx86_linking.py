@@ -1,0 +1,103 @@
+"""The multicore machine Mx86, hardware schedulers, and Thm 3.1."""
+
+import pytest
+
+from repro.core import Event, Log, hw_sched
+from repro.machine import (
+    FairScheduler,
+    Mx86State,
+    SeededScheduler,
+    check_multicore_linking,
+    fair_scheduler_family,
+    lx86_interface,
+    mx86_behaviors,
+    reconstruct_state,
+)
+from repro.core.machine import run_game, seq_player
+
+
+@pytest.fixture
+def iface():
+    return lx86_interface([1, 2])
+
+
+class TestMx86State:
+    def test_reconstruct_from_log(self):
+        log = Log([
+            hw_sched(1),
+            Event(1, "pull", ("b",)),
+            Event(1, "push", ("b", 42)),
+            hw_sched(2),
+        ])
+        state = reconstruct_state(log, locations=["b"])
+        assert state.current_cpu == 2
+        assert state.shared_mem["b"] == 42
+        assert state.abstract["b"].is_free
+        assert state.log is log
+
+    def test_fine_grained_behaviours_superset(self, iface):
+        """Mx86's fine interleaving produces at least the layer logs."""
+        players = {
+            1: (seq_player([("fai", (("c", 0),))]), ()),
+            2: (seq_player([("fai", (("c", 0),))]), ()),
+        }
+        hw = mx86_behaviors(iface, players, max_rounds=16)
+        assert hw
+        assert all(r.ok for r in hw)
+
+
+class TestSchedulers:
+    def test_seeded_deterministic(self):
+        a = SeededScheduler(7)
+        b = SeededScheduler(7)
+        log = Log()
+        picks_a = [a.pick(log, frozenset({1, 2, 3})) for _ in range(10)]
+        picks_b = [b.pick(log, frozenset({1, 2, 3})) for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_fair_scheduler_never_starves(self):
+        sched = FairScheduler([1, 2, 3], bound=3)
+        log = Log()
+        ready = frozenset({1, 2, 3})
+        history = [sched.pick(log, ready) for _ in range(30)]
+        for tid in (1, 2, 3):
+            gaps = [i for i, t in enumerate(history) if t == tid]
+            assert gaps, f"{tid} never scheduled"
+            assert all(b - a <= 3 for a, b in zip(gaps, gaps[1:]))
+
+    def test_fair_family_covers_rotations(self):
+        family = fair_scheduler_family([1, 2], bound=4)
+        assert len(family) == 4
+
+    def test_fair_scheduler_in_game(self, iface):
+        players = {
+            1: (seq_player([("fai", (("c", 0),))] * 3), ()),
+            2: (seq_player([("fai", (("c", 0),))] * 3), ()),
+        }
+        result = run_game(iface, players, FairScheduler([1, 2], 2))
+        assert result.ok
+        assert result.log.without_sched().count("fai") == 6
+
+
+class TestMulticoreLinking:
+    def test_theorem_3_1(self, iface):
+        """Every fine-grained hardware log is a layer log (Thm 3.1)."""
+        cert = check_multicore_linking(
+            iface,
+            clients=[
+                {1: [("fai", (("c", 0),))], 2: [("fai", (("c", 0),))]},
+            ],
+            max_rounds=16,
+        )
+        assert cert.ok
+
+    def test_with_pull_push_clients(self, iface):
+        cert = check_multicore_linking(
+            iface,
+            clients=[
+                {1: [("pull", ("b",)), ("push", ("b",))],
+                 2: [("fai", (("c", 0),))]},
+            ],
+            max_rounds=20,
+        )
+        assert cert.ok

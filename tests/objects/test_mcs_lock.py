@@ -1,0 +1,160 @@
+"""The MCS lock: replay, derivation, interchangeability with ticket."""
+
+import pytest
+
+from repro.core import Event, Log, enumerate_game_logs
+from repro.machine import lx86_interface
+from repro.machine.atomics import ASTORE, CAS, SWAP
+from repro.objects.mcs_lock import (
+    busy_cell,
+    certify_mcs_lock,
+    mcs_acq_impl,
+    mcs_lock_unit,
+    mcs_protocol_inv,
+    mcs_rel_impl,
+    mcs_rely,
+    node_id,
+    replay_mcs_queue,
+    tail_cell,
+    tid_prims,
+)
+
+
+class TestReplayMcsQueue:
+    def test_empty(self):
+        assert replay_mcs_queue(Log(), "L") == []
+
+    def test_join_and_leave_by_cas(self):
+        log = Log([
+            Event(1, SWAP, (tail_cell("L"), node_id(1))),
+            Event(1, CAS, (tail_cell("L"), node_id(1), 0)),
+        ])
+        assert replay_mcs_queue(log, "L") == []
+
+    def test_fifo_order(self):
+        log = Log([
+            Event(1, SWAP, (tail_cell("L"), node_id(1))),
+            Event(2, SWAP, (tail_cell("L"), node_id(2))),
+        ])
+        assert replay_mcs_queue(log, "L") == [1, 2]
+
+    def test_handoff_pops_head(self):
+        log = Log([
+            Event(1, SWAP, (tail_cell("L"), node_id(1))),
+            Event(2, SWAP, (tail_cell("L"), node_id(2))),
+            Event(1, ASTORE, (busy_cell("L", 2), 0)),
+        ])
+        assert replay_mcs_queue(log, "L") == [2]
+
+    def test_failed_cas_keeps_queue(self):
+        log = Log([
+            Event(1, SWAP, (tail_cell("L"), node_id(1))),
+            Event(2, SWAP, (tail_cell("L"), node_id(2))),
+            Event(1, CAS, (tail_cell("L"), node_id(1), 0)),  # fails: 2 joined
+        ])
+        assert replay_mcs_queue(log, "L") == [1, 2]
+
+
+class TestMcsProtocol:
+    def test_pull_by_head_ok(self):
+        inv = mcs_protocol_inv(["L"])
+        log = Log([
+            Event(1, SWAP, (tail_cell("L"), node_id(1))),
+            Event(1, "pull", ("L",)),
+        ])
+        assert inv.holds(log)
+
+    def test_pull_by_nonhead_rejected(self):
+        inv = mcs_protocol_inv(["L"])
+        log = Log([
+            Event(1, SWAP, (tail_cell("L"), node_id(1))),
+            Event(2, SWAP, (tail_cell("L"), node_id(2))),
+            Event(2, "pull", ("L",)),
+        ])
+        assert not inv.holds(log)
+
+    def test_handoff_by_nonhead_rejected(self):
+        inv = mcs_protocol_inv(["L"])
+        log = Log([
+            Event(1, SWAP, (tail_cell("L"), node_id(1))),
+            Event(2, SWAP, (tail_cell("L"), node_id(2))),
+            Event(2, ASTORE, (busy_cell("L", 1), 0)),
+        ])
+        assert not inv.holds(log)
+
+
+class TestDerivation:
+    def test_full_derivation(self):
+        stack = certify_mcs_lock([1, 2], lock="q0")
+        assert stack.composed.certificate.ok
+        assert stack.composed.focused == {1, 2}
+
+    def test_same_atomic_interface_as_ticket(self):
+        """The §6 interchangeability claim: both locks implement L_lock."""
+        from repro.objects.ticket_lock import certify_ticket_lock
+
+        ticket = certify_ticket_lock([1, 2], lock="q0")
+        mcs = certify_mcs_lock([1, 2], lock="q0")
+        assert set(ticket.atomic.prims) == set(mcs.atomic.prims)
+        # Both export atomic acq/rel with identical specifications.
+        for name in ("acq", "rel"):
+            assert ticket.atomic.prims[name].spec is mcs.atomic.prims[name].spec
+
+    def test_python_impl_variant(self):
+        stack = certify_mcs_lock([1, 2], lock="q0", use_c_source=False)
+        assert stack.composed.certificate.ok
+
+
+class TestGames:
+    def worker(self, ctx, lock):
+        yield from mcs_acq_impl(ctx, lock)
+        yield from mcs_rel_impl(ctx, lock)
+        return "done"
+
+    def test_contended_games_race_free(self):
+        D = [1, 2]
+        base = lx86_interface(D, extra_prims=tid_prims())
+        results = enumerate_game_logs(
+            base,
+            {1: (self.worker, ("q0",)), 2: (self.worker, ("q0",))},
+            fuel=3000,
+            max_rounds=14,
+            max_runs=60_000,
+        )
+        assert results
+        assert all(r.stuck is None for r in results)
+        assert any(r.ok for r in results)
+        for result in results:
+            if result.ok:
+                pulls = [e.tid for e in result.log if e.name == "pull"]
+                assert len(pulls) == 2
+
+    def test_fifo_handoff_under_contention(self):
+        """Whoever swaps into the tail first gets the lock first."""
+        D = [1, 2]
+        base = lx86_interface(D, extra_prims=tid_prims())
+        results = enumerate_game_logs(
+            base,
+            {1: (self.worker, ("q0",)), 2: (self.worker, ("q0",))},
+            fuel=3000,
+            max_rounds=14,
+            max_runs=60_000,
+        )
+        for result in results:
+            if not result.ok:
+                continue
+            swaps = [e.tid for e in result.log if e.name == SWAP]
+            pulls = [e.tid for e in result.log if e.name == "pull"]
+            assert swaps == pulls  # FIFO: service order = join order
+
+
+class TestCSource:
+    def test_unit_shape(self):
+        unit = mcs_lock_unit()
+        assert set(unit.functions) == {"acq", "rel"}
+
+    def test_compiles(self):
+        from repro.compiler import compile_unit
+
+        asm_unit = compile_unit(mcs_lock_unit())
+        assert set(asm_unit.functions) == {"acq", "rel"}

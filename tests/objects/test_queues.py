@@ -1,0 +1,271 @@
+"""Local (sequential) queue data refinement and the shared queue object."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clight import c_player
+from repro.core import Event, Log, Stuck, enumerate_game_logs, run_local
+from repro.machine import lx86_interface
+from repro.objects.local_queue import (
+    NIL,
+    linked_deq,
+    linked_enq,
+    linked_rmv,
+    linked_to_list,
+    local_queue_unit,
+    model_deq,
+    model_enq,
+    model_rmv,
+    new_queue,
+)
+from repro.objects.shared_queue import (
+    QueueRel,
+    certify_shared_queue,
+    deq_impl,
+    enq_impl,
+    replay_shared_queue,
+    shared_queue_unit,
+)
+
+
+class TestLinkedQueueModel:
+    """Differential testing: linked structure vs logical list (the §6
+    'queue is a logical list in the spec, doubly linked in the impl')."""
+
+    def test_empty_abstracts_to_nil(self):
+        assert linked_to_list(new_queue(4)) == []
+
+    def test_enq_deq_roundtrip(self):
+        queue = new_queue(4)
+        linked_enq(queue, 1)
+        linked_enq(queue, 3)
+        assert linked_to_list(queue) == [1, 3]
+        assert linked_deq(queue) == 1
+        assert linked_to_list(queue) == [3]
+
+    def test_deq_empty_returns_nil(self):
+        assert linked_deq(new_queue(4)) == NIL
+
+    def test_rmv_interior(self):
+        queue = new_queue(4)
+        for nid in (1, 2, 3):
+            linked_enq(queue, nid)
+        linked_rmv(queue, 2)
+        assert linked_to_list(queue) == [1, 3]
+
+    def test_rmv_head_and_tail(self):
+        queue = new_queue(4)
+        for nid in (1, 2, 3):
+            linked_enq(queue, nid)
+        linked_rmv(queue, 1)
+        linked_rmv(queue, 3)
+        assert linked_to_list(queue) == [2]
+
+    def test_malformed_detected(self):
+        queue = new_queue(4)
+        linked_enq(queue, 1)
+        linked_enq(queue, 2)
+        queue["next"][2] = 1  # cycle
+        with pytest.raises(ValueError):
+            linked_to_list(queue)
+
+    @settings(max_examples=80)
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("enq"), st.integers(1, 6)),
+            st.tuples(st.just("deq"), st.just(0)),
+            st.tuples(st.just("rmv"), st.integers(1, 6)),
+        ),
+        max_size=14,
+    ))
+    def test_data_refinement_property(self, ops):
+        """Every op sequence commutes with the abstraction function."""
+        queue = new_queue(6)
+        model = []
+        members = set()
+        for op, nid in ops:
+            if op == "enq":
+                if nid in members:
+                    continue  # precondition: node in one position at most
+                linked_enq(queue, nid)
+                model = model_enq(model, nid)
+                members.add(nid)
+            elif op == "deq":
+                got = linked_deq(queue)
+                expected, model = model_deq(model)
+                assert got == expected
+                members.discard(got)
+            else:  # rmv
+                if nid not in members:
+                    continue  # precondition: only remove members
+                linked_rmv(queue, nid)
+                model = model_rmv(model, nid)
+                members.discard(nid)
+            assert linked_to_list(queue) == model
+
+
+class TestLocalQueueC:
+    """The mini-C queue body against the Python model."""
+
+    def run_ops(self, ops):
+        unit = local_queue_unit(capacity=6, num_queues=1)
+        iface = lx86_interface([1])
+        results = []
+
+        def player(ctx):
+            interp_results = []
+            from repro.clight.semantics import Interp
+
+            interp = Interp(unit)
+            for op, nid in ops:
+                if op == "enq":
+                    yield from interp.run_function(ctx, "enQ_t", [0, nid])
+                elif op == "deq":
+                    ret = yield from interp.run_function(ctx, "deQ_t", [0])
+                    interp_results.append(ret)
+                elif op == "rmv":
+                    yield from interp.run_function(ctx, "rmv_t", [0, nid])
+                elif op == "inq":
+                    ret = yield from interp.run_function(ctx, "inQ_t", [0, nid])
+                    interp_results.append(ret)
+            from repro.clight.semantics import unit_globals
+
+            return interp_results, unit_globals(ctx, unit)["tdqp"][0]
+
+        return run_local(iface, 1, player, fuel=50_000)
+
+    def test_c_queue_matches_model(self):
+        run = self.run_ops([
+            ("enq", 1), ("enq", 2), ("enq", 3),
+            ("deq", 0), ("rmv", 3), ("enq", 4), ("deq", 0), ("deq", 0),
+        ])
+        assert run.ok
+        rets, queue = run.ret
+        assert rets == [1, 2, 4]
+        assert linked_to_list(queue) == []
+
+    def test_c_inq_membership(self):
+        run = self.run_ops([("enq", 2), ("inq", 2), ("inq", 3)])
+        rets, _queue = run.ret
+        assert rets == [1, 0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("enq"), st.integers(1, 5)),
+            st.tuples(st.just("deq"), st.just(0)),
+        ),
+        max_size=8,
+    ))
+    def test_c_queue_random_ops(self, ops):
+        # Filter to sequences respecting the at-most-one-position
+        # precondition, tracking membership through the model.
+        filtered, model, expected_rets = [], [], []
+        for op, nid in ops:
+            if op == "enq":
+                if nid in model:
+                    continue  # would double-enqueue a live node
+                model = model_enq(model, nid)
+            else:
+                got, model = model_deq(model)
+                expected_rets.append(got)
+            filtered.append((op, nid))
+        run = self.run_ops(filtered)
+        assert run.ok
+        rets, queue = run.ret
+        assert rets == expected_rets
+        assert linked_to_list(queue) == model
+
+
+class TestReplaySharedQueue:
+    def test_fold(self):
+        log = Log([
+            Event(1, "enQ", ("q", 1)),
+            Event(2, "enQ", ("q", 2)),
+            Event(1, "deQ", ("q",), 1),
+        ])
+        assert replay_shared_queue(log, "q") == [2]
+
+    def test_forged_deq_sticks(self):
+        log = Log([Event(1, "enQ", ("q", 1)), Event(1, "deQ", ("q",), 9)])
+        with pytest.raises(Stuck):
+            replay_shared_queue(log, "q")
+
+
+class TestSharedQueueCertification:
+    def test_certifies_over_atomic_lock_layer(self):
+        result = certify_shared_queue([1, 2], queue="rdq")
+        assert result["composed"].certificate.ok
+        assert result["composed"].focused == {1, 2}
+
+    def test_python_impl_variant(self):
+        result = certify_shared_queue([1, 2], queue="rdq", use_c_source=False)
+        assert result["composed"].certificate.ok
+
+    def test_queue_rel_relates_paper_shape(self):
+        """acq...rel pairs merge into single deQ/enQ events (§4.2)."""
+        from repro.core.events import freeze
+
+        rel = QueueRel(["q"])
+        value = new_queue(8)
+        linked_enq(value, 1)
+        low = Log([
+            Event(1, "acq", ("q",)),
+            Event(1, "rel", ("q", freeze(value))),
+        ])
+        high = Log([Event(1, "enQ", ("q", 1))])
+        assert rel.relate_logs(low, high)
+
+    def test_queue_rel_rejects_wrong_value(self):
+        from repro.core.events import freeze
+
+        rel = QueueRel(["q"])
+        low = Log([
+            Event(1, "acq", ("q",)),
+            Event(1, "rel", ("q", freeze(new_queue(8)))),  # empty!
+        ])
+        high = Log([Event(1, "enQ", ("q", 1))])
+        assert not rel.relate_logs(low, high)
+
+
+class TestSharedQueueGames:
+    def test_concurrent_enq_deq_linearizes(self):
+        """Impl-level games over the atomic lock layer stay consistent."""
+        from repro.objects.qlock import ql_alloc_prim
+        from repro.objects.shared_queue import q_alloc_prim
+        from repro.objects.ticket_lock import (
+            lock_atomic_interface,
+            lock_guarantee,
+            lock_rely,
+        )
+
+        D = [1, 2]
+        base = lx86_interface(
+            D, rely=lock_rely(D, ["q"]), guar=lock_guarantee(D, ["q"])
+        )
+        layer = lock_atomic_interface(
+            base, hide=["fai", "aload", "astore", "cas", "swap", "pull", "push"]
+        ).extend("L+q", [q_alloc_prim()])
+
+        def producer(ctx):
+            yield from enq_impl(ctx, "q", 1)
+            yield from enq_impl(ctx, "q", 2)
+            return "p"
+
+        def consumer(ctx):
+            a = yield from deq_impl(ctx, "q")
+            b = yield from deq_impl(ctx, "q")
+            return (a, b)
+
+        results = enumerate_game_logs(
+            layer, {1: (producer, ()), 2: (consumer, ())},
+            fuel=4000, max_rounds=14,
+        )
+        assert all(r.stuck is None for r in results)
+        for result in results:
+            if not result.ok:
+                continue
+            got = result.rets[2]
+            # Consumer sees a prefix-consistent view: possible outcomes
+            # are any FIFO-consistent combination with empties (NIL=0).
+            assert got in {(0, 0), (0, 1), (1, 0), (1, 2), (0, 2)} or got == (1, 2)

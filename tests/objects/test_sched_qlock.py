@@ -1,0 +1,182 @@
+"""The scheduler replay, queuing lock, CV and IPC correctness checks."""
+
+import pytest
+
+from repro.core import Event, Log
+from repro.objects.condvar import check_condvar_correctness, cv_chan
+from repro.objects.ipc import check_ipc_correctness
+from repro.objects.qlock import (
+    check_qlock_correctness,
+    ql_chan,
+    ql_loc,
+    qlock_unit,
+    replay_qlock_busy,
+)
+from repro.objects.sched import (
+    CpuMap,
+    NIL_THREAD,
+    SchedState,
+    TEXIT,
+    idle_next,
+    pendq,
+    rdq,
+    replay_current,
+    replay_sched,
+    replay_slpq,
+    slpq,
+)
+
+
+CPUS = CpuMap({1: 0, 2: 0, 3: 0})
+INIT = {0: 1}
+
+
+class TestCpuMap:
+    def test_threads_on(self):
+        cpus = CpuMap({1: 0, 2: 1, 3: 0})
+        assert cpus.threads_on(0) == [1, 3]
+        assert cpus.cpus == [0, 1]
+        assert cpus.cpu_of(2) == 1
+
+
+class TestReplaySched:
+    def test_initial_ready_set(self):
+        states = replay_sched(Log(), CPUS, INIT)
+        assert states[0].current == 1
+        assert states[0].ready == [2, 3]
+
+    def test_yield_switches_and_requeues(self):
+        log = Log([Event(1, "yield", (2,))])
+        state = replay_sched(log, CPUS, INIT)[0]
+        assert state.current == 2
+        assert state.ready == [3, 1]
+
+    def test_noop_yield(self):
+        solo = CpuMap({1: 0})
+        log = Log([Event(1, "yield", (1,))])
+        state = replay_sched(log, solo, {0: 1})[0]
+        assert state.current == 1
+
+    def test_sleep_removes_from_rotation(self):
+        log = Log([Event(1, "sleep", (9, 2))])
+        state = replay_sched(log, CPUS, INIT)[0]
+        assert state.current == 2
+        assert 1 not in state.ready
+
+    def test_wakeup_local_goes_ready(self):
+        log = Log([
+            Event(1, "sleep", (9, 2)),
+            Event(2, "wakeup", (9, 1)),
+        ])
+        state = replay_sched(log, CPUS, INIT)[0]
+        assert 1 in state.ready
+
+    def test_wakeup_remote_goes_pending(self):
+        cpus = CpuMap({1: 0, 2: 0, 3: 1})
+        log = Log([
+            Event(1, "sleep", (9, 2)),
+            Event(3, "wakeup", (9, 1)),
+        ])
+        states = replay_sched(log, cpus, {0: 1, 1: 3})
+        assert 1 in states[0].pending
+
+    def test_texit_idles_cpu_when_alone(self):
+        solo = CpuMap({1: 0})
+        log = Log([Event(1, TEXIT, (NIL_THREAD,))])
+        assert replay_current(log, 0, solo, {0: 1}) == NIL_THREAD
+
+    def test_idle_next(self):
+        state = SchedState(current=NIL_THREAD, ready=[5], pending=[7])
+        assert idle_next(state) == 5
+        assert idle_next(SchedState(current=NIL_THREAD)) == NIL_THREAD
+
+    def test_replay_slpq(self):
+        log = Log([
+            Event(1, "sleep", (9, 2)),
+            Event(2, "sleep", (9, 3)),
+            Event(3, "wakeup", (9, 1)),
+        ])
+        assert replay_slpq(log, 9) == [2]
+
+    def test_queue_names_distinct(self):
+        assert rdq(0) != pendq(0) != slpq(0)
+
+
+class TestQlock:
+    def test_single_cpu_correctness(self):
+        cert = check_qlock_correctness(CPUS, INIT, lock=5, rounds=1)
+        assert cert.ok
+
+    def test_two_rounds(self):
+        cert = check_qlock_correctness(
+            CpuMap({1: 0, 2: 0}), {0: 1}, lock=5, rounds=2
+        )
+        assert cert.ok
+
+    def test_dual_cpu_correctness(self):
+        cert = check_qlock_correctness(
+            CpuMap({1: 0, 2: 0, 3: 1, 4: 1}), {0: 1, 1: 3},
+            lock=5, rounds=1, max_choice_depth=6,
+        )
+        assert cert.ok
+        assert cert.bounds["schedules"] > 10
+
+    def test_replay_qlock_busy_tracks_handoff(self):
+        from repro.core.events import freeze
+
+        log = Log([
+            Event(1, "acq", (ql_loc(5),)),
+            Event(1, "rel", (ql_loc(5), freeze({"busy": 1}))),
+        ])
+        assert replay_qlock_busy(log, 5) == 1
+
+    def test_c_source_exists(self):
+        unit = qlock_unit()
+        assert set(unit.functions) == {"acq_q", "rel_q"}
+
+
+class TestCondvar:
+    def test_producer_consumer_single_cpu(self):
+        cert = check_condvar_correctness(
+            CpuMap({1: 0, 2: 0}), {0: 1},
+            producers={1: 2}, consumers={2: 2}, capacity=1,
+        )
+        assert cert.ok
+
+    def test_producer_consumer_dual_cpu(self):
+        cert = check_condvar_correctness(
+            CpuMap({1: 0, 2: 0, 3: 1}), {0: 1, 1: 3},
+            producers={1: 1, 3: 1}, consumers={2: 2}, capacity=1,
+            max_choice_depth=6,
+        )
+        assert cert.ok
+
+    def test_capacity_two(self):
+        cert = check_condvar_correctness(
+            CpuMap({1: 0, 2: 0}), {0: 1},
+            producers={1: 3}, consumers={2: 3}, capacity=2,
+        )
+        assert cert.ok
+
+
+class TestIpc:
+    def test_rendezvous_single_cpu(self):
+        cert = check_ipc_correctness(
+            CpuMap({1: 0, 2: 0}), {0: 1},
+            senders={1: ["a", "b"]}, receivers={2: 2},
+        )
+        assert cert.ok
+
+    def test_rendezvous_cross_cpu(self):
+        cert = check_ipc_correctness(
+            CpuMap({1: 0, 2: 1}), {0: 1, 1: 2},
+            senders={1: ["x"]}, receivers={2: 1}, max_choice_depth=6,
+        )
+        assert cert.ok
+
+    def test_two_senders_one_receiver(self):
+        cert = check_ipc_correctness(
+            CpuMap({1: 0, 2: 0, 3: 0}), {0: 1},
+            senders={1: ["a"], 3: ["b"]}, receivers={2: 2},
+        )
+        assert cert.ok

@@ -1,0 +1,207 @@
+"""Multithreaded layers: interfaces, Thm 5.1, thread-local semantics,
+stack merging."""
+
+import pytest
+
+from repro.core import Event
+from repro.core.events import SLEEP, WAKEUP, YIELD
+from repro.objects.sched import CpuMap, TEXIT
+from repro.threads import (
+    build_lbtd,
+    build_lhtd,
+    build_thread_underlay,
+    canonical_skeleton,
+    check_multithreaded_linking,
+    check_stack_merge,
+    enumerate_thread_games,
+    focus_threads,
+    initial_ready_log,
+    sched_projection,
+    yield_back_terminates,
+)
+
+
+def yielder(n):
+    def player(ctx):
+        for _ in range(n):
+            yield from ctx.call(YIELD)
+        return f"done{ctx.tid}"
+
+    return player
+
+
+def sleeper(chan=9):
+    def player(ctx):
+        yield from ctx.call(SLEEP, chan)
+        return "woke"
+
+    return player
+
+
+def waker(chan=9):
+    def player(ctx):
+        yield from ctx.call(YIELD)
+        woken = yield from ctx.call(WAKEUP, chan)
+        yield from ctx.call(YIELD)
+        return ("woke", woken)
+
+    return player
+
+
+class TestInterfaceBuilders:
+    def test_underlay_has_lock_and_queue_prims(self):
+        iface = build_thread_underlay([1, 2], locks=["L"])
+        for name in ("acq", "rel", "deQ", "enQ", "q_alloc"):
+            assert iface.has(name)
+
+    def test_lbtd_exposes_queues(self):
+        cpus = CpuMap({1: 0, 2: 0})
+        iface = build_lbtd(cpus, {0: 1})
+        assert iface.has("yield") and iface.has("deQ")
+
+    def test_lhtd_hides_queues(self):
+        cpus = CpuMap({1: 0, 2: 0})
+        iface = build_lhtd(cpus, {0: 1})
+        assert iface.has("yield") and not iface.has("deQ")
+        assert iface.has("sleep") and iface.has("wakeup") and iface.has(TEXIT)
+
+    def test_initial_ready_log(self):
+        cpus = CpuMap({1: 0, 2: 0, 3: 0})
+        boot = initial_ready_log(cpus, {0: 1})
+        assert len(boot) == 2  # threads 2 and 3 enqueued
+
+    def test_focus_threads_restricts_guarantee(self):
+        from repro.core.rely_guarantee import FALSE_INV, Guarantee
+
+        cpus = CpuMap({1: 0, 2: 0})
+        iface = build_lhtd(cpus, {0: 1}).with_guar(
+            Guarantee({1: FALSE_INV, 2: FALSE_INV})
+        )
+        focused = focus_threads(iface, [1])
+        assert 2 not in focused.guar.conditions
+
+
+class TestMultithreadedLinking:
+    def test_yield_only_single_cpu(self, single_cpu_threads):
+        cpus, init = single_cpu_threads
+        lbtd, lhtd = build_lbtd(cpus, init), build_lhtd(cpus, init)
+        players = {
+            1: (yielder(2), ()), 2: (yielder(2), ()), 3: (yielder(1), ()),
+        }
+        cert = check_multithreaded_linking(
+            lbtd, lhtd, cpus, init, [players], require_completeness=True
+        )
+        assert cert.ok
+
+    def test_sleep_wakeup_single_cpu(self, single_cpu_threads):
+        cpus, init = single_cpu_threads
+        lbtd, lhtd = build_lbtd(cpus, init), build_lhtd(cpus, init)
+        players = {
+            1: (sleeper(), ()), 2: (waker(), ()), 3: (yielder(1), ()),
+        }
+        cert = check_multithreaded_linking(
+            lbtd, lhtd, cpus, init, [players], require_completeness=True
+        )
+        assert cert.ok
+
+    def test_cross_cpu_wakeup(self, dual_cpu_threads):
+        cpus, init = dual_cpu_threads
+        lbtd, lhtd = build_lbtd(cpus, init), build_lhtd(cpus, init)
+        players = {
+            1: (sleeper(), ()), 2: (yielder(1), ()),
+            3: (waker(), ()), 4: (yielder(1), ()),
+        }
+        cert = check_multithreaded_linking(
+            lbtd, lhtd, cpus, init, [players],
+            max_rounds=120, max_choice_depth=8,
+        )
+        assert cert.ok
+
+    def test_lost_wakeup_diverges_consistently(self, dual_cpu_threads):
+        """The unprotected sleep/wakeup race diverges at both levels —
+        divergent behaviours must also match (legitimate, not a bug)."""
+        cpus, init = dual_cpu_threads
+        lbtd, lhtd = build_lbtd(cpus, init), build_lhtd(cpus, init)
+        players = {
+            1: (sleeper(), ()), 2: (yielder(1), ()),
+            3: (waker(), ()), 4: (yielder(1), ()),
+        }
+        low = enumerate_thread_games(
+            lbtd, players, cpus, init, max_rounds=120, max_choice_depth=8
+        )
+        assert any(not r.finished for r in low)  # the race is real
+
+
+class TestThreadLocal:
+    def test_yield_back_terminates(self, single_cpu_threads):
+        cpus, init = single_cpu_threads
+        lhtd = build_lhtd(cpus, init)
+        cert = yield_back_terminates(lhtd, 1, [2, 3], fairness_bound=4)
+        assert cert.ok
+
+    def test_yield_back_bound_violation_detected(self, single_cpu_threads):
+        cpus, init = single_cpu_threads
+        lhtd = build_lhtd(cpus, init)
+        # With a fairness bound of 0 the check must fail (queries > 0).
+        cert = yield_back_terminates(lhtd, 1, [2, 3], fairness_bound=0)
+        assert not cert.ok
+
+
+class TestSkeletons:
+    def test_projection_drops_queue_traffic(self):
+        from repro.core.log import Log
+
+        log = Log([
+            Event(1, "enQ", (("rdq", 0), 2)),
+            Event(1, YIELD, (2,)),
+            Event(2, "deQ", (("rdq", 0),)),
+        ])
+        assert sched_projection(log) == ((1, YIELD, (2,)),)
+
+    def test_canonical_skeleton_per_cpu(self):
+        from repro.core.log import Log
+
+        cpus = CpuMap({1: 0, 2: 1})
+        log = Log([Event(1, YIELD, (1,)), Event(2, YIELD, (2,))])
+        skel = canonical_skeleton(log, cpus)
+        assert skel == (
+            (0, ((1, YIELD, (1,)),)),
+            (1, ((2, YIELD, (2,)),)),
+        )
+
+    def test_cross_cpu_order_quotiented(self):
+        from repro.core.log import Log
+
+        cpus = CpuMap({1: 0, 2: 1})
+        log_a = Log([Event(1, YIELD, (1,)), Event(2, YIELD, (2,))])
+        log_b = Log([Event(2, YIELD, (2,)), Event(1, YIELD, (1,))])
+        assert canonical_skeleton(log_a, cpus) == canonical_skeleton(log_b, cpus)
+
+
+class TestStackMerge:
+    def test_disjoint_allocation_composes(self):
+        cert = check_stack_merge(
+            {
+                1: [("alloc", (0, 8)), ("store", (0, "a")), ("free", (0, 0))],
+                2: [("alloc", (0, 8)), ("store", (0, "b"))],
+            },
+            schedule=[1, 2, 1, 2, 1, 2],
+        )
+        assert cert.ok
+
+    def test_interleaved_growth(self):
+        programs = {
+            tid: [("alloc", (0, 4)) for _ in range(3)] for tid in (1, 2, 3)
+        }
+        cert = check_stack_merge(programs, schedule=[1, 2, 3] * 3)
+        assert cert.ok
+
+    def test_memory_isolation_enforced(self):
+        from repro.core.errors import Stuck
+        from repro.threads.stackmerge import StackMergeTracker
+
+        tracker = StackMergeTracker([1, 2])
+        tracker.switch_to(1)
+        tracker.memory_of(1).alloc(0, 4)
+        with pytest.raises(Stuck):
+            tracker.memory_of(2)  # not running
