@@ -17,7 +17,7 @@ import time
 
 import pytest
 
-from conftest import print_table
+from conftest import print_table, record_bench
 from repro.core import SimConfig, check_soundness
 from repro.compiler import compile_and_validate
 from repro.objects.shared_queue import certify_shared_queue
@@ -100,6 +100,13 @@ def test_fig5_full_pipeline(benchmark):
         total_obligations += count
         rows.append([label, f"{seconds * 1000:.1f} ms", count])
     rows.append(["TOTAL", "", total_obligations])
+    record_bench(
+        stages=[
+            {"stage": label, "seconds": round(seconds, 6)}
+            for label, seconds, _ in stages
+        ],
+        total_obligations=total_obligations,
+    )
     print_table(
         "Fig. 5 — the layer-verification pipeline",
         ["stage", "time", "obligations"],

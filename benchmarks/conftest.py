@@ -4,15 +4,56 @@ Every file in this directory regenerates one table or figure of the
 paper's evaluation (see DESIGN.md §3 and EXPERIMENTS.md).  Benchmarks
 print a paper-vs-measured table and assert the *shape* of the result
 (who wins, by roughly what factor) rather than absolute numbers.
+
+Besides the human-readable tables, every benchmark run emits a
+machine-readable record: ``benchmarks/results/BENCH_<name>.json`` (one
+file per ``bench_<name>.py`` module) holding each test's outcome, its
+call-phase wall time, and every table it printed through
+:func:`print_table`.  Downstream tooling (CI trend lines, EXPERIMENTS.md
+regeneration) reads these instead of scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
 import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: nodeid → record; populated by the hooks below, flushed at session end.
+_RECORDS: Dict[str, Dict[str, Any]] = {}
+_CURRENT = {"nodeid": None}
+
+
+def _record_for(nodeid: str) -> Dict[str, Any]:
+    return _RECORDS.setdefault(
+        nodeid, {"nodeid": nodeid, "tables": [], "extra": {}}
+    )
+
+
+def record_bench(**fields: Any) -> None:
+    """Attach structured data to the currently-running benchmark test.
+
+    Benchmarks call this for anything worth keeping that does not fit a
+    printed table (per-stage timings, certificate obligation counts,
+    trace-export paths).  The fields land under ``"extra"`` in the
+    test's entry of ``BENCH_<name>.json``.
+    """
+    nodeid = _CURRENT["nodeid"]
+    if nodeid is None:
+        return
+    _record_for(nodeid)["extra"].update(fields)
 
 
 def print_table(title, headers, rows):
-    """Render a small aligned table to the benchmark output."""
+    """Render a small aligned table to the benchmark output.
+
+    The table is also captured verbatim into the module's
+    ``BENCH_<name>.json`` record.
+    """
     widths = [
         max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
         for i in range(len(headers))
@@ -23,3 +64,66 @@ def print_table(title, headers, rows):
     print("  ".join("-" * w for w in widths))
     for row in rows:
         print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    if _CURRENT["nodeid"] is not None:
+        _record_for(_CURRENT["nodeid"])["tables"].append(
+            {
+                "title": title,
+                "headers": [str(h) for h in headers],
+                "rows": [[_jsonable(cell) for cell in row] for row in rows],
+            }
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _module_key(nodeid: str) -> str:
+    # "bench_fig5_pipeline.py::test_x" → "fig5_pipeline"
+    stem = Path(nodeid.split("::")[0]).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def pytest_runtest_setup(item):
+    _CURRENT["nodeid"] = item.nodeid
+    _record_for(item.nodeid)
+
+
+def pytest_runtest_teardown(item):
+    if _CURRENT["nodeid"] == item.nodeid:
+        _CURRENT["nodeid"] = None
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or item.nodeid not in _RECORDS:
+        return
+    rec = _RECORDS[item.nodeid]
+    rec["outcome"] = report.outcome
+    rec["duration_s"] = round(report.duration, 6)
+    if report.failed:
+        rec["failure"] = str(report.longrepr)[:2000]
+
+
+def pytest_sessionfinish(session):
+    # Only flush records for tests that actually ran (outcome present) —
+    # a --collect-only session leaves _RECORDS empty.
+    ran = {k: v for k, v in _RECORDS.items() if "outcome" in v}
+    if not ran:
+        return
+    by_module: Dict[str, List[Dict[str, Any]]] = {}
+    for nodeid, rec in ran.items():
+        by_module.setdefault(_module_key(nodeid), []).append(rec)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for name, records in sorted(by_module.items()):
+        payload = {
+            "schema": "repro.bench/v1",
+            "module": f"bench_{name}.py",
+            "tests": sorted(records, key=lambda r: r["nodeid"]),
+        }
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, ensure_ascii=False))

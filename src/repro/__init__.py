@@ -23,6 +23,8 @@ toolkit as an executable-semantics and certificate-checking library:
   and linking (Thm 5.1).
 - :mod:`repro.verify` — C/asm verifiers, a linearizability checker and a
   progress (starvation-freedom) checker.
+- :mod:`repro.obs` — opt-in tracing, metrics and certificate provenance
+  (Chrome ``trace_event`` export, counters/histograms, run reports).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
@@ -30,6 +32,6 @@ paper-versus-measured record of every table and figure.
 
 __version__ = "1.0.0"
 
-from . import core
+from . import core, obs
 
-__all__ = ["core", "__version__"]
+__all__ = ["core", "obs", "__version__"]

@@ -19,6 +19,7 @@ coherent memory — is the algebraic memory model's job
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..clight.ast import TranslationUnit
@@ -28,11 +29,13 @@ if True:  # deferred to break the asm ↔ compiler package cycle
     from typing import TYPE_CHECKING
     if TYPE_CHECKING:  # pragma: no cover
         from ..asm.ast import AsmUnit
-from ..core.certificate import Certificate, CertifiedLayer
+from ..core.certificate import Certificate, CertifiedLayer, stamp_provenance
 from ..core.interface import LayerInterface
 from ..core.module import FuncImpl, Module
 from ..core.relation import ID_REL
 from ..core.simulation import SimConfig, check_sim
+from ..obs import span
+from ..obs.metrics import MetricsWindow, inc
 from .codegen import CompileError, compile_unit
 
 
@@ -47,17 +50,19 @@ def validate_function(
     """Check one compiled function against its source (Def. 2.1, R = id)."""
     from ..asm.semantics import asm_player
 
-    return check_sim(
-        interface,
-        asm_player(asm_unit, name, c_unit.width_bits),
-        interface,
-        c_player(c_unit, name),
-        ID_REL,
-        tid,
-        config,
-        judgment=f"CompCertX({name}): asm ≤_id C over {interface.name}",
-        rule="ThreadSafeCompilation",
-    )
+    with span("compcertx.validate_function", function=name):
+        inc("compcertx.functions_validated")
+        return check_sim(
+            interface,
+            asm_player(asm_unit, name, c_unit.width_bits),
+            interface,
+            c_player(c_unit, name),
+            ID_REL,
+            tid,
+            config,
+            judgment=f"CompCertX({name}): asm ≤_id C over {interface.name}",
+            rule="ThreadSafeCompilation",
+        )
 
 
 def _seq_player(players: Dict[str, Callable], calls: Sequence[Tuple[str, Tuple]]):
@@ -92,40 +97,53 @@ def compile_and_validate(
     """
     from ..asm.semantics import asm_player
 
-    asm_unit = compile_unit(c_unit, skip_uncompilable=skip_uncompilable)
-    cert = Certificate(
-        judgment=f"CompCertX({c_unit.name}): compiled unit ≤_id source unit",
-        rule="ThreadSafeCompilation",
-        bounds={"functions": sorted(asm_unit.functions)},
-    )
-    covered = {name for _, calls, _ in scenarios for name, _ in calls}
-    for name in sorted(asm_unit.functions):
-        cert.add(
-            f"{name} covered by a validation scenario", name in covered
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with span(
+        "compcertx.compile_and_validate",
+        unit=c_unit.name,
+        scenarios=len(scenarios),
+    ):
+        asm_unit = compile_unit(c_unit, skip_uncompilable=skip_uncompilable)
+        inc("compcertx.units_compiled")
+        cert = Certificate(
+            judgment=f"CompCertX({c_unit.name}): compiled unit ≤_id source unit",
+            rule="ThreadSafeCompilation",
+            bounds={"functions": sorted(asm_unit.functions)},
         )
-    c_players = {
-        name: c_player(c_unit, name) for name in asm_unit.functions
-    }
-    a_players = {
-        name: asm_player(asm_unit, name, c_unit.width_bits)
-        for name in asm_unit.functions
-    }
-    for label, calls, config in scenarios:
-        cert.children.append(
-            check_sim(
-                interface,
-                _seq_player(a_players, calls),
-                interface,
-                _seq_player(c_players, calls),
-                ID_REL,
-                tid,
-                config,
-                judgment=(
-                    f"CompCertX({c_unit.name}) :: {label}: asm ≤_id C"
-                ),
-                rule="ThreadSafeCompilation",
+        covered = {name for _, calls, _ in scenarios for name, _ in calls}
+        for name in sorted(asm_unit.functions):
+            cert.add(
+                f"{name} covered by a validation scenario", name in covered
             )
-        )
+        c_players = {
+            name: c_player(c_unit, name) for name in asm_unit.functions
+        }
+        a_players = {
+            name: asm_player(asm_unit, name, c_unit.width_bits)
+            for name in asm_unit.functions
+        }
+        for label, calls, config in scenarios:
+            cert.children.append(
+                check_sim(
+                    interface,
+                    _seq_player(a_players, calls),
+                    interface,
+                    _seq_player(c_players, calls),
+                    ID_REL,
+                    tid,
+                    config,
+                    judgment=(
+                        f"CompCertX({c_unit.name}) :: {label}: asm ≤_id C"
+                    ),
+                    rule="ThreadSafeCompilation",
+                )
+            )
+    stamp_provenance(
+        cert, time.perf_counter() - started, window,
+        functions=sorted(asm_unit.functions),
+        scenarios=len(scenarios),
+    )
     return asm_unit, cert
 
 

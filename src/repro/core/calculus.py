@@ -17,9 +17,12 @@ fails its check, so an ill-formed judgment can never be produced:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from .certificate import Certificate, CertifiedLayer, InterfaceSim
+from ..obs import obs_enabled, span
+from ..obs.metrics import MetricsWindow, inc, observe
+from .certificate import Certificate, CertifiedLayer, InterfaceSim, stamp_provenance
 from .errors import ComposeError
 from .interface import LayerInterface
 from .log import Log
@@ -35,6 +38,21 @@ from .simulation import (
     scenario_impl_player,
     scenario_spec_player,
 )
+
+
+def _rule_span(rule: str, **args):
+    """Span + counters for one calculus-rule application (obs-gated)."""
+    inc("calculus.rules_applied")
+    inc(f"calculus.rule.{rule}")
+    return span(f"rule.{rule}", category="calculus", **args)
+
+
+def _stamp_rule(cert: Certificate, rule: str, started: float,
+                window: MetricsWindow, **extra) -> None:
+    elapsed = time.perf_counter() - started
+    if obs_enabled():
+        observe(f"calculus.rule_wall_s.{rule}", elapsed)
+    stamp_provenance(cert, elapsed, window, **extra)
 
 
 def module_rule(
@@ -54,26 +72,36 @@ def module_rule(
     be exercised by at least one scenario and have a specification in
     the overlay.
     """
-    covered = {name for s in scenarios for name, _ in s.calls}
-    for name in module.names():
-        if name not in covered:
-            raise ComposeError(f"module function {name!r} not covered by any scenario")
-        if not overlay.has(name):
-            raise ComposeError(f"overlay {overlay.name} lacks a spec for {name!r}")
-    cert = check_scenarios(
-        underlay,
-        lambda scenario: scenario_impl_player(module, scenario),
-        overlay,
-        relation,
-        tid,
-        scenarios,
-        judgment=(
-            f"{underlay.name}[{tid}] ⊢_{relation.name} {module.name} : "
-            f"{overlay.name}[{tid}]"
-        ),
-        rule="Fun*",
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with _rule_span("Fun*", module=module.name, overlay=overlay.name):
+        covered = {name for s in scenarios for name, _ in s.calls}
+        for name in module.names():
+            if name not in covered:
+                raise ComposeError(f"module function {name!r} not covered by any scenario")
+            if not overlay.has(name):
+                raise ComposeError(f"overlay {overlay.name} lacks a spec for {name!r}")
+        cert = check_scenarios(
+            underlay,
+            lambda scenario: scenario_impl_player(module, scenario),
+            overlay,
+            relation,
+            tid,
+            scenarios,
+            judgment=(
+                f"{underlay.name}[{tid}] ⊢_{relation.name} {module.name} : "
+                f"{overlay.name}[{tid}]"
+            ),
+            rule="Fun*",
+        )
+        layer = CertifiedLayer(underlay, module, overlay, relation, {tid}, cert)
+    _stamp_rule(
+        cert, "Fun*", started, window,
+        module=module.name,
+        functions=sorted(module.names()),
+        scenarios=len(scenarios),
     )
-    return CertifiedLayer(underlay, module, overlay, relation, {tid}, cert)
+    return layer
 
 
 def interface_sim_rule(
@@ -90,29 +118,41 @@ def interface_sim_rule(
     bounded environment behaviours, related by ``R``.  This is the
     log-lift step: e.g. ``L_lock_low[i] ≤_{R_lock} L_lock[i]``.
     """
-    cert = check_scenarios(
-        low,
-        scenario_spec_player,  # low side also just calls its primitives
-        high,
-        relation,
-        tid,
-        scenarios,
-        judgment=f"{low.name} ≤_{relation.name} {high.name}",
-        rule="interface-sim",
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with _rule_span("interface-sim", low=low.name, high=high.name):
+        cert = check_scenarios(
+            low,
+            scenario_spec_player,  # low side also just calls its primitives
+            high,
+            relation,
+            tid,
+            scenarios,
+            judgment=f"{low.name} ≤_{relation.name} {high.name}",
+            rule="interface-sim",
+        )
+        sim = InterfaceSim(low, high, relation, cert)
+    _stamp_rule(
+        cert, "interface-sim", started, window, scenarios=len(scenarios)
     )
-    return InterfaceSim(low, high, relation, cert)
+    return sim
 
 
 def empty_rule(interface: LayerInterface, focused: Iterable[int]) -> CertifiedLayer:
     """``Empty``: the empty module implements any interface over itself."""
-    cert = Certificate(
-        judgment=f"{interface.name} ⊢_id ∅ : {interface.name}",
-        rule="Empty",
-    )
-    cert.add("empty module", True)
-    return CertifiedLayer(
-        interface, Module.empty(), interface, ID_REL, focused, cert
-    )
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with _rule_span("Empty", interface=interface.name):
+        cert = Certificate(
+            judgment=f"{interface.name} ⊢_id ∅ : {interface.name}",
+            rule="Empty",
+        )
+        cert.add("empty module", True)
+        layer = CertifiedLayer(
+            interface, Module.empty(), interface, ID_REL, focused, cert
+        )
+    _stamp_rule(cert, "Empty", started, window)
+    return layer
 
 
 def fun_rule(
@@ -133,27 +173,32 @@ def fun_rule(
     events) — the pattern is decided by the relation and the overlay
     spec, not by the rule.
     """
-    if not overlay.has(impl.name):
-        raise ComposeError(
-            f"overlay {overlay.name} has no specification for {impl.name!r}"
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with _rule_span("Fun", function=impl.name, overlay=overlay.name):
+        if not overlay.has(impl.name):
+            raise ComposeError(
+                f"overlay {overlay.name} has no specification for {impl.name!r}"
+            )
+        cert = check_sim(
+            underlay,
+            impl.player,
+            overlay,
+            prim_player(impl.name),
+            relation,
+            tid,
+            config,
+            judgment=(
+                f"{underlay.name}[{tid}] ⊢_{relation.name} "
+                f"{impl.name} : {overlay.name}.{impl.name}"
+            ),
+            rule="Fun",
         )
-    cert = check_sim(
-        underlay,
-        impl.player,
-        overlay,
-        prim_player(impl.name),
-        relation,
-        tid,
-        config,
-        judgment=(
-            f"{underlay.name}[{tid}] ⊢_{relation.name} "
-            f"{impl.name} : {overlay.name}.{impl.name}"
-        ),
-        rule="Fun",
-    )
-    return CertifiedLayer(
-        underlay, Module.single(impl), overlay, relation, {tid}, cert
-    )
+        layer = CertifiedLayer(
+            underlay, Module.single(impl), overlay, relation, {tid}, cert
+        )
+    _stamp_rule(cert, "Fun", started, window, function=impl.name, lang=impl.lang)
+    return layer
 
 
 def vcomp(lower: CertifiedLayer, upper: CertifiedLayer) -> CertifiedLayer:
@@ -162,36 +207,43 @@ def vcomp(lower: CertifiedLayer, upper: CertifiedLayer) -> CertifiedLayer:
     ``L1 ⊢_R M : L2`` and ``L2 ⊢_S N : L3`` give
     ``L1 ⊢_{R∘S} M ⊕ N : L3``.
     """
-    if lower.overlay is not upper.underlay and not _same_interface(
-        lower.overlay, upper.underlay
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with _rule_span(
+        "Vcomp", lower=lower.module.name, upper=upper.module.name
     ):
-        raise ComposeError(
-            f"vertical composition mismatch: {lower.overlay.name} vs "
-            f"{upper.underlay.name}"
+        if lower.overlay is not upper.underlay and not _same_interface(
+            lower.overlay, upper.underlay
+        ):
+            raise ComposeError(
+                f"vertical composition mismatch: {lower.overlay.name} vs "
+                f"{upper.underlay.name}"
+            )
+        if lower.focused != upper.focused:
+            raise ComposeError(
+                f"focused-set mismatch: {sorted(lower.focused)} vs "
+                f"{sorted(upper.focused)}"
+            )
+        relation = lower.relation.compose(upper.relation)
+        cert = Certificate(
+            judgment=(
+                f"{lower.underlay.name} ⊢_{relation.name} "
+                f"{lower.module.name} ⊕ {upper.module.name} : {upper.overlay.name}"
+            ),
+            rule="Vcomp",
+            children=[lower.certificate, upper.certificate],
         )
-    if lower.focused != upper.focused:
-        raise ComposeError(
-            f"focused-set mismatch: {sorted(lower.focused)} vs "
-            f"{sorted(upper.focused)}"
+        cert.add("middle interfaces agree", True)
+        layer = CertifiedLayer(
+            lower.underlay,
+            lower.module.oplus(upper.module),
+            upper.overlay,
+            relation,
+            lower.focused,
+            cert,
         )
-    relation = lower.relation.compose(upper.relation)
-    cert = Certificate(
-        judgment=(
-            f"{lower.underlay.name} ⊢_{relation.name} "
-            f"{lower.module.name} ⊕ {upper.module.name} : {upper.overlay.name}"
-        ),
-        rule="Vcomp",
-        children=[lower.certificate, upper.certificate],
-    )
-    cert.add("middle interfaces agree", True)
-    return CertifiedLayer(
-        lower.underlay,
-        lower.module.oplus(upper.module),
-        upper.overlay,
-        relation,
-        lower.focused,
-        cert,
-    )
+    _stamp_rule(cert, "Vcomp", started, window, middle=lower.overlay.name)
+    return layer
 
 
 def hcomp(
@@ -205,41 +257,48 @@ def hcomp(
     combined overlay merges the two primitive collections and must carry
     the same rely/guarantee as both sides (checked structurally).
     """
-    if left.underlay is not right.underlay and not _same_interface(
-        left.underlay, right.underlay
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with _rule_span(
+        "Hcomp", left=left.module.name, right=right.module.name
     ):
-        raise ComposeError(
-            f"horizontal composition needs a common underlay: "
-            f"{left.underlay.name} vs {right.underlay.name}"
+        if left.underlay is not right.underlay and not _same_interface(
+            left.underlay, right.underlay
+        ):
+            raise ComposeError(
+                f"horizontal composition needs a common underlay: "
+                f"{left.underlay.name} vs {right.underlay.name}"
+            )
+        if left.focused != right.focused:
+            raise ComposeError("horizontal composition needs equal focused sets")
+        if left.relation.name != right.relation.name:
+            raise ComposeError(
+                f"horizontal composition needs one relation: "
+                f"{left.relation.name} vs {right.relation.name}"
+            )
+        merged = overlay or left.overlay.merge_prims(right.overlay)
+        for name in list(left.overlay.prims) + list(right.overlay.prims):
+            if not merged.has(name):
+                raise ComposeError(f"merged overlay lost primitive {name!r}")
+        cert = Certificate(
+            judgment=(
+                f"{left.underlay.name} ⊢_{left.relation.name} "
+                f"{left.module.name} ⊕ {right.module.name} : {merged.name}"
+            ),
+            rule="Hcomp",
+            children=[left.certificate, right.certificate],
         )
-    if left.focused != right.focused:
-        raise ComposeError("horizontal composition needs equal focused sets")
-    if left.relation.name != right.relation.name:
-        raise ComposeError(
-            f"horizontal composition needs one relation: "
-            f"{left.relation.name} vs {right.relation.name}"
+        cert.add("disjoint modules", not set(left.module.names()) & set(right.module.names()))
+        layer = CertifiedLayer(
+            left.underlay,
+            left.module.oplus(right.module),
+            merged,
+            left.relation,
+            left.focused,
+            cert,
         )
-    merged = overlay or left.overlay.merge_prims(right.overlay)
-    for name in list(left.overlay.prims) + list(right.overlay.prims):
-        if not merged.has(name):
-            raise ComposeError(f"merged overlay lost primitive {name!r}")
-    cert = Certificate(
-        judgment=(
-            f"{left.underlay.name} ⊢_{left.relation.name} "
-            f"{left.module.name} ⊕ {right.module.name} : {merged.name}"
-        ),
-        rule="Hcomp",
-        children=[left.certificate, right.certificate],
-    )
-    cert.add("disjoint modules", not set(left.module.names()) & set(right.module.names()))
-    return CertifiedLayer(
-        left.underlay,
-        left.module.oplus(right.module),
-        merged,
-        left.relation,
-        left.focused,
-        cert,
-    )
+    _stamp_rule(cert, "Hcomp", started, window, merged_overlay=merged.name)
+    return layer
 
 
 def weaken(
@@ -252,40 +311,49 @@ def weaken(
     ``L1' ≤_R L1``, ``L1 ⊢_S M : L2``, ``L2 ≤_T L2'`` give
     ``L1' ⊢_{R∘S∘T} M : L2'``.  Either side may be omitted.
     """
-    underlay = layer.underlay
-    overlay = layer.overlay
-    relation: SimRel = layer.relation
-    children: List[Certificate] = [layer.certificate]
-    if pre is not None:
-        if not _same_interface(pre.high, layer.underlay):
-            raise ComposeError(
-                f"pre-simulation target {pre.high.name} is not the underlay "
-                f"{layer.underlay.name}"
-            )
-        underlay = pre.low
-        relation = pre.relation.compose(relation)
-        children.append(pre.certificate)
-    if post is not None:
-        if not _same_interface(post.low, layer.overlay):
-            raise ComposeError(
-                f"post-simulation source {post.low.name} is not the overlay "
-                f"{layer.overlay.name}"
-            )
-        overlay = post.high
-        relation = relation.compose(post.relation)
-        children.append(post.certificate)
-    cert = Certificate(
-        judgment=(
-            f"{underlay.name} ⊢_{relation.name} {layer.module.name} : "
-            f"{overlay.name}"
-        ),
-        rule="Wk",
-        children=children,
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with _rule_span("Wk", module=layer.module.name):
+        underlay = layer.underlay
+        overlay = layer.overlay
+        relation: SimRel = layer.relation
+        children: List[Certificate] = [layer.certificate]
+        if pre is not None:
+            if not _same_interface(pre.high, layer.underlay):
+                raise ComposeError(
+                    f"pre-simulation target {pre.high.name} is not the underlay "
+                    f"{layer.underlay.name}"
+                )
+            underlay = pre.low
+            relation = pre.relation.compose(relation)
+            children.append(pre.certificate)
+        if post is not None:
+            if not _same_interface(post.low, layer.overlay):
+                raise ComposeError(
+                    f"post-simulation source {post.low.name} is not the overlay "
+                    f"{layer.overlay.name}"
+                )
+            overlay = post.high
+            relation = relation.compose(post.relation)
+            children.append(post.certificate)
+        cert = Certificate(
+            judgment=(
+                f"{underlay.name} ⊢_{relation.name} {layer.module.name} : "
+                f"{overlay.name}"
+            ),
+            rule="Wk",
+            children=children,
+        )
+        cert.add("weakening premises certified", True)
+        weakened = CertifiedLayer(
+            underlay, layer.module, overlay, relation, layer.focused, cert
+        )
+    _stamp_rule(
+        cert, "Wk", started, window,
+        pre=pre.low.name if pre is not None else None,
+        post=post.high.name if post is not None else None,
     )
-    cert.add("weakening premises certified", True)
-    return CertifiedLayer(
-        underlay, layer.module, overlay, relation, layer.focused, cert
-    )
+    return weakened
 
 
 def check_compat_interfaces(
@@ -301,26 +369,39 @@ def check_compat_interfaces(
     what remains is the rely/guarantee cross-implication, checked on every
     log in the universe (see DESIGN.md §4 for the coverage caveat).
     """
+    started = time.perf_counter()
+    window = MetricsWindow()
     tids_a = sorted(set(tids_a))
     tids_b = sorted(set(tids_b))
+    universe = list(universe)
     cert = Certificate(
         judgment=f"compat({iface.name}[{tids_a}], {iface.name}[{tids_b}])",
         rule="Compat",
-        bounds={"universe_size": len(list(universe)) if not isinstance(universe, (list, tuple)) else len(universe)},
+        bounds={"universe_size": len(universe)},
     )
-    if set(tids_a) & set(tids_b):
-        cert.add("A ⊥ B", False, f"overlap: {set(tids_a) & set(tids_b)}")
-        return cert
-    cert.add("A ⊥ B", True)
-    failures = check_compat(
-        iface.rely, iface.guar, tids_a, iface.rely, iface.guar, tids_b,
-        universe,
+    with _rule_span(
+        "Compat", interface=iface.name, universe=len(universe)
+    ):
+        if set(tids_a) & set(tids_b):
+            cert.add("A ⊥ B", False, f"overlap: {set(tids_a) & set(tids_b)}")
+            return cert
+        cert.add("A ⊥ B", True)
+        inc("compat.logs_checked", len(universe))
+        failures = check_compat(
+            iface.rely, iface.guar, tids_a, iface.rely, iface.guar, tids_b,
+            universe,
+        )
+        if failures:
+            for failure in failures:
+                cert.add("G ⊇ R implication", False, failure)
+        else:
+            cert.add("G ⊇ R implications on universe", True)
+    _stamp_rule(
+        cert, "Compat", started, window,
+        universe_size=len(universe),
+        tids_a=tids_a,
+        tids_b=tids_b,
     )
-    if failures:
-        for failure in failures:
-            cert.add("G ⊇ R implication", False, failure)
-    else:
-        cert.add("G ⊇ R implications on universe", True)
     return cert
 
 
@@ -335,59 +416,73 @@ def pcomp(
     same relation; ``compat`` for both the underlay and overlay
     interfaces.  The conclusion focuses ``A ∪ B``.
     """
-    if left.focused & right.focused:
-        raise ComposeError(
-            f"parallel composition needs disjoint focused sets: "
-            f"{sorted(left.focused)} vs {sorted(right.focused)}"
-        )
-    if set(left.module.names()) != set(right.module.names()):
-        raise ComposeError(
-            "parallel composition needs the same module on both sides"
-        )
-    if left.relation.name != right.relation.name:
-        raise ComposeError(
-            "parallel composition needs the same simulation relation"
-        )
-    if not _same_interface(left.underlay, right.underlay) or not _same_interface(
-        left.overlay, right.overlay
+    started = time.perf_counter()
+    window = MetricsWindow()
+    with _rule_span(
+        "Pcomp",
+        module=left.module.name,
+        left=sorted(left.focused),
+        right=sorted(right.focused),
     ):
-        raise ComposeError(
-            "parallel composition needs identical interfaces on both sides"
+        if left.focused & right.focused:
+            raise ComposeError(
+                f"parallel composition needs disjoint focused sets: "
+                f"{sorted(left.focused)} vs {sorted(right.focused)}"
+            )
+        if set(left.module.names()) != set(right.module.names()):
+            raise ComposeError(
+                "parallel composition needs the same module on both sides"
+            )
+        if left.relation.name != right.relation.name:
+            raise ComposeError(
+                "parallel composition needs the same simulation relation"
+            )
+        if not _same_interface(left.underlay, right.underlay) or not _same_interface(
+            left.overlay, right.overlay
+        ):
+            raise ComposeError(
+                "parallel composition needs identical interfaces on both sides"
+            )
+        if universe is None:
+            universe = list(left.certificate.all_logs()) + list(
+                right.certificate.all_logs()
+            )
+        compat_under = check_compat_interfaces(
+            left.underlay, left.focused, right.focused, universe
         )
-    if universe is None:
-        universe = list(left.certificate.all_logs()) + list(
-            right.certificate.all_logs()
+        compat_over = check_compat_interfaces(
+            left.overlay, left.focused, right.focused, universe
         )
-    compat_under = check_compat_interfaces(
-        left.underlay, left.focused, right.focused, universe
+        focused = left.focused | right.focused
+        cert = Certificate(
+            judgment=(
+                f"{left.underlay.name}[{sorted(focused)}] ⊢_{left.relation.name} "
+                f"{left.module.name} : {left.overlay.name}[{sorted(focused)}]"
+            ),
+            rule="Pcomp",
+            children=[
+                left.certificate,
+                right.certificate,
+                compat_under,
+                compat_over,
+            ],
+            bounds={"universe_size": len(universe)},
+        )
+        cert.add("disjoint focused sets", True)
+        layer = CertifiedLayer(
+            left.underlay,
+            left.module,
+            left.overlay,
+            left.relation,
+            focused,
+            cert,
+        )
+    _stamp_rule(
+        cert, "Pcomp", started, window,
+        universe_size=len(universe),
+        focused=sorted(focused),
     )
-    compat_over = check_compat_interfaces(
-        left.overlay, left.focused, right.focused, universe
-    )
-    focused = left.focused | right.focused
-    cert = Certificate(
-        judgment=(
-            f"{left.underlay.name}[{sorted(focused)}] ⊢_{left.relation.name} "
-            f"{left.module.name} : {left.overlay.name}[{sorted(focused)}]"
-        ),
-        rule="Pcomp",
-        children=[
-            left.certificate,
-            right.certificate,
-            compat_under,
-            compat_over,
-        ],
-        bounds={"universe_size": len(universe)},
-    )
-    cert.add("disjoint focused sets", True)
-    return CertifiedLayer(
-        left.underlay,
-        left.module,
-        left.overlay,
-        left.relation,
-        focused,
-        cert,
-    )
+    return layer
 
 
 def pcomp_all(layers: Sequence[CertifiedLayer]) -> CertifiedLayer:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..obs import obs_enabled
+from ..obs.metrics import MetricsWindow, inc
 from .errors import VerificationError
 from .interface import LayerInterface
 from .log import Log
@@ -49,6 +51,14 @@ class Certificate:
     bounded-exhaustive substitution, DESIGN.md §4).  ``log_universe``
     collects every log seen while checking; ``children`` are the
     certificates of sub-judgments (premises of calculus rules).
+
+    ``provenance`` is the optional observability annotation (see
+    :mod:`repro.obs`): when a judgment is checked with observability
+    enabled, the checker stamps per-rule wall time, exploration counts
+    (environment contexts, runs, scheduler rounds) and a metric-delta
+    snapshot here, turning the certificate into a self-describing audit
+    artifact.  It is ``None`` on the disabled fast path and never
+    affects validity (:attr:`ok` ignores it).
     """
 
     judgment: str
@@ -57,6 +67,7 @@ class Certificate:
     bounds: Dict[str, Any] = field(default_factory=dict)
     log_universe: Tuple[Log, ...] = ()
     children: List["Certificate"] = field(default_factory=list)
+    provenance: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -95,6 +106,8 @@ class Certificate:
     def add(self, description: str, ok: bool, details: str = "") -> Obligation:
         obligation = Obligation(description, ok, details)
         self.obligations.append(obligation)
+        if obs_enabled():
+            inc("cert.obligations_discharged" if ok else "cert.obligations_failed")
         return obligation
 
     def summary(self) -> str:
@@ -142,6 +155,44 @@ class CertifiedLayer:
 
     def __repr__(self):
         return f"CertifiedLayer({self.judgment})"
+
+
+def stamp_provenance(
+    cert: Certificate,
+    wall_time_s: float,
+    window: Optional[MetricsWindow] = None,
+    **extra: Any,
+) -> Certificate:
+    """Attach an observability provenance record to ``cert``.
+
+    A no-op unless observability is enabled (:mod:`repro.obs`), so
+    checkers can call it unconditionally.  ``window`` supplies the
+    counter deltas accumulated while the judgment was being checked;
+    ``extra`` carries checker-specific fields (environment-context
+    counts, generator coverage, scheduler families, ...).
+    """
+    if not obs_enabled():
+        return cert
+    provenance: Dict[str, Any] = {
+        "rule": cert.rule,
+        "judgment": cert.judgment,
+        "wall_time_s": round(wall_time_s, 6),
+        "obligations": {
+            "direct": len(cert.obligations),
+            "total": cert.obligation_count(),
+            "failed": len(cert.failures),
+        },
+        "bounds": dict(cert.bounds),
+        "log_universe": len(cert.log_universe),
+        "children": len(cert.children),
+    }
+    if window is not None:
+        delta = window.delta()
+        if delta:
+            provenance["metrics"] = delta
+    provenance.update(extra)
+    cert.provenance = provenance
+    return cert
 
 
 @dataclass

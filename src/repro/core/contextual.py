@@ -14,9 +14,12 @@ counterpart is a failure, not a vacuous success).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .certificate import Certificate, CertifiedLayer
+from ..obs import span
+from ..obs.metrics import MetricsWindow, inc
+from .certificate import Certificate, CertifiedLayer, stamp_provenance
 from .errors import ComposeError
 from .interface import LayerInterface
 from .log import Log
@@ -48,9 +51,18 @@ def behaviors_of(
         tid: (seq_player(list(calls)), ())
         for tid, calls in client.items()
     }
-    return enumerate_game_logs(
-        machine, players, fuel=fuel, max_rounds=max_rounds, max_runs=max_runs
-    )
+    with span(
+        "behaviors_of",
+        interface=interface.name,
+        linked=module.name if module and len(module) else None,
+        participants=len(players),
+    ):
+        results = enumerate_game_logs(
+            machine, players, fuel=fuel, max_rounds=max_rounds,
+            max_runs=max_runs,
+        )
+    inc("contextual.behaviors_enumerated", len(results))
+    return results
 
 
 def check_refinement(
@@ -89,6 +101,7 @@ def check_refinement(
             None,
         )
         if witness is None:
+            inc("contextual.low_logs_unmatched")
             cert.add(
                 f"low log has high witness {label}[sched={result.schedule}]",
                 False,
@@ -96,6 +109,7 @@ def check_refinement(
             )
         else:
             matched += 1
+            inc("contextual.low_logs_matched")
     cert.add(
         f"refinement {label}: {matched} low logs matched against "
         f"{len(high_logs)} high logs",
@@ -119,6 +133,8 @@ def check_soundness(
     set (participants outside ``layer.focused`` would not be covered by
     the premise).
     """
+    started = time.perf_counter()
+    window = MetricsWindow()
     cert = Certificate(
         judgment=f"∀P, [[P ⊕ {layer.module.name}]]_{layer.underlay.name} "
         f"⊑_{layer.relation.name} [[P]]_{layer.overlay.name}",
@@ -130,25 +146,36 @@ def check_soundness(
         },
         children=[layer.certificate],
     )
-    for index, client in enumerate(clients):
-        extra = set(client) - set(layer.focused)
-        if extra:
-            raise ComposeError(
-                f"client {index} uses uncertified participants {sorted(extra)}"
-            )
-        low = behaviors_of(
-            layer.underlay, client, layer.module,
-            fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
-        )
-        high = behaviors_of(
-            layer.overlay, client, None,
-            fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
-        )
-        check_refinement(
-            low, high, layer.relation, cert,
-            label=f"P{index}", require_progress=require_progress,
-        )
-        cert.log_universe = cert.log_universe + tuple(
-            r.log for r in low
-        ) + tuple(r.log for r in high)
+    behaviors = {"low": 0, "high": 0}
+    with span("check_soundness", module=layer.module.name, clients=len(clients)):
+        for index, client in enumerate(clients):
+            extra = set(client) - set(layer.focused)
+            if extra:
+                raise ComposeError(
+                    f"client {index} uses uncertified participants {sorted(extra)}"
+                )
+            with span("soundness.client", client=index):
+                low = behaviors_of(
+                    layer.underlay, client, layer.module,
+                    fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
+                )
+                high = behaviors_of(
+                    layer.overlay, client, None,
+                    fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
+                )
+                check_refinement(
+                    low, high, layer.relation, cert,
+                    label=f"P{index}", require_progress=require_progress,
+                )
+            behaviors["low"] += len(low)
+            behaviors["high"] += len(high)
+            cert.log_universe = cert.log_universe + tuple(
+                r.log for r in low
+            ) + tuple(r.log for r in high)
+    stamp_provenance(
+        cert, time.perf_counter() - started, window,
+        clients=len(clients),
+        low_behaviors=behaviors["low"],
+        high_behaviors=behaviors["high"],
+    )
     return cert

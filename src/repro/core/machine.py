@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..obs import obs_enabled, span
+from ..obs.metrics import inc
 from .context import QUERY, ExecutionContext
 from .environment import EnvContext, NullEnv
 from .errors import OutOfFuel, Stuck
@@ -141,6 +143,11 @@ def run_local(
         stuck = err.reason
     if check_guar and finished and not interface.guar.holds(buffer.snapshot(), tid):
         guar_ok = False
+    if obs_enabled():
+        inc("machine.local_runs")
+        inc("machine.local_queries", queries)
+        if stuck is not None:
+            inc("machine.local_runs_stuck")
     return LocalRun(
         log=buffer.snapshot(),
         ret=ret,
@@ -299,6 +306,11 @@ def run_game(
     except Stuck as err:
         stuck = err.reason
 
+    if obs_enabled():
+        inc("machine.game_runs")
+        inc("machine.game_rounds", rounds)
+        if stuck is not None:
+            inc("machine.game_runs_stuck")
     return GameResult(
         log=buffer.snapshot(),
         rets=rets,
@@ -331,31 +343,40 @@ def enumerate_game_logs(
     results: List[GameResult] = []
     stack: List[Tuple[int, ...]] = [()]
     runs = 0
-    while stack:
-        prefix = stack.pop()
-        runs += 1
-        if runs > max_runs:
-            raise OutOfFuel(
-                f"behaviour enumeration exceeded {max_runs} runs "
-                f"(max_rounds={max_rounds})"
-            )
-        try:
-            result = run_game(
-                interface,
-                players,
-                ScriptScheduler(prefix),
-                fuel=fuel,
-                max_rounds=max_rounds,
-                init_log=init_log,
-                fine_grained=fine_grained,
-            )
-        except NeedChoice as need:
-            if len(prefix) >= max_rounds:
+    with span(
+        "enumerate_game_logs",
+        interface=interface.name,
+        participants=len(players),
+        fine_grained=fine_grained,
+    ):
+        while stack:
+            prefix = stack.pop()
+            runs += 1
+            if runs > max_runs:
+                raise OutOfFuel(
+                    f"behaviour enumeration exceeded {max_runs} runs "
+                    f"(max_rounds={max_rounds})"
+                )
+            try:
+                result = run_game(
+                    interface,
+                    players,
+                    ScriptScheduler(prefix),
+                    fuel=fuel,
+                    max_rounds=max_rounds,
+                    init_log=init_log,
+                    fine_grained=fine_grained,
+                )
+            except NeedChoice as need:
+                if len(prefix) >= max_rounds:
+                    continue
+                for tid in sorted(need.ready, reverse=True):
+                    stack.append(prefix + (tid,))
                 continue
-            for tid in sorted(need.ready, reverse=True):
-                stack.append(prefix + (tid,))
-            continue
-        results.append(result)
+            results.append(result)
+    if obs_enabled():
+        inc("machine.schedules_explored", runs)
+        inc("machine.interleavings", len(results))
     return results
 
 
@@ -376,18 +397,24 @@ def sample_game_logs(
     sampled, not exhaustive.
     """
     results = []
-    for scheduler in schedulers:
-        results.append(
-            run_game(
-                interface,
-                players,
-                scheduler.fresh(),
-                fuel=fuel,
-                max_rounds=max_rounds,
-                init_log=init_log,
-                fine_grained=fine_grained,
+    with span(
+        "sample_game_logs",
+        interface=interface.name,
+        participants=len(players),
+    ):
+        for scheduler in schedulers:
+            results.append(
+                run_game(
+                    interface,
+                    players,
+                    scheduler.fresh(),
+                    fuel=fuel,
+                    max_rounds=max_rounds,
+                    init_log=init_log,
+                    fine_grained=fine_grained,
+                )
             )
-        )
+    inc("machine.schedules_sampled", len(results))
     return results
 
 

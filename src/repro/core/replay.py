@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Callable, Generic, Optional, Tuple, TypeVar
 
+from ..obs import obs_enabled
+from ..obs.metrics import inc
 from .errors import Stuck
 from .events import PULL, PUSH, Event
 from .log import Log
@@ -60,6 +62,14 @@ class ReplayFn(Generic[S]):
     def __call__(self, log, *params) -> S:
         if not isinstance(log, Log):
             log = Log(log)
+        if obs_enabled():
+            hits_before = self._run.cache_info().hits
+            result = self._run(log, params)
+            if self._run.cache_info().hits > hits_before:
+                inc("replay.cache_hits")
+            else:
+                inc("replay.cache_misses")
+            return result
         return self._run(log, params)
 
     def __repr__(self):

@@ -28,10 +28,13 @@ universe for later ``Compat`` checking.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .certificate import Certificate
+from ..obs import obs_enabled, span
+from ..obs.metrics import MetricsWindow, inc, observe
+from .certificate import Certificate, stamp_provenance
 from .environment import Batch, ChoiceEnv, RecordingEnv, ScriptedEnv
 from .errors import OutOfFuel
 from .events import Event
@@ -133,6 +136,7 @@ def enumerate_local_runs(
     stack: List[Tuple[int, ...]] = [()]
     runs = 0
     seen: Set[Tuple[Any, ...]] = set()
+    tracking = obs_enabled()
     while stack:
         choices = stack.pop()
         runs += 1
@@ -150,6 +154,8 @@ def enumerate_local_runs(
             # shorter prefix).  Skip without branching.
             continue
         if config.check_rely and not env_events_valid(run.log, rely, env_tids):
+            if tracking:
+                inc("sim.env_contexts_rely_pruned")
             continue
         key = (run.log, repr(run.ret), run.finished, run.stuck)
         if key not in seen:
@@ -160,6 +166,9 @@ def enumerate_local_runs(
         if run.queries > len(choices) and len(choices) < config.env_depth:
             for index in range(len(config.env_alphabet)):
                 stack.append(choices + (index,))
+    if tracking:
+        inc("sim.runs_enumerated", runs)
+        inc("sim.env_contexts", len(results))
     return results
 
 
@@ -181,59 +190,74 @@ def check_sim(
     R-mapped environment must finish safely with an R-related log and
     return value.
     """
+    started = time.perf_counter()
+    window = MetricsWindow()
     cert = Certificate(judgment=judgment, rule=rule, bounds=config.describe())
     logs: List[Log] = []
+    env_contexts = 0
 
-    init_ok = relation.relate_logs(
-        Log(low_iface.init_log), Log(high_iface.init_log)
-    )
-    cert.add("initial logs related", init_ok)
-
-    for args in config.args_list:
-        records = enumerate_local_runs(
-            high_iface, tid, high_player, tuple(args), config
+    with span("check_sim", judgment=judgment, rule=rule):
+        init_ok = relation.relate_logs(
+            Log(low_iface.init_log), Log(high_iface.init_log)
         )
-        for record in records:
-            label = f"args={args} env={record.choices}"
-            logs.append(record.run.log)
-            if not record.run.ok:
-                cert.add(
-                    f"spec safe under valid env [{label}]",
-                    False,
-                    record.run.stuck or "guarantee violated",
-                )
-                continue
-            low_batches = [relation.concretize_events(b) for b in record.batches]
-            low_run = run_local(
-                low_iface,
-                tid,
-                low_player,
-                tuple(args),
-                env=ScriptedEnv(low_batches),
-                fuel=config.fuel,
+        cert.add("initial logs related", init_ok)
+
+        for args in config.args_list:
+            records = enumerate_local_runs(
+                high_iface, tid, high_player, tuple(args), config
             )
-            logs.append(low_run.log)
-            if not low_run.ok:
-                cert.add(
-                    f"impl safe [{label}]",
-                    False,
-                    low_run.stuck or "guarantee violated",
+            env_contexts += len(records)
+            for record in records:
+                label = f"args={args} env={record.choices}"
+                logs.append(record.run.log)
+                if not record.run.ok:
+                    cert.add(
+                        f"spec safe under valid env [{label}]",
+                        False,
+                        record.run.stuck or "guarantee violated",
+                    )
+                    continue
+                low_batches = [
+                    relation.concretize_events(b) for b in record.batches
+                ]
+                low_run = run_local(
+                    low_iface,
+                    tid,
+                    low_player,
+                    tuple(args),
+                    env=ScriptedEnv(low_batches),
+                    fuel=config.fuel,
                 )
-                continue
-            related = relation.relate_logs(low_run.log, record.run.log)
-            cert.add(
-                f"logs related [{label}]",
-                related,
-                "" if related else relation.explain(low_run.log, record.run.log),
-            )
-            if config.compare_rets:
-                rets_ok = relation.relate_ret(low_run.ret, record.run.ret)
+                logs.append(low_run.log)
+                if not low_run.ok:
+                    cert.add(
+                        f"impl safe [{label}]",
+                        False,
+                        low_run.stuck or "guarantee violated",
+                    )
+                    continue
+                related = relation.relate_logs(low_run.log, record.run.log)
                 cert.add(
-                    f"rets related [{label}]",
-                    rets_ok,
-                    "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
+                    f"logs related [{label}]",
+                    related,
+                    "" if related else relation.explain(low_run.log, record.run.log),
                 )
+                if config.compare_rets:
+                    rets_ok = relation.relate_ret(low_run.ret, record.run.ret)
+                    cert.add(
+                        f"rets related [{label}]",
+                        rets_ok,
+                        "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
+                    )
     cert.log_universe = tuple(logs)
+    elapsed = time.perf_counter() - started
+    if obs_enabled():
+        observe("sim.check_wall_s", elapsed)
+    stamp_provenance(
+        cert, elapsed, window,
+        env_contexts=env_contexts,
+        args_vectors=len(config.args_list),
+    )
     return cert
 
 
@@ -329,17 +353,46 @@ def check_scenario_sim(
     the corresponding low-level call — the constructive form of Def 2.1's
     "related environmental event sequences" for multi-call protocols.
     """
-    from .environment import CallScriptedEnv
-
+    started = time.perf_counter()
+    window = MetricsWindow()
     config = scenario.config
     cert = Certificate(judgment=judgment, rule=rule, bounds=config.describe())
     logs: List[Log] = []
-    init_ok = relation.relate_logs(
-        Log(low_iface.init_log), Log(high_iface.init_log)
+    with span(
+        "check_scenario_sim", scenario=scenario.label, judgment=judgment
+    ):
+        init_ok = relation.relate_logs(
+            Log(low_iface.init_log), Log(high_iface.init_log)
+        )
+        cert.add("initial logs related", init_ok)
+        spec_player = scenario_spec_player(scenario)
+        records = enumerate_local_runs(
+            high_iface, tid, spec_player, (), config
+        )
+        _check_scenario_records(
+            records, scenario, low_iface, impl_player, relation, tid, config,
+            cert, logs,
+        )
+    cert.log_universe = tuple(logs)
+    elapsed = time.perf_counter() - started
+    if obs_enabled():
+        observe("sim.scenario_wall_s", elapsed)
+    stamp_provenance(
+        cert, elapsed, window,
+        env_contexts=len(records),
+        scenario=scenario.label,
+        calls=len(scenario.calls),
     )
-    cert.add("initial logs related", init_ok)
-    spec_player = scenario_spec_player(scenario)
-    records = enumerate_local_runs(high_iface, tid, spec_player, (), config)
+    return cert
+
+
+def _check_scenario_records(
+    records, scenario, low_iface, impl_player, relation, tid, config, cert,
+    logs,
+):
+    """Discharge one scenario's per-environment-context obligations."""
+    from .environment import CallScriptedEnv
+
     for record in records:
         label = f"{scenario.label} env={record.choices}"
         logs.append(record.run.log)
@@ -389,8 +442,6 @@ def check_scenario_sim(
                 rets_ok,
                 "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
             )
-    cert.log_universe = tuple(logs)
-    return cert
 
 
 def _relate_ret_lists(relation: SimRel, low, high) -> bool:
@@ -417,19 +468,26 @@ def check_scenarios(
     bodies, or low-interface primitive calls when checking an interface
     simulation).
     """
+    started = time.perf_counter()
+    window = MetricsWindow()
     cert = Certificate(judgment=judgment, rule=rule)
-    for scenario in scenarios:
-        sub = check_scenario_sim(
-            low_iface,
-            impl_player_for(scenario),
-            high_iface,
-            scenario,
-            relation,
-            tid,
-            judgment=f"{judgment} :: {scenario.label}",
-            rule=rule,
-        )
-        cert.children.append(sub)
+    with span("check_scenarios", judgment=judgment, scenarios=len(scenarios)):
+        for scenario in scenarios:
+            sub = check_scenario_sim(
+                low_iface,
+                impl_player_for(scenario),
+                high_iface,
+                scenario,
+                relation,
+                tid,
+                judgment=f"{judgment} :: {scenario.label}",
+                rule=rule,
+            )
+            cert.children.append(sub)
+    stamp_provenance(
+        cert, time.perf_counter() - started, window,
+        scenarios=[s.label for s in scenarios],
+    )
     return cert
 
 
@@ -449,17 +507,24 @@ def check_interface_sim(
     sub-certificates become children of the returned certificate.
     """
     judgment = judgment or f"{low_iface.name} ≤_{relation.name} {high_iface.name}"
+    started = time.perf_counter()
+    window = MetricsWindow()
     cert = Certificate(judgment=judgment, rule="interface-sim")
-    for name, config in configs.items():
-        sub = check_sim(
-            low_iface,
-            prim_player(name),
-            high_iface,
-            prim_player(name),
-            relation,
-            tid,
-            config,
-            judgment=f"{low_iface.name}.{name} ≤_{relation.name} {high_iface.name}.{name}",
-        )
-        cert.children.append(sub)
+    with span("check_interface_sim", judgment=judgment):
+        for name, config in configs.items():
+            sub = check_sim(
+                low_iface,
+                prim_player(name),
+                high_iface,
+                prim_player(name),
+                relation,
+                tid,
+                config,
+                judgment=f"{low_iface.name}.{name} ≤_{relation.name} {high_iface.name}.{name}",
+            )
+            cert.children.append(sub)
+    stamp_provenance(
+        cert, time.perf_counter() - started, window,
+        primitives=sorted(configs),
+    )
     return cert

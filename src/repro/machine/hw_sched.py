@@ -12,6 +12,7 @@ from typing import FrozenSet, List, Sequence
 
 from ..core.log import Log
 from ..core.machine import GameScheduler
+from ..obs.metrics import inc
 
 
 class SeededScheduler(GameScheduler):
@@ -29,6 +30,7 @@ class SeededScheduler(GameScheduler):
     def pick(self, log: Log, ready: FrozenSet[int]) -> int:
         self._state = (self._state * 1103515245 + 12345) & 0x7FFFFFFF
         ordered = sorted(ready)
+        inc("sched.seeded_picks")
         return ordered[self._state % len(ordered)]
 
     def fresh(self) -> "SeededScheduler":
@@ -53,6 +55,7 @@ class FairScheduler(GameScheduler):
         self._cursor = 0
 
     def pick(self, log: Log, ready: FrozenSet[int]) -> int:
+        inc("sched.fair_picks")
         overdue = [
             tid
             for tid in sorted(ready)
@@ -60,6 +63,7 @@ class FairScheduler(GameScheduler):
         ]
         if overdue:
             choice = overdue[0]
+            inc("sched.fairness_preemptions")
         else:
             choice = None
             for _ in range(len(self.preference)):

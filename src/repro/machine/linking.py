@@ -16,13 +16,16 @@ propagated down to the x86 multicore hardware Mx86."
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Sequence, Tuple
 
-from ..core.certificate import Certificate
+from ..core.certificate import Certificate, stamp_provenance
 from ..core.contextual import ClientProgram, check_refinement
 from ..core.interface import LayerInterface
 from ..core.machine import enumerate_game_logs, seq_player
 from ..core.relation import ID_REL, SimRel
+from ..obs import span
+from ..obs.metrics import MetricsWindow, inc
 from .mx86 import mx86_behaviors
 
 
@@ -41,25 +44,44 @@ def check_multicore_linking(
     identity relation — every hardware log is a layer log under some
     scheduler.
     """
+    started = time.perf_counter()
+    window = MetricsWindow()
     cert = Certificate(
         judgment=f"∀P, [[P]]_Mx86 ⊑_{relation.name} [[P]]_{interface.name}[D]",
         rule="MulticoreLinking",
         bounds={"clients": len(clients), "max_rounds": max_rounds},
     )
-    for index, client in enumerate(clients):
-        players = {
-            tid: (seq_player(list(calls)), ()) for tid, calls in client.items()
-        }
-        hw = mx86_behaviors(
-            interface, players, fuel=fuel, max_rounds=max_rounds,
-            max_runs=max_runs,
-        )
-        layer = enumerate_game_logs(
-            interface, players, fuel=fuel, max_rounds=max_rounds,
-            max_runs=max_runs,
-        )
-        check_refinement(hw, layer, relation, cert, label=f"P{index}")
-        cert.log_universe = cert.log_universe + tuple(
-            r.log for r in hw if r.ok
-        )
+    behaviors = {"hw": 0, "layer": 0}
+    with span(
+        "check_multicore_linking",
+        interface=interface.name,
+        clients=len(clients),
+    ):
+        for index, client in enumerate(clients):
+            players = {
+                tid: (seq_player(list(calls)), ()) for tid, calls in client.items()
+            }
+            with span("multicore_linking.client", client=index):
+                hw = mx86_behaviors(
+                    interface, players, fuel=fuel, max_rounds=max_rounds,
+                    max_runs=max_runs,
+                )
+                layer = enumerate_game_logs(
+                    interface, players, fuel=fuel, max_rounds=max_rounds,
+                    max_runs=max_runs,
+                )
+                check_refinement(hw, layer, relation, cert, label=f"P{index}")
+            behaviors["hw"] += len(hw)
+            behaviors["layer"] += len(layer)
+            inc("linking.hw_behaviors", len(hw))
+            inc("linking.layer_behaviors", len(layer))
+            cert.log_universe = cert.log_universe + tuple(
+                r.log for r in hw if r.ok
+            )
+    stamp_provenance(
+        cert, time.perf_counter() - started, window,
+        clients=len(clients),
+        hw_behaviors=behaviors["hw"],
+        layer_behaviors=behaviors["layer"],
+    )
     return cert

@@ -1,0 +1,89 @@
+"""repro.obs — exploration tracing, metrics, and certificate provenance.
+
+A zero-dependency observability layer threaded through the checker
+stack.  Three pieces:
+
+- :mod:`repro.obs.trace` — hierarchical :func:`span`\\ s gathered by a
+  thread-safe collector, exportable as Chrome ``trace_event`` JSON
+  (open in ``chrome://tracing`` / Perfetto);
+- :mod:`repro.obs.metrics` — counters, gauges and histograms (runs
+  enumerated, env contexts, obligations, replay-cache hits, scheduler
+  picks, per-rule wall time);
+- :mod:`repro.obs.report` — per-run text/JSON reports and a
+  certificate-provenance pretty printer.
+
+Off by default: instrumented hot paths pay only a flag test until
+:func:`enable` (or the :func:`observing` context manager) turns
+collection on, after which checkers also stamp an optional
+``provenance`` field onto every :class:`~repro.core.Certificate` they
+produce.
+
+    >>> from repro import obs
+    >>> with obs.observing():
+    ...     stack = certify_ticket_lock([1, 2], lock="q0")
+    >>> obs.write_chrome_trace("lock_trace.json")
+    >>> print(obs.render_report())
+    >>> stack.composed.certificate.provenance["wall_time_s"]
+"""
+
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    SpanRecord,
+    TraceCollector,
+    chrome_trace,
+    collector,
+    disable,
+    enable,
+    obs_enabled,
+    observing,
+    span,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsWindow,
+    REGISTRY,
+    inc,
+    observe,
+    set_gauge,
+    snapshot,
+)
+from .report import (
+    render_provenance,
+    render_report,
+    report_json,
+    span_rollup,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "SpanRecord",
+    "TraceCollector",
+    "chrome_trace",
+    "collector",
+    "disable",
+    "enable",
+    "obs_enabled",
+    "observing",
+    "span",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsWindow",
+    "REGISTRY",
+    "inc",
+    "observe",
+    "set_gauge",
+    "snapshot",
+    "render_provenance",
+    "render_report",
+    "report_json",
+    "span_rollup",
+]

@@ -1,0 +1,169 @@
+"""Per-run observability reports (text and JSON).
+
+Renders what the collector and metrics registry saw during a
+verification run: a wall-time rollup per span name (where the checker
+spent its time), the counter/gauge/histogram state, and — given a
+certificate — its provenance tree.  The JSON form is the
+machine-readable companion used by benchmarks and CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .metrics import snapshot
+from .trace import TraceCollector, collector as _default_collector
+
+
+def span_rollup(
+    trace_collector: Optional[TraceCollector] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Aggregate spans by name: count, total/mean/max wall milliseconds.
+
+    ``self_ms`` subtracts time attributed to child spans, so a parent
+    that merely wraps instrumented children reports near zero — the
+    quickest way to see which rule or checker actually burns the time.
+    """
+    trace_collector = trace_collector or _default_collector()
+    spans = trace_collector.spans
+    child_time: Dict[int, float] = {}
+    for record in spans:
+        if record.parent is not None:
+            child_time[record.parent] = (
+                child_time.get(record.parent, 0.0) + record.dur_us
+            )
+    rollup: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        entry = rollup.setdefault(
+            record.name,
+            {"count": 0, "total_ms": 0.0, "self_ms": 0.0, "max_ms": 0.0},
+        )
+        dur_ms = record.dur_us / 1000.0
+        entry["count"] += 1
+        entry["total_ms"] += dur_ms
+        entry["self_ms"] += max(
+            0.0, (record.dur_us - child_time.get(record.sid, 0.0)) / 1000.0
+        )
+        entry["max_ms"] = max(entry["max_ms"], dur_ms)
+    for entry in rollup.values():
+        entry["mean_ms"] = entry["total_ms"] / entry["count"]
+    return rollup
+
+
+def report_json(
+    trace_collector: Optional[TraceCollector] = None,
+) -> Dict[str, Any]:
+    """The whole observability state as one JSON-serializable dict."""
+    trace_collector = trace_collector or _default_collector()
+    return {
+        "schema": "repro.obs/report/v1",
+        "span_count": len(trace_collector),
+        "spans": span_rollup(trace_collector),
+        "threads": trace_collector.threads(),
+        "metrics": snapshot(),
+    }
+
+
+def _format_rows(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return lines
+
+
+def render_report(
+    trace_collector: Optional[TraceCollector] = None,
+    title: str = "repro.obs report",
+) -> str:
+    """A human-readable text report of spans and metrics."""
+    trace_collector = trace_collector or _default_collector()
+    rollup = span_rollup(trace_collector)
+    lines = [f"=== {title} ===", ""]
+    if rollup:
+        rows = [
+            [
+                name,
+                str(entry["count"]),
+                f"{entry['total_ms']:.2f}",
+                f"{entry['self_ms']:.2f}",
+                f"{entry['mean_ms']:.3f}",
+                f"{entry['max_ms']:.2f}",
+            ]
+            for name, entry in sorted(
+                rollup.items(), key=lambda kv: -kv[1]["total_ms"]
+            )
+        ]
+        lines.append(f"spans ({len(trace_collector)} recorded):")
+        lines.extend(
+            _format_rows(
+                ["name", "count", "total ms", "self ms", "mean ms", "max ms"],
+                rows,
+            )
+        )
+    else:
+        lines.append("spans: none recorded")
+    metrics = snapshot()
+    if metrics["counters"]:
+        lines += ["", "counters:"]
+        lines.extend(
+            _format_rows(
+                ["name", "value"],
+                [[name, str(value)] for name, value in metrics["counters"].items()],
+            )
+        )
+    if metrics["gauges"]:
+        lines += ["", "gauges:"]
+        lines.extend(
+            _format_rows(
+                ["name", "value"],
+                [[name, str(value)] for name, value in metrics["gauges"].items()],
+            )
+        )
+    if metrics["histograms"]:
+        lines += ["", "histograms:"]
+        rows = []
+        for name, summary in metrics["histograms"].items():
+            if summary.get("count"):
+                rows.append(
+                    [
+                        name,
+                        str(summary["count"]),
+                        f"{summary['mean']:.4g}",
+                        f"{summary['min']:.4g}",
+                        f"{summary['max']:.4g}",
+                    ]
+                )
+            else:
+                rows.append([name, "0", "-", "-", "-"])
+        lines.extend(_format_rows(["name", "count", "mean", "min", "max"], rows))
+    return "\n".join(lines)
+
+
+def render_provenance(certificate: Any, indent: int = 0) -> str:
+    """Pretty-print a certificate tree's ``provenance`` annotations.
+
+    Works on any object with ``judgment``/``rule``/``children`` and an
+    optional ``provenance`` dict (i.e. :class:`repro.core.Certificate`),
+    keeping this module free of core imports.
+    """
+    pad = "  " * indent
+    lines = [f"{pad}{certificate.judgment} [{certificate.rule}]"]
+    provenance = getattr(certificate, "provenance", None)
+    if provenance:
+        for key, value in provenance.items():
+            if key in ("judgment", "rule"):
+                continue
+            if isinstance(value, dict):
+                rendered = json.dumps(value, sort_keys=True, default=repr)
+            else:
+                rendered = str(value)
+            lines.append(f"{pad}  · {key}: {rendered}")
+    for child in getattr(certificate, "children", ()):
+        lines.append(render_provenance(child, indent + 1))
+    return "\n".join(lines)

@@ -18,14 +18,17 @@ only the hardware's choice of CPU branches.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..core.certificate import Certificate
+from ..core.certificate import Certificate, stamp_provenance
 from ..core.errors import OutOfFuel
 from ..core.events import DEQ, ENQ, SLEEP, WAKEUP, YIELD
 from ..core.interface import LayerInterface
 from ..core.log import Log
 from ..core.machine import GameResult, run_game
+from ..obs import obs_enabled, span
+from ..obs.metrics import MetricsWindow, inc
 from ..objects.sched import CpuMap, TEXIT, ThreadGameScheduler
 
 SCHED_EVENTS = {YIELD, SLEEP, WAKEUP, TEXIT}
@@ -163,34 +166,43 @@ def enumerate_thread_games(
     seen: Set[Tuple] = set()
     stack: List[Tuple[int, ...]] = [()]
     runs = 0
-    while stack:
-        script = stack.pop()
-        runs += 1
-        if runs > max_runs:
-            raise OutOfFuel(
-                f"thread-game enumeration exceeded {max_runs} runs"
+    with span(
+        "enumerate_thread_games",
+        interface=interface.name,
+        threads=len(players),
+        cpus=len(cpus.cpus),
+    ):
+        while stack:
+            script = stack.pop()
+            runs += 1
+            if runs > max_runs:
+                raise OutOfFuel(
+                    f"thread-game enumeration exceeded {max_runs} runs"
+                )
+            scheduler = ThreadChoiceScheduler(
+                cpus, init_current, script, max_choice_depth
             )
-        scheduler = ThreadChoiceScheduler(
-            cpus, init_current, script, max_choice_depth
-        )
-        try:
-            result = run_game(
-                interface,
-                wrapped,
-                scheduler,
-                fuel=fuel,
-                max_rounds=max_rounds,
-            )
-        except NeedChoice as need:
-            if len(script) >= max_rounds:
+            try:
+                result = run_game(
+                    interface,
+                    wrapped,
+                    scheduler,
+                    fuel=fuel,
+                    max_rounds=max_rounds,
+                )
+            except NeedChoice as need:
+                if len(script) >= max_rounds:
+                    continue
+                for tid in sorted(need.ready, reverse=True):
+                    stack.append(script + (tid,))
                 continue
-            for tid in sorted(need.ready, reverse=True):
-                stack.append(script + (tid,))
-            continue
-        key = (result.log, result.finished, result.stuck)
-        if key not in seen:
-            seen.add(key)
-            results.append(result)
+            key = (result.log, result.finished, result.stuck)
+            if key not in seen:
+                seen.add(key)
+                results.append(result)
+    if obs_enabled():
+        inc("threads.games_explored", runs)
+        inc("threads.games_distinct", len(results))
     return results
 
 
@@ -214,6 +226,8 @@ def check_multithreaded_linking(
     than the one-directional ``≤_id`` and is what actually holds when the
     whole thread set is focused).
     """
+    started = time.perf_counter()
+    window = MetricsWindow()
     cert = Certificate(
         judgment=f"{lbtd.name} ≤_id {lhtd.name}[Tc]",
         rule="MultithreadedLinking",
@@ -223,15 +237,19 @@ def check_multithreaded_linking(
             "max_choice_depth": max_choice_depth,
         },
     )
+    games = {"low": 0, "high": 0}
     for index, players in enumerate(client_families):
-        low = enumerate_thread_games(
-            lbtd, players, cpus, init_current, fuel=fuel,
-            max_rounds=max_rounds, max_choice_depth=max_choice_depth,
-        )
-        high = enumerate_thread_games(
-            lhtd, players, cpus, init_current, fuel=fuel,
-            max_rounds=max_rounds, max_choice_depth=max_choice_depth,
-        )
+        with span("multithreaded_linking.client", client=index):
+            low = enumerate_thread_games(
+                lbtd, players, cpus, init_current, fuel=fuel,
+                max_rounds=max_rounds, max_choice_depth=max_choice_depth,
+            )
+            high = enumerate_thread_games(
+                lhtd, players, cpus, init_current, fuel=fuel,
+                max_rounds=max_rounds, max_choice_depth=max_choice_depth,
+            )
+        games["low"] += len(low)
+        games["high"] += len(high)
         # Safety: no run may get *stuck* (divergence — e.g. a sleeping
         # thread that is never woken — is legitimate behaviour and must
         # simply agree across the two layers).
@@ -280,4 +298,10 @@ def check_multithreaded_linking(
         cert.log_universe = cert.log_universe + tuple(
             r.log for r in low if r.stuck is None
         ) + tuple(r.log for r in high if r.stuck is None)
+    stamp_provenance(
+        cert, time.perf_counter() - started, window,
+        clients=len(client_families),
+        implementation_games=games["low"],
+        atomic_games=games["high"],
+    )
     return cert

@@ -19,13 +19,16 @@ Two executable forms:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.certificate import Certificate
+from ..core.certificate import Certificate, stamp_provenance
 from ..core.interface import LayerInterface
 from ..core.log import Log
 from ..core.machine import GameScheduler, run_game, sample_game_logs
 from ..machine.hw_sched import fair_scheduler_family
+from ..obs import span
+from ..obs.metrics import MetricsWindow
 
 
 def check_starvation_freedom(
@@ -38,27 +41,38 @@ def check_starvation_freedom(
     judgment: str = "starvation freedom",
 ) -> Certificate:
     """Every fair schedule completes every participant within the bound."""
+    started = time.perf_counter()
+    window = MetricsWindow()
     if schedulers is None:
         schedulers = fair_scheduler_family(sorted(players), fairness_bound)
-    results = sample_game_logs(
-        interface, players, schedulers, fuel=fuel, max_rounds=round_bound
-    )
-    cert = Certificate(
-        judgment=judgment,
-        rule="Progress",
-        bounds={
-            "fairness_bound": fairness_bound,
-            "round_bound": round_bound,
-            "schedulers": len(list(schedulers)),
-        },
-    )
-    for index, result in enumerate(results):
-        cert.add(
-            f"fair schedule {index} completes within {round_bound} rounds",
-            result.ok,
-            result.stuck or f"unfinished after {result.rounds} rounds",
+    with span(
+        "progress.starvation_freedom",
+        interface=interface.name,
+        participants=len(players),
+    ):
+        results = sample_game_logs(
+            interface, players, schedulers, fuel=fuel, max_rounds=round_bound
         )
-    cert.log_universe = tuple(r.log for r in results)
+        cert = Certificate(
+            judgment=judgment,
+            rule="Progress",
+            bounds={
+                "fairness_bound": fairness_bound,
+                "round_bound": round_bound,
+                "schedulers": len(list(schedulers)),
+            },
+        )
+        for index, result in enumerate(results):
+            cert.add(
+                f"fair schedule {index} completes within {round_bound} rounds",
+                result.ok,
+                result.stuck or f"unfinished after {result.rounds} rounds",
+            )
+        cert.log_universe = tuple(r.log for r in results)
+    stamp_provenance(
+        cert, time.perf_counter() - started, window,
+        schedulers=len(list(schedulers)),
+    )
     return cert
 
 
@@ -100,31 +114,44 @@ def check_ticket_liveness_bound(
     Runs the system under the fair scheduler family and checks the
     measured spin counts against the formula's step budget.
     """
+    started = time.perf_counter()
+    window = MetricsWindow()
     ncpu = len(players)
     budget = release_bound * fairness_bound * ncpu
     schedulers = fair_scheduler_family(sorted(players), fairness_bound)
-    results = sample_game_logs(
-        interface, players, schedulers, fuel=fuel, max_rounds=round_bound
-    )
-    cert = Certificate(
-        judgment=f"ticket acq terminates within n×m×#CPU = "
-        f"{release_bound}×{fairness_bound}×{ncpu} = {budget} steps",
-        rule="Progress",
-        bounds={"budget": budget, "schedulers": len(schedulers)},
-    )
-    worst = 0
-    for index, result in enumerate(results):
-        cert.add(
-            f"fair schedule {index} completes", result.ok,
-            result.stuck or f"unfinished after {result.rounds} rounds",
+    with span(
+        "progress.ticket_liveness_bound",
+        interface=interface.name,
+        budget=budget,
+    ):
+        results = sample_game_logs(
+            interface, players, schedulers, fuel=fuel, max_rounds=round_bound
         )
-        for tid in players:
-            for count in spin_iterations(result.log, tid, lock):
-                worst = max(worst, count)
-                cert.add(
-                    f"schedule {index}, thread {tid}: spin {count} ≤ {budget}",
-                    count <= budget,
-                )
-    cert.bounds["worst_observed_spin"] = worst
-    cert.log_universe = tuple(r.log for r in results)
+        cert = Certificate(
+            judgment=f"ticket acq terminates within n×m×#CPU = "
+            f"{release_bound}×{fairness_bound}×{ncpu} = {budget} steps",
+            rule="Progress",
+            bounds={"budget": budget, "schedulers": len(schedulers)},
+        )
+        worst = 0
+        for index, result in enumerate(results):
+            cert.add(
+                f"fair schedule {index} completes", result.ok,
+                result.stuck or f"unfinished after {result.rounds} rounds",
+            )
+            for tid in players:
+                for count in spin_iterations(result.log, tid, lock):
+                    worst = max(worst, count)
+                    cert.add(
+                        f"schedule {index}, thread {tid}: spin {count} ≤ {budget}",
+                        count <= budget,
+                    )
+        cert.bounds["worst_observed_spin"] = worst
+        cert.log_universe = tuple(r.log for r in results)
+    stamp_provenance(
+        cert, time.perf_counter() - started, window,
+        schedulers=len(schedulers),
+        worst_observed_spin=worst,
+        step_budget=budget,
+    )
     return cert

@@ -22,6 +22,8 @@ from ..core.interface import LayerInterface
 from ..core.module import Module
 from ..core.relation import ID_REL, SimRel
 from ..core.simulation import Scenario, SimConfig
+from ..obs import span
+from ..obs.metrics import inc
 
 
 def verify_c_function(
@@ -34,9 +36,11 @@ def verify_c_function(
     relation: SimRel = ID_REL,
 ) -> CertifiedLayer:
     """The C verifier: one function against its overlay specification."""
-    return fun_rule(
-        underlay, c_func_impl(unit, name), overlay, relation, tid, config
-    )
+    with span("verify.c_function", function=name, unit=unit.name):
+        inc("verify.c_functions")
+        return fun_rule(
+            underlay, c_func_impl(unit, name), overlay, relation, tid, config
+        )
 
 
 def verify_asm_function(
@@ -50,14 +54,16 @@ def verify_asm_function(
     width_bits: int = 32,
 ) -> CertifiedLayer:
     """The Asm verifier: one assembly function against its specification."""
-    return fun_rule(
-        underlay,
-        asm_func_impl(unit, name, width_bits),
-        overlay,
-        relation,
-        tid,
-        config,
-    )
+    with span("verify.asm_function", function=name, unit=unit.name):
+        inc("verify.asm_functions")
+        return fun_rule(
+            underlay,
+            asm_func_impl(unit, name, width_bits),
+            overlay,
+            relation,
+            tid,
+            config,
+        )
 
 
 def verify_c_module(
@@ -70,8 +76,12 @@ def verify_c_module(
     relation: SimRel = ID_REL,
 ) -> CertifiedLayer:
     """The C verifier, module-at-a-time with protocol scenarios."""
-    module = Module(
-        {name: c_func_impl(unit, name) for name in names},
-        name=unit.name,
-    )
-    return module_rule(underlay, module, overlay, relation, tid, scenarios)
+    with span(
+        "verify.c_module", unit=unit.name, functions=list(names)
+    ):
+        inc("verify.c_modules")
+        module = Module(
+            {name: c_func_impl(unit, name) for name in names},
+            name=unit.name,
+        )
+        return module_rule(underlay, module, overlay, relation, tid, scenarios)

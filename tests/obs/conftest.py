@@ -1,0 +1,19 @@
+"""Fixtures for the observability-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_isolation():
+    """Leave the process-global collector/registry clean around each test."""
+    obs.disable()
+    obs.collector().reset()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.collector().reset()
+    obs.REGISTRY.reset()

@@ -1,0 +1,114 @@
+"""Metric aggregation: counters, gauges, histograms, windows."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter_aggregates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_keeps_last(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_histogram_summary(self):
+        h = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert 2.0 <= summary["p50"] <= 3.0
+        assert summary["p95"] >= 3.0
+
+    def test_histogram_caps_samples_but_not_stats(self):
+        h = Histogram("h", max_samples=10)
+        for v in range(100):
+            h.observe(float(v))
+        summary = h.summary()
+        assert summary["count"] == 100
+        assert summary["max"] == 99.0
+
+    def test_counter_thread_safety(self):
+        c = Counter("c")
+        workers, per = 8, 10_000
+
+        def work():
+            for _ in range(per):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == workers * per
+
+
+class TestGuardedHelpers:
+    def test_enabled_helpers_record(self):
+        obs.enable()
+        obs.inc("runs", 3)
+        obs.inc("runs")
+        obs.set_gauge("depth", 2)
+        obs.observe("wall", 0.25)
+        snap = obs.snapshot()
+        assert snap["counters"]["runs"] == 4
+        assert snap["gauges"]["depth"] == 2
+        assert snap["histograms"]["wall"]["count"] == 1
+
+    def test_disabled_helpers_are_silent(self):
+        obs.inc("runs")
+        obs.set_gauge("depth", 2)
+        obs.observe("wall", 0.25)
+        assert obs.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_registry_lazily_creates_one_instance(self):
+        obs.enable()
+        obs.inc("same")
+        obs.inc("same")
+        assert obs.REGISTRY.counter("same").value == 2
+
+    def test_snapshot_is_sorted(self):
+        obs.enable()
+        obs.inc("zeta")
+        obs.inc("alpha")
+        assert list(obs.snapshot()["counters"]) == ["alpha", "zeta"]
+
+
+class TestMetricsWindow:
+    def test_delta_captures_only_window(self):
+        obs.enable()
+        obs.inc("before", 5)
+        window = obs.MetricsWindow()
+        obs.inc("during", 3)
+        obs.inc("before", 2)
+        delta = window.delta()
+        assert delta == {"during": 3, "before": 2}
+
+    def test_delta_drops_zero_movement(self):
+        obs.enable()
+        obs.inc("static", 5)
+        window = obs.MetricsWindow()
+        assert window.delta() == {}
+
+    def test_disabled_window_is_empty(self):
+        window = obs.MetricsWindow()
+        obs.inc("anything")
+        assert window.delta() == {}
