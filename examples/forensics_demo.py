@@ -1,0 +1,103 @@
+"""Failure forensics end to end: break the ticket lock, read the diagnosis.
+
+This demo deliberately breaks the ticket lock's ``rel`` — it bumps the
+now-serving counter without publishing the protected data (the ``push``
+is missing), which violates the release discipline the overlay
+specification ``φ'_rel`` promises.  The Fun* check catches it, and the
+forensics layer turns each failed obligation into a shrunken
+:class:`~repro.obs.Counterexample`:
+
+1. the certificate summary carries a one-line digest per failure,
+2. the counterexample renders as a per-participant interleaving diagram
+   with the divergence point marked,
+3. the exported ``cert.json`` replays through
+   ``python -m repro.obs explain``.
+
+Run with::
+
+    PYTHONPATH=src python examples/forensics_demo.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro.core.calculus import module_rule
+from repro.core.errors import VerificationError
+from repro.core.events import ACQ, REL
+from repro.core.module import FuncImpl, Module
+from repro.core.relation import ID_REL
+from repro.core.simulation import SimConfig
+from repro.machine.atomics import FAI
+from repro.obs import cli
+from repro.objects.ticket_lock import (
+    acq_impl,
+    lock_guarantee,
+    lock_low_interface,
+    lock_rely,
+    lock_scenarios,
+    low_env_alphabet,
+    lx86_like_interface,
+    n_cell,
+)
+
+
+def broken_rel(ctx, lock):
+    """Fig. 10 ``rel`` with the bug: increment ``n`` but never push."""
+    yield from ctx.call(FAI, n_cell(lock))
+    return None
+
+
+def main():
+    domain = [1, 2]
+    lock = "q0"
+    rely = lock_rely(domain, [lock])
+    guar = lock_guarantee(domain, [lock])
+    base = lx86_like_interface(domain, 32, rely, guar)
+    low = lock_low_interface(base)
+    module = Module(
+        {
+            ACQ: FuncImpl(ACQ, acq_impl, lang="spec"),
+            REL: FuncImpl(REL, broken_rel, lang="spec"),
+        },
+        name="M_broken_rel",
+    )
+    config = SimConfig(
+        env_alphabet=low_env_alphabet([2], [lock]),
+        env_depth=1,
+        fuel=2_000,
+        delivery="per_query",
+    )
+
+    print("=== 1. certify the broken module (Fun*) ===")
+    try:
+        module_rule(base, module, low, ID_REL, 1, lock_scenarios(lock, config))
+    except VerificationError as err:
+        cert = err.certificate
+    else:
+        raise SystemExit("the broken lock unexpectedly certified")
+
+    print(cert.summary())
+    print()
+
+    print("=== 2. the shrunken counterexamples ===")
+    for cx in cert.counterexamples():
+        shrunk = (
+            f"shrunk {cx.shrunk_from} → {len(cx.schedule)} env choices "
+            f"({cx.shrink_probes} probes)"
+        )
+        print(f"--- {cx.obligation} [{shrunk}] ---")
+        print(cx.render())
+        print()
+
+    print("=== 3. the same diagnosis from the exported certificate ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "broken_rel.cert.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(cert.to_json(), fh, indent=1)
+        print(f"$ python -m repro.obs explain {os.path.basename(path)}")
+        cli.main(["explain", path])
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ import time
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs import obs_enabled, span
+from ..obs.coverage import CoverageBuilder
 from ..obs.metrics import MetricsWindow, inc, observe
 from .certificate import Certificate, CertifiedLayer, InterfaceSim, stamp_provenance
 from .errors import ComposeError
@@ -396,12 +397,17 @@ def check_compat_interfaces(
                 cert.add("G ⊇ R implication", False, failure)
         else:
             cert.add("G ⊇ R implications on universe", True)
-    _stamp_rule(
-        cert, "Compat", started, window,
-        universe_size=len(universe),
-        tids_a=tids_a,
-        tids_b=tids_b,
-    )
+    extra = dict(universe_size=len(universe), tids_a=tids_a, tids_b=tids_b)
+    if obs_enabled():
+        # The Compat rule's enumeration axis is the log universe itself:
+        # the rely/guarantee cross-implication is only checked on logs
+        # actually encountered while certifying the premises (DESIGN.md
+        # §4's coverage caveat, now stated in the certificate).
+        cov = CoverageBuilder("compat.log_universe", budget=len(universe))
+        cov.visit(n=len(universe))
+        cov.distinct = len(set(universe))
+        extra["coverage"] = {"compat.log_universe": cov.record()}
+    _stamp_rule(cert, "Compat", started, window, **extra)
     return cert
 
 

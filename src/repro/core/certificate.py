@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..obs import obs_enabled
+from ..obs.coverage import merge_coverage_maps
 from ..obs.metrics import MetricsWindow, inc
 from .errors import VerificationError
 from .interface import LayerInterface
@@ -32,11 +33,31 @@ from .relation import SimRel
 
 @dataclass
 class Obligation:
-    """One discharged (or failed) proof obligation."""
+    """One discharged (or failed) proof obligation.
+
+    ``evidence`` is the optional structured failure record: a dict whose
+    ``"counterexample"`` key (when present) holds a
+    :class:`~repro.obs.forensics.Counterexample` — the shrunken failing
+    schedule, environment moves and divergence point — so a failed
+    certificate carries *replayable* diagnosis, not just a message.
+    """
 
     description: str
     ok: bool
     details: str = ""
+    evidence: Optional[Dict[str, Any]] = None
+
+    @property
+    def counterexample(self):
+        """The attached counterexample, if forensics captured one."""
+        return (self.evidence or {}).get("counterexample")
+
+    def digest(self) -> str:
+        """One line of the strongest evidence this obligation carries."""
+        counterexample = self.counterexample
+        if counterexample is not None and hasattr(counterexample, "digest"):
+            return counterexample.digest()
+        return self.details or ("ok" if self.ok else "no evidence captured")
 
     def __repr__(self):
         mark = "✓" if self.ok else "✗"
@@ -97,28 +118,110 @@ class Certificate:
         if not self.ok:
             failed = self.failures
             preview = "\n".join(f"  {o!r}" for o in failed[:5])
-            raise VerificationError(
+            error = VerificationError(
                 f"judgment {self.judgment!r} [{self.rule}] has "
                 f"{len(failed)} failed obligation(s):\n{preview}"
             )
+            # Keep the full certificate (and its counterexamples)
+            # reachable from the raised error for forensic tooling.
+            error.certificate = self
+            raise error
         return self
 
-    def add(self, description: str, ok: bool, details: str = "") -> Obligation:
-        obligation = Obligation(description, ok, details)
+    def add(
+        self,
+        description: str,
+        ok: bool,
+        details: str = "",
+        evidence: Optional[Dict[str, Any]] = None,
+    ) -> Obligation:
+        obligation = Obligation(description, ok, details, evidence)
         self.obligations.append(obligation)
         if obs_enabled():
             inc("cert.obligations_discharged" if ok else "cert.obligations_failed")
+            if evidence and "counterexample" in evidence:
+                inc("cert.counterexamples_captured")
         return obligation
 
-    def summary(self) -> str:
+    def counterexamples(self) -> List[Any]:
+        """Every counterexample attached anywhere in this tree."""
+        out = [
+            o.counterexample for o in self.obligations
+            if o.counterexample is not None
+        ]
+        for child in self.children:
+            out.extend(child.counterexamples())
+        return out
+
+    def summary(self, max_failures: int = 3) -> str:
+        """The one-line status; failed certificates add evidence digests.
+
+        Each failed obligation contributes one line carrying its
+        counterexample digest (shrunk schedule + first divergent event)
+        when forensics captured one, the bare details string otherwise.
+        """
         status = "OK" if self.ok else "FAILED"
-        return (
+        head = (
             f"[{status}] {self.judgment} ({self.rule}): "
             f"{self.obligation_count()} obligations, bounds={self.bounds}"
         )
+        if self.ok:
+            return head
+        failed = self.failures
+        lines = [head]
+        for obligation in failed[:max_failures]:
+            lines.append(f"  ✗ {obligation.description} — {obligation.digest()}")
+        if len(failed) > max_failures:
+            lines.append(f"  … and {len(failed) - max_failures} more failures")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The whole certificate tree as JSON-ready data.
+
+        The schema consumed by ``python -m repro.obs explain``:
+        obligations keep their structured evidence (counterexamples
+        serialize via ``to_dict``), provenance (including the coverage
+        map) passes through, children recurse.
+        """
+        return {
+            "schema": "repro.cert/v1",
+            "judgment": self.judgment,
+            "rule": self.rule,
+            "ok": self.ok,
+            "bounds": _jsonable(self.bounds),
+            "log_universe": len(self.log_universe),
+            "provenance": _jsonable(self.provenance),
+            "obligations": [
+                {
+                    "description": o.description,
+                    "ok": o.ok,
+                    "details": o.details,
+                    "evidence": _jsonable(o.evidence),
+                }
+                for o in self.obligations
+            ],
+            "children": [child.to_json() for child in self.children],
+        }
 
     def __repr__(self):
         return f"Certificate({self.summary()})"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serializable data.
+
+    Counterexamples (anything with ``to_dict``) serialize structurally;
+    other non-primitive values fall back to ``repr``.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
 
 
 class CertifiedLayer:
@@ -191,6 +294,20 @@ def stamp_provenance(
         if delta:
             provenance["metrics"] = delta
     provenance.update(extra)
+    if "coverage" not in provenance:
+        # A rule wrapper re-stamping a checker's certificate (e.g. Fun
+        # over check_sim) must not drop the coverage the checker already
+        # computed; composition rules, which enumerate nothing
+        # themselves, inherit the union of their premises' coverage so
+        # every certificate in a derivation states what it was checked
+        # against.
+        prior = (cert.provenance or {}).get("coverage")
+        inherited = prior or merge_coverage_maps(
+            (child.provenance or {}).get("coverage")
+            for child in cert.children
+        )
+        if inherited:
+            provenance["coverage"] = inherited
     cert.provenance = provenance
     return cert
 

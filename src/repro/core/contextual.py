@@ -17,13 +17,21 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..obs import span
+from ..obs import obs_enabled, span
+from ..obs.coverage import CoverageBuilder, merge_coverage_maps
+from ..obs.forensics import MAX_COUNTEREXAMPLES, build_counterexample
 from ..obs.metrics import MetricsWindow, inc
 from .certificate import Certificate, CertifiedLayer, stamp_provenance
 from .errors import ComposeError
 from .interface import LayerInterface
 from .log import Log
-from .machine import GameResult, enumerate_game_logs, seq_player
+from .machine import (
+    GameResult,
+    ScriptScheduler,
+    enumerate_game_logs,
+    run_game,
+    seq_player,
+)
 from .module import Module, link
 from .relation import SimRel
 
@@ -39,6 +47,7 @@ def behaviors_of(
     fuel: int = 10_000,
     max_rounds: int = 64,
     max_runs: int = 100_000,
+    coverage: Optional[CoverageBuilder] = None,
 ) -> List[GameResult]:
     """``[[P ⊕ M]]_{L[D]}`` (or ``[[P]]_{L[D]}`` when ``module`` is None).
 
@@ -59,10 +68,40 @@ def behaviors_of(
     ):
         results = enumerate_game_logs(
             machine, players, fuel=fuel, max_rounds=max_rounds,
-            max_runs=max_runs,
+            max_runs=max_runs, coverage=coverage,
         )
     inc("contextual.behaviors_enumerated", len(results))
     return results
+
+
+def game_rerun(
+    interface: LayerInterface,
+    client: ClientProgram,
+    module: Optional[Module] = None,
+    fuel: int = 10_000,
+    max_rounds: int = 64,
+) -> Callable[[Sequence[int]], GameResult]:
+    """A forensic replay callable: one game under one decision script.
+
+    The returned ``rerun(schedule)`` re-executes exactly what
+    :func:`behaviors_of` runs for that scheduling prefix.  It raises
+    :class:`~repro.core.machine.NeedChoice` when the script is too short
+    to denote a complete run — the shrinker treats that as "does not
+    reproduce".
+    """
+    machine = link(interface, module) if module and len(module) else interface
+    players = {
+        tid: (seq_player(list(calls)), ())
+        for tid, calls in client.items()
+    }
+
+    def rerun(schedule):
+        return run_game(
+            machine, players, ScriptScheduler(schedule),
+            fuel=fuel, max_rounds=max_rounds,
+        )
+
+    return rerun
 
 
 def check_refinement(
@@ -72,6 +111,7 @@ def check_refinement(
     cert: Certificate,
     label: str = "",
     require_progress: bool = True,
+    rerun_low: Optional[Callable[[Sequence[int]], GameResult]] = None,
 ) -> None:
     """Check ``behaviors_low ⊑_R behaviors_high`` and record obligations.
 
@@ -82,17 +122,74 @@ def check_refinement(
     scheduler").  With ``require_progress`` every low run must also have
     completed — stuck or diverging runs fail the termination-sensitive
     property.
+
+    ``rerun_low`` (see :func:`game_rerun`) enables forensics: failed
+    obligations get a delta-debugged :class:`Counterexample` whose
+    scheduler-decision script is minimized while the same failure —
+    no-progress, or no R-related high log — keeps reproducing.
     """
     low_results = list(low_results)
     high_logs = [r.log.without_sched() for r in high_results if r.ok]
     matched = 0
+    captured = 0
+
+    def capture(failure, obligation, status, result):
+        nonlocal captured
+        if captured >= MAX_COUNTEREXAMPLES:
+            return None
+        captured += 1
+        still_fails = None
+        artifacts = None
+        if rerun_low is not None:
+            def still_fails(schedule):
+                replay = rerun_low(schedule)
+                if failure == "progress":
+                    return not replay.ok
+                if not replay.ok:
+                    return False
+                replay_log = replay.log.without_sched()
+                return not any(
+                    relation.relate_logs(replay_log, hl) for hl in high_logs
+                )
+
+            def artifacts(schedule):
+                replay = rerun_low(schedule)
+                if failure == "progress":
+                    return {
+                        "log": tuple(replay.log),
+                        "status": replay.stuck or "diverged at round bound",
+                    }
+                return {
+                    "log": tuple(replay.log.without_sched()),
+                    "status": (
+                        f"no R-related high log among {len(high_logs)}"
+                    ),
+                }
+
+        counterexample = build_counterexample(
+            kind="refinement",
+            judgment=cert.judgment,
+            obligation=obligation,
+            status=status,
+            schedule=result.schedule,
+            still_fails=still_fails,
+            artifacts=artifacts,
+            schedule_kind="sched_decisions",
+            log=tuple(
+                result.log if failure == "progress"
+                else result.log.without_sched()
+            ),
+        )
+        return {"counterexample": counterexample}
+
     for result in low_results:
         if not result.ok:
             if require_progress:
+                desc = f"low run completes {label}[sched={result.schedule}]"
+                details = result.stuck or "diverged at round bound"
                 cert.add(
-                    f"low run completes {label}[sched={result.schedule}]",
-                    False,
-                    result.stuck or "diverged at round bound",
+                    desc, False, details,
+                    evidence=capture("progress", desc, details, result),
                 )
             continue
         low_log = result.log.without_sched()
@@ -102,10 +199,11 @@ def check_refinement(
         )
         if witness is None:
             inc("contextual.low_logs_unmatched")
+            desc = f"low log has high witness {label}[sched={result.schedule}]"
+            details = f"unmatched: {low_log!r}"
             cert.add(
-                f"low log has high witness {label}[sched={result.schedule}]",
-                False,
-                f"unmatched: {low_log!r}",
+                desc, False, details,
+                evidence=capture("unmatched", desc, details, result),
             )
         else:
             matched += 1
@@ -147,6 +245,8 @@ def check_soundness(
         children=[layer.certificate],
     )
     behaviors = {"low": 0, "high": 0}
+    track_cov = obs_enabled()
+    coverage_maps: List[Dict[str, Any]] = []
     with span("check_soundness", module=layer.module.name, clients=len(clients)):
         for index, client in enumerate(clients):
             extra = set(client) - set(layer.focused)
@@ -155,27 +255,58 @@ def check_soundness(
                     f"client {index} uses uncertified participants {sorted(extra)}"
                 )
             with span("soundness.client", client=index):
+                cov_low, cov_high = (
+                    (
+                        CoverageBuilder(
+                            "machine.schedules", budget=max_runs,
+                            depth_bound=max_rounds,
+                        ),
+                        CoverageBuilder(
+                            "machine.schedules", budget=max_runs,
+                            depth_bound=max_rounds,
+                        ),
+                    )
+                    if track_cov else (None, None)
+                )
                 low = behaviors_of(
                     layer.underlay, client, layer.module,
                     fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
+                    coverage=cov_low,
                 )
                 high = behaviors_of(
                     layer.overlay, client, None,
                     fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
+                    coverage=cov_high,
                 )
+                if track_cov:
+                    coverage_maps.append(
+                        {"machine.schedules": cov_low.record()}
+                    )
+                    coverage_maps.append(
+                        {"machine.schedules": cov_high.record()}
+                    )
                 check_refinement(
                     low, high, layer.relation, cert,
                     label=f"P{index}", require_progress=require_progress,
+                    rerun_low=game_rerun(
+                        layer.underlay, client, layer.module,
+                        fuel=fuel, max_rounds=max_rounds,
+                    ),
                 )
             behaviors["low"] += len(low)
             behaviors["high"] += len(high)
             cert.log_universe = cert.log_universe + tuple(
                 r.log for r in low
             ) + tuple(r.log for r in high)
-    stamp_provenance(
-        cert, time.perf_counter() - started, window,
+    extra_prov: Dict[str, Any] = dict(
         clients=len(clients),
         low_behaviors=behaviors["low"],
         high_behaviors=behaviors["high"],
+    )
+    coverage = merge_coverage_maps(coverage_maps)
+    if coverage:
+        extra_prov["coverage"] = coverage
+    stamp_provenance(
+        cert, time.perf_counter() - started, window, **extra_prov,
     )
     return cert

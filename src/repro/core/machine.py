@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..obs import obs_enabled, span
+from ..obs.coverage import SAMPLED, CoverageBuilder
 from ..obs.metrics import inc
 from .context import QUERY, ExecutionContext
 from .environment import EnvContext, NullEnv
@@ -330,6 +331,7 @@ def enumerate_game_logs(
     max_runs: int = 100_000,
     init_log: Optional[Iterable] = None,
     fine_grained: bool = False,
+    coverage: Optional[CoverageBuilder] = None,
 ) -> List[GameResult]:
     """Exhaustively enumerate game outcomes over all schedulers.
 
@@ -339,7 +341,18 @@ def enumerate_game_logs(
     The result is the bounded behaviour set ``[[P]]_{L[D]}`` — "the set of
     logs generated by playing the game under all possible schedulers"
     (§2).
+
+    ``coverage`` (optional) accumulates the explored schedule-prefix
+    counts and depth histogram; when omitted and observability is on, a
+    fresh ``"machine.schedules"`` axis record is published to the
+    process-wide coverage registry so every behaviour enumeration shows
+    up in the run's coverage map.
     """
+    own_coverage = coverage is None and obs_enabled()
+    if own_coverage:
+        coverage = CoverageBuilder(
+            "machine.schedules", budget=max_runs, depth_bound=max_rounds
+        )
     results: List[GameResult] = []
     stack: List[Tuple[int, ...]] = [()]
     runs = 0
@@ -353,6 +366,8 @@ def enumerate_game_logs(
             prefix = stack.pop()
             runs += 1
             if runs > max_runs:
+                if coverage is not None:
+                    coverage.exhausted = False
                 raise OutOfFuel(
                     f"behaviour enumeration exceeded {max_runs} runs "
                     f"(max_rounds={max_rounds})"
@@ -369,11 +384,19 @@ def enumerate_game_logs(
                 )
             except NeedChoice as need:
                 if len(prefix) >= max_rounds:
+                    if coverage is not None:
+                        coverage.prune()
                     continue
                 for tid in sorted(need.ready, reverse=True):
                     stack.append(prefix + (tid,))
                 continue
+            if coverage is not None:
+                coverage.visit(depth=len(result.schedule))
             results.append(result)
+    if coverage is not None:
+        coverage.distinct = (coverage.distinct or 0) + len(results)
+        if own_coverage:
+            coverage.record()
     if obs_enabled():
         inc("machine.schedules_explored", runs)
         inc("machine.interleavings", len(results))
@@ -388,14 +411,21 @@ def sample_game_logs(
     max_rounds: int = 1_000,
     init_log: Optional[Iterable] = None,
     fine_grained: bool = False,
+    coverage: Optional[CoverageBuilder] = None,
 ) -> List[GameResult]:
     """Behaviours under an explicit scheduler family (non-exhaustive).
 
     For scenarios too large for :func:`enumerate_game_logs`, a family of
     fair / round-robin / seeded-random schedulers still gives broad
     interleaving coverage; the certificate records that coverage was
-    sampled, not exhaustive.
+    sampled, not exhaustive (the coverage axis is published in
+    ``"sampled"`` mode, never ``exhausted``).
     """
+    own_coverage = coverage is None and obs_enabled()
+    if own_coverage:
+        coverage = CoverageBuilder(
+            "machine.schedules", depth_bound=max_rounds, mode=SAMPLED
+        )
     results = []
     with span(
         "sample_game_logs",
@@ -403,17 +433,25 @@ def sample_game_logs(
         participants=len(players),
     ):
         for scheduler in schedulers:
-            results.append(
-                run_game(
-                    interface,
-                    players,
-                    scheduler.fresh(),
-                    fuel=fuel,
-                    max_rounds=max_rounds,
-                    init_log=init_log,
-                    fine_grained=fine_grained,
-                )
+            result = run_game(
+                interface,
+                players,
+                scheduler.fresh(),
+                fuel=fuel,
+                max_rounds=max_rounds,
+                init_log=init_log,
+                fine_grained=fine_grained,
             )
+            if coverage is not None:
+                coverage.visit(depth=len(result.schedule))
+            results.append(result)
+    if coverage is not None:
+        coverage.exhausted = False
+        coverage.distinct = (coverage.distinct or 0) + len(
+            {r.log for r in results}
+        )
+        if own_coverage:
+            coverage.record()
     inc("machine.schedules_sampled", len(results))
     return results
 

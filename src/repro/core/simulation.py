@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..obs import obs_enabled, span
+from ..obs.coverage import CoverageBuilder, merge_coverage_maps
+from ..obs.forensics import MAX_COUNTEREXAMPLES, build_counterexample
 from ..obs.metrics import MetricsWindow, inc, observe
 from .certificate import Certificate, stamp_provenance
 from .environment import Batch, ChoiceEnv, RecordingEnv, ScriptedEnv
@@ -121,6 +123,7 @@ def enumerate_local_runs(
     args: Tuple[Any, ...],
     config: SimConfig,
     rely: Optional[Rely] = None,
+    coverage: Optional[CoverageBuilder] = None,
 ) -> List[RunRecord]:
     """All runs of ``player`` under environment behaviours to the bound.
 
@@ -129,6 +132,10 @@ def enumerate_local_runs(
     prefix and the depth bound allows, the prefix branches over the whole
     alphabet.  Runs whose delivered environment events violate the rely
     condition are pruned together with all their extensions.
+
+    ``coverage`` (optional) accumulates explored-vs-budget counts and a
+    depth histogram over the choice prefixes; checkers stamp it into
+    certificate provenance.
     """
     rely = rely if rely is not None else interface.rely
     env_tids = {e.tid for batch in config.env_alphabet for e in batch}
@@ -141,6 +148,8 @@ def enumerate_local_runs(
         choices = stack.pop()
         runs += 1
         if runs > config.max_runs:
+            if coverage is not None:
+                coverage.exhausted = False
             raise OutOfFuel(
                 f"simulation enumeration exceeded {config.max_runs} runs"
             )
@@ -153,9 +162,13 @@ def enumerate_local_runs(
             # it; it denotes no new behaviour (already covered by the
             # shorter prefix).  Skip without branching.
             continue
+        if coverage is not None:
+            coverage.visit(depth=len(choices))
         if config.check_rely and not env_events_valid(run.log, rely, env_tids):
             if tracking:
                 inc("sim.env_contexts_rely_pruned")
+            if coverage is not None:
+                coverage.prune()
             continue
         key = (run.log, repr(run.ret), run.finished, run.stuck)
         if key not in seen:
@@ -169,7 +182,165 @@ def enumerate_local_runs(
     if tracking:
         inc("sim.runs_enumerated", runs)
         inc("sim.env_contexts", len(results))
+    if coverage is not None:
+        coverage.distinct = (coverage.distinct or 0) + len(results)
     return results
+
+
+def _sim_rerun_factory(
+    low_iface: LayerInterface,
+    low_player: Callable,
+    high_iface: LayerInterface,
+    high_player: Callable,
+    relation: SimRel,
+    config: SimConfig,
+    tid: int,
+) -> Callable:
+    """Replay one env-choice prefix of a per-primitive simulation check.
+
+    The returned ``rerun(args, choices)`` re-executes exactly what
+    :func:`check_sim` did for that context: spec run under the
+    :class:`ChoiceEnv` prefix, validity filtering (prefix covered /
+    rely-valid), then the implementation under the R-mapped witness
+    environment.  Returns ``(high_run, batches, low_run)`` — ``low_run``
+    is ``None`` when the spec run itself was unsafe — or ``None`` when
+    ``choices`` denotes no valid environment context, which the shrinker
+    treats as "does not reproduce".
+    """
+    rely = high_iface.rely
+    env_tids = {e.tid for batch in config.env_alphabet for e in batch}
+
+    def rerun(args, choices):
+        env = RecordingEnv(ChoiceEnv(config.env_alphabet, choices))
+        high_run = run_local(
+            high_iface, tid, high_player, args, env=env, fuel=config.fuel
+        )
+        if high_run.queries < len(choices):
+            return None
+        if config.check_rely and not env_events_valid(
+            high_run.log, rely, env_tids
+        ):
+            return None
+        low_run = None
+        if high_run.ok:
+            low_batches = [
+                relation.concretize_events(b) for b in env.batches
+            ]
+            low_run = run_local(
+                low_iface, tid, low_player, args,
+                env=ScriptedEnv(low_batches), fuel=config.fuel,
+            )
+        return high_run, tuple(env.batches), low_run
+
+    return rerun
+
+
+class _SimForensics:
+    """Per-judgment counterexample capture for simulation checks.
+
+    Owns the capture budget (:data:`MAX_COUNTEREXAMPLES` per judgment —
+    a broken layer fails hundreds of obligations with one root cause)
+    and builds the shrinker probe / artifact closures around a ``rerun``
+    callable, so both :func:`check_sim` and the scenario checker share
+    one capture path.  ``failure`` selects which obligation kind must
+    keep reproducing while the schedule shrinks: ``"spec"`` (spec unsafe
+    under a valid env), ``"impl"`` (implementation stuck), ``"logs"``
+    (logs unrelated) or ``"rets"`` (return values unrelated).
+    """
+
+    def __init__(self, judgment: str, rerun: Callable, relation: SimRel):
+        self.judgment = judgment
+        self.rerun = rerun
+        self.relation = relation
+        self.captured = 0
+
+    def _fails_as(self, failure: str, args: Tuple[Any, ...]) -> Callable:
+        def still_fails(choices):
+            replay = self.rerun(args, choices)
+            if replay is None:
+                return False
+            high_run, _, low_run = replay
+            if failure == "spec":
+                return not high_run.ok
+            if not high_run.ok or low_run is None:
+                return False
+            if failure == "impl":
+                return not low_run.ok
+            if not low_run.ok:
+                return False
+            if failure == "logs":
+                return not self.relation.relate_logs(
+                    low_run.log, high_run.log
+                )
+            return not _relate_ret_lists(
+                self.relation, low_run.ret, high_run.ret
+            )
+
+        return still_fails
+
+    def _artifacts_for(self, failure: str, args: Tuple[Any, ...]) -> Callable:
+        def artifacts(choices):
+            replay = self.rerun(args, choices)
+            if replay is None:
+                return {}
+            high_run, batches, low_run = replay
+            if failure == "spec":
+                return {
+                    "log": tuple(high_run.log),
+                    "env_moves": batches,
+                    "status": high_run.stuck or "guarantee violated",
+                }
+            if low_run is None:
+                return {}
+            if failure == "impl":
+                return {
+                    "log": tuple(low_run.log),
+                    "env_moves": batches,
+                    "status": low_run.stuck or "guarantee violated",
+                }
+            # Divergence view for unrelated logs/rets: exactly the pair
+            # SimRel.relate_logs compares — essential low events vs. the
+            # R-image of the spec's non-scheduler events.
+            got = self.relation.essential_low(low_run.log)
+            want = self.relation.map_events(
+                e for e in high_run.log if not e.is_sched()
+            )
+            status = (
+                f"logs unrelated under {self.relation.name}"
+                if failure == "logs"
+                else f"rets unrelated: {low_run.ret!r} vs {high_run.ret!r}"
+            )
+            return {
+                "log": got,
+                "expected_log": want,
+                "env_moves": batches,
+                "status": status,
+            }
+
+        return artifacts
+
+    def capture(
+        self,
+        failure: str,
+        obligation: str,
+        status: str,
+        args: Tuple[Any, ...],
+        choices: Tuple[int, ...],
+    ) -> Optional[Dict[str, Any]]:
+        """Shrink + hydrate one failing context into obligation evidence."""
+        if self.captured >= MAX_COUNTEREXAMPLES:
+            return None
+        self.captured += 1
+        counterexample = build_counterexample(
+            kind="simulation",
+            judgment=self.judgment,
+            obligation=obligation,
+            status=status,
+            schedule=choices,
+            still_fails=self._fails_as(failure, args),
+            artifacts=self._artifacts_for(failure, args),
+        )
+        return {"counterexample": counterexample}
 
 
 def check_sim(
@@ -195,6 +366,20 @@ def check_sim(
     cert = Certificate(judgment=judgment, rule=rule, bounds=config.describe())
     logs: List[Log] = []
     env_contexts = 0
+    forensics = _SimForensics(
+        judgment,
+        _sim_rerun_factory(
+            low_iface, low_player, high_iface, high_player, relation, config,
+            tid,
+        ),
+        relation,
+    )
+    track_cov = obs_enabled()
+    coverage_maps: List[Dict[str, Dict[str, Any]]] = []
+    args_cov = (
+        CoverageBuilder("args_vectors", budget=len(config.args_list))
+        if track_cov else None
+    )
 
     with span("check_sim", judgment=judgment, rule=rule):
         init_ok = relation.relate_logs(
@@ -203,18 +388,36 @@ def check_sim(
         cert.add("initial logs related", init_ok)
 
         for args in config.args_list:
-            records = enumerate_local_runs(
-                high_iface, tid, high_player, tuple(args), config
+            env_cov = (
+                CoverageBuilder(
+                    "env_contexts",
+                    budget=config.max_runs,
+                    depth_bound=config.env_depth,
+                )
+                if track_cov else None
             )
+            records = enumerate_local_runs(
+                high_iface, tid, high_player, tuple(args), config,
+                coverage=env_cov,
+            )
+            if args_cov is not None:
+                args_cov.visit()
+            if env_cov is not None:
+                coverage_maps.append({"env_contexts": env_cov.record()})
             env_contexts += len(records)
             for record in records:
                 label = f"args={args} env={record.choices}"
                 logs.append(record.run.log)
                 if not record.run.ok:
+                    details = record.run.stuck or "guarantee violated"
                     cert.add(
                         f"spec safe under valid env [{label}]",
                         False,
-                        record.run.stuck or "guarantee violated",
+                        details,
+                        evidence=forensics.capture(
+                            "spec", f"spec safe under valid env [{label}]",
+                            details, tuple(args), record.choices,
+                        ),
                     )
                     continue
                 low_batches = [
@@ -230,10 +433,15 @@ def check_sim(
                 )
                 logs.append(low_run.log)
                 if not low_run.ok:
+                    details = low_run.stuck or "guarantee violated"
                     cert.add(
                         f"impl safe [{label}]",
                         False,
-                        low_run.stuck or "guarantee violated",
+                        details,
+                        evidence=forensics.capture(
+                            "impl", f"impl safe [{label}]", details,
+                            tuple(args), record.choices,
+                        ),
                     )
                     continue
                 related = relation.relate_logs(low_run.log, record.run.log)
@@ -241,6 +449,11 @@ def check_sim(
                     f"logs related [{label}]",
                     related,
                     "" if related else relation.explain(low_run.log, record.run.log),
+                    evidence=None if related else forensics.capture(
+                        "logs", f"logs related [{label}]",
+                        f"logs unrelated under {relation.name}",
+                        tuple(args), record.choices,
+                    ),
                 )
                 if config.compare_rets:
                     rets_ok = relation.relate_ret(low_run.ret, record.run.ret)
@@ -248,16 +461,26 @@ def check_sim(
                         f"rets related [{label}]",
                         rets_ok,
                         "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
+                        evidence=None if rets_ok else forensics.capture(
+                            "rets", f"rets related [{label}]",
+                            f"{low_run.ret!r} vs {record.run.ret!r}",
+                            tuple(args), record.choices,
+                        ),
                     )
     cert.log_universe = tuple(logs)
     elapsed = time.perf_counter() - started
     if obs_enabled():
         observe("sim.check_wall_s", elapsed)
-    stamp_provenance(
-        cert, elapsed, window,
+    extra: Dict[str, Any] = dict(
         env_contexts=env_contexts,
         args_vectors=len(config.args_list),
     )
+    if args_cov is not None:
+        coverage_maps.append({"args_vectors": args_cov.record()})
+    coverage = merge_coverage_maps(coverage_maps)
+    if coverage:
+        extra["coverage"] = coverage
+    stamp_provenance(cert, elapsed, window, **extra)
     return cert
 
 
@@ -336,6 +559,62 @@ def _batch_groups(batches: Sequence[Batch], marks: Sequence[int], n_calls: int) 
     return groups
 
 
+def _scenario_rerun_factory(
+    low_iface: LayerInterface,
+    impl_player: Callable,
+    high_iface: LayerInterface,
+    scenario: Scenario,
+    relation: SimRel,
+    tid: int,
+) -> Callable:
+    """Replay one env-choice prefix of a scenario check (call-aligned).
+
+    Mirrors :func:`_check_scenario_records` exactly: spec run under the
+    choice prefix, validity filtering, then the implementation under the
+    per-query or per-call witness environment.  Same return protocol as
+    :func:`_sim_rerun_factory` (the ``args`` parameter is ignored —
+    scenarios embed their own call arguments).
+    """
+    from .environment import CallScriptedEnv
+
+    config = scenario.config
+    spec_player = scenario_spec_player(scenario)
+    rely = high_iface.rely
+    env_tids = {e.tid for batch in config.env_alphabet for e in batch}
+
+    def rerun(args, choices):
+        env = RecordingEnv(ChoiceEnv(config.env_alphabet, choices))
+        high_run = run_local(
+            high_iface, tid, spec_player, (), env=env, fuel=config.fuel
+        )
+        if high_run.queries < len(choices):
+            return None
+        if config.check_rely and not env_events_valid(
+            high_run.log, rely, env_tids
+        ):
+            return None
+        batches = tuple(env.batches)
+        low_run = None
+        if high_run.ok:
+            if config.delivery == "per_query":
+                low_env = ScriptedEnv(
+                    batches, transform=relation.concretize_batch
+                )
+            else:
+                marks = high_run.ctx.priv.get(CALL_MARKS, [])
+                groups = _batch_groups(batches, marks, len(scenario.calls))
+                low_env = CallScriptedEnv(
+                    groups, transform=relation.concretize_batch
+                )
+            low_run = run_local(
+                low_iface, tid, impl_player, (), env=low_env,
+                fuel=config.fuel,
+            )
+        return high_run, batches, low_run
+
+    return rerun
+
+
 def check_scenario_sim(
     low_iface: LayerInterface,
     impl_player: Callable,
@@ -358,6 +637,21 @@ def check_scenario_sim(
     config = scenario.config
     cert = Certificate(judgment=judgment, rule=rule, bounds=config.describe())
     logs: List[Log] = []
+    forensics = _SimForensics(
+        judgment,
+        _scenario_rerun_factory(
+            low_iface, impl_player, high_iface, scenario, relation, tid
+        ),
+        relation,
+    )
+    env_cov = (
+        CoverageBuilder(
+            "env_contexts",
+            budget=config.max_runs,
+            depth_bound=config.env_depth,
+        )
+        if obs_enabled() else None
+    )
     with span(
         "check_scenario_sim", scenario=scenario.label, judgment=judgment
     ):
@@ -367,28 +661,32 @@ def check_scenario_sim(
         cert.add("initial logs related", init_ok)
         spec_player = scenario_spec_player(scenario)
         records = enumerate_local_runs(
-            high_iface, tid, spec_player, (), config
+            high_iface, tid, spec_player, (), config, coverage=env_cov
         )
         _check_scenario_records(
             records, scenario, low_iface, impl_player, relation, tid, config,
-            cert, logs,
+            cert, logs, forensics,
         )
     cert.log_universe = tuple(logs)
     elapsed = time.perf_counter() - started
     if obs_enabled():
         observe("sim.scenario_wall_s", elapsed)
-    stamp_provenance(
-        cert, elapsed, window,
+    extra: Dict[str, Any] = dict(
         env_contexts=len(records),
         scenario=scenario.label,
         calls=len(scenario.calls),
     )
+    if env_cov is not None:
+        extra["coverage"] = merge_coverage_maps(
+            [{"env_contexts": env_cov.record()}]
+        )
+    stamp_provenance(cert, elapsed, window, **extra)
     return cert
 
 
 def _check_scenario_records(
     records, scenario, low_iface, impl_player, relation, tid, config, cert,
-    logs,
+    logs, forensics=None,
 ):
     """Discharge one scenario's per-environment-context obligations."""
     from .environment import CallScriptedEnv
@@ -397,10 +695,15 @@ def _check_scenario_records(
         label = f"{scenario.label} env={record.choices}"
         logs.append(record.run.log)
         if not record.run.ok:
+            details = record.run.stuck or "guarantee violated"
             cert.add(
                 f"spec safe under valid env [{label}]",
                 False,
-                record.run.stuck or "guarantee violated",
+                details,
+                evidence=forensics and forensics.capture(
+                    "spec", f"spec safe under valid env [{label}]", details,
+                    (), record.choices,
+                ),
             )
             continue
         if config.delivery == "per_query":
@@ -423,10 +726,15 @@ def _check_scenario_records(
         )
         logs.append(low_run.log)
         if not low_run.ok:
+            details = low_run.stuck or "guarantee violated"
             cert.add(
                 f"impl safe [{label}]",
                 False,
-                low_run.stuck or "guarantee violated",
+                details,
+                evidence=forensics and forensics.capture(
+                    "impl", f"impl safe [{label}]", details,
+                    (), record.choices,
+                ),
             )
             continue
         related = relation.relate_logs(low_run.log, record.run.log)
@@ -434,6 +742,11 @@ def _check_scenario_records(
             f"logs related [{label}]",
             related,
             "" if related else relation.explain(low_run.log, record.run.log),
+            evidence=None if related else forensics and forensics.capture(
+                "logs", f"logs related [{label}]",
+                f"logs unrelated under {relation.name}",
+                (), record.choices,
+            ),
         )
         if config.compare_rets:
             rets_ok = _relate_ret_lists(relation, low_run.ret, record.run.ret)
@@ -441,6 +754,11 @@ def _check_scenario_records(
                 f"rets related [{label}]",
                 rets_ok,
                 "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
+                evidence=None if rets_ok else forensics and forensics.capture(
+                    "rets", f"rets related [{label}]",
+                    f"{low_run.ret!r} vs {record.run.ret!r}",
+                    (), record.choices,
+                ),
             )
 
 

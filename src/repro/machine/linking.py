@@ -22,9 +22,15 @@ from typing import Any, Dict, Sequence, Tuple
 from ..core.certificate import Certificate, stamp_provenance
 from ..core.contextual import ClientProgram, check_refinement
 from ..core.interface import LayerInterface
-from ..core.machine import enumerate_game_logs, seq_player
+from ..core.machine import (
+    ScriptScheduler,
+    enumerate_game_logs,
+    run_game,
+    seq_player,
+)
 from ..core.relation import ID_REL, SimRel
-from ..obs import span
+from ..obs import obs_enabled, span
+from ..obs.coverage import CoverageBuilder, merge_coverage_maps
 from ..obs.metrics import MetricsWindow, inc
 from .mx86 import mx86_behaviors
 
@@ -52,6 +58,8 @@ def check_multicore_linking(
         bounds={"clients": len(clients), "max_rounds": max_rounds},
     )
     behaviors = {"hw": 0, "layer": 0}
+    track_cov = obs_enabled()
+    coverage_maps = []
     with span(
         "check_multicore_linking",
         interface=interface.name,
@@ -62,15 +70,46 @@ def check_multicore_linking(
                 tid: (seq_player(list(calls)), ()) for tid, calls in client.items()
             }
             with span("multicore_linking.client", client=index):
+                cov_hw, cov_layer = (
+                    (
+                        CoverageBuilder(
+                            "mx86.schedules", budget=max_runs,
+                            depth_bound=max_rounds,
+                        ),
+                        CoverageBuilder(
+                            "machine.schedules", budget=max_runs,
+                            depth_bound=max_rounds,
+                        ),
+                    )
+                    if track_cov else (None, None)
+                )
                 hw = mx86_behaviors(
                     interface, players, fuel=fuel, max_rounds=max_rounds,
-                    max_runs=max_runs,
+                    max_runs=max_runs, coverage=cov_hw,
                 )
                 layer = enumerate_game_logs(
                     interface, players, fuel=fuel, max_rounds=max_rounds,
-                    max_runs=max_runs,
+                    max_runs=max_runs, coverage=cov_layer,
                 )
-                check_refinement(hw, layer, relation, cert, label=f"P{index}")
+                if track_cov:
+                    coverage_maps.append({"mx86.schedules": cov_hw.record()})
+                    coverage_maps.append(
+                        {"machine.schedules": cov_layer.record()}
+                    )
+
+                def rerun_hw(schedule, _players=players):
+                    # The failing side of Thm 3.1 is the fine-grained
+                    # hardware machine: replay it under one decision
+                    # script so forensics can shrink the interleaving.
+                    return run_game(
+                        interface, _players, ScriptScheduler(schedule),
+                        fuel=fuel, max_rounds=max_rounds, fine_grained=True,
+                    )
+
+                check_refinement(
+                    hw, layer, relation, cert, label=f"P{index}",
+                    rerun_low=rerun_hw,
+                )
             behaviors["hw"] += len(hw)
             behaviors["layer"] += len(layer)
             inc("linking.hw_behaviors", len(hw))
@@ -78,10 +117,13 @@ def check_multicore_linking(
             cert.log_universe = cert.log_universe + tuple(
                 r.log for r in hw if r.ok
             )
-    stamp_provenance(
-        cert, time.perf_counter() - started, window,
+    extra = dict(
         clients=len(clients),
         hw_behaviors=behaviors["hw"],
         layer_behaviors=behaviors["layer"],
     )
+    coverage = merge_coverage_maps(coverage_maps)
+    if coverage:
+        extra["coverage"] = coverage
+    stamp_provenance(cert, time.perf_counter() - started, window, **extra)
     return cert

@@ -9,8 +9,15 @@ stack.  Three pieces:
 - :mod:`repro.obs.metrics` — counters, gauges and histograms (runs
   enumerated, env contexts, obligations, replay-cache hits, scheduler
   picks, per-rule wall time);
-- :mod:`repro.obs.report` — per-run text/JSON reports and a
-  certificate-provenance pretty printer.
+- :mod:`repro.obs.report` — per-run text/JSON reports, a JSONL event
+  stream export, and a certificate-provenance pretty printer;
+- :mod:`repro.obs.forensics` — structured counterexamples with a
+  delta-debugging shrinker, attached to failed certificate obligations;
+- :mod:`repro.obs.coverage` — exploration-coverage accounting for every
+  bounded enumeration, rolled into certificate provenance and the run
+  report's coverage map;
+- :mod:`repro.obs.cli` — ``python -m repro.obs`` with ``report`` /
+  ``explain`` / ``compare`` subcommands.
 
 Off by default: instrumented hot paths pay only a flag test until
 :func:`enable` (or the :func:`observing` context manager) turns
@@ -52,14 +59,60 @@ from .metrics import (
     set_gauge,
     snapshot,
 )
+from .coverage import (
+    COVERAGE,
+    CoverageBuilder,
+    CoverageRegistry,
+    EXHAUSTIVE,
+    SAMPLED,
+    coverage_map,
+    merge_coverage_maps,
+    record_coverage,
+)
+from .forensics import (
+    Counterexample,
+    MAX_COUNTEREXAMPLES,
+    MAX_SHRINK_PROBES,
+    build_counterexample,
+    divergence_index,
+    event_to_dict,
+    format_event,
+    shrink_sequence,
+)
 from .report import (
+    EVENTS_SCHEMA,
+    ReplayCollector,
+    read_jsonl,
+    render_coverage_map,
     render_provenance,
     render_report,
     report_json,
     span_rollup,
+    write_jsonl,
 )
 
 __all__ = [
+    "COVERAGE",
+    "CoverageBuilder",
+    "CoverageRegistry",
+    "EXHAUSTIVE",
+    "SAMPLED",
+    "coverage_map",
+    "merge_coverage_maps",
+    "record_coverage",
+    "Counterexample",
+    "MAX_COUNTEREXAMPLES",
+    "MAX_SHRINK_PROBES",
+    "build_counterexample",
+    "divergence_index",
+    "event_to_dict",
+    "format_event",
+    "shrink_sequence",
+    "EVENTS_SCHEMA",
+    "ReplayCollector",
+    "read_jsonl",
+    "render_coverage_map",
+    "write_jsonl",
     "NOOP_SPAN",
     "Span",
     "SpanRecord",

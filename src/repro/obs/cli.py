@@ -1,0 +1,283 @@
+"""``python -m repro.obs`` — render, explain, and compare run artifacts.
+
+Three subcommands over the files the toolkit already writes:
+
+* ``report <events.jsonl>`` — render a run's JSONL event stream
+  (:func:`repro.obs.write_jsonl`) as the text report: span rollup,
+  metrics, coverage map.
+* ``explain <cert.json>`` — pretty-print an exported certificate
+  (:meth:`repro.core.Certificate.to_json`): the judgment tree with
+  bounds, provenance (including per-axis coverage), and every captured
+  counterexample rendered as its interleaving diagram.
+* ``compare BENCH_a.json BENCH_b.json`` — diff two benchmark result
+  files (``repro.bench/v1``, written by ``benchmarks/conftest.py``);
+  warns past ``--threshold`` and exits non-zero past
+  ``--fail-threshold`` (the CI regression gate).
+
+Everything here reads files; nothing imports :mod:`repro.core`, so the
+CLI stays usable on exported artifacts without the checker stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .coverage import CoverageRegistry
+from .forensics import Counterexample
+from .report import read_jsonl, render_coverage_map, render_report
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a JSONL event stream as the human-readable run report."""
+    try:
+        loaded = read_jsonl(args.events)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read event stream {args.events!r}: {err}",
+              file=sys.stderr)
+        return 2
+    registry = CoverageRegistry()
+    for record in loaded["coverage"]:
+        registry.record(record)
+    print(
+        render_report(
+            loaded["spans"],
+            title=f"repro.obs report — {args.events}",
+            metrics=loaded["metrics"] or {},
+            coverage=registry.coverage_map(),
+        )
+    )
+    return 0
+
+
+def _counterexample_of(evidence: Optional[Dict[str, Any]]) -> Optional[Counterexample]:
+    data = (evidence or {}).get("counterexample")
+    if isinstance(data, dict) and data.get("schema", "").startswith(
+        "repro.obs/counterexample/"
+    ):
+        return Counterexample.from_dict(data)
+    return None
+
+
+def _explain_cert(cert: Dict[str, Any], indent: int = 0,
+                  show_ok: bool = False) -> List[str]:
+    pad = "  " * indent
+    status = "OK" if cert.get("ok") else "FAILED"
+    lines = [f"{pad}[{status}] {cert.get('judgment')} ({cert.get('rule')})"]
+    bounds = cert.get("bounds") or {}
+    if bounds:
+        lines.append(f"{pad}  bounds: {json.dumps(bounds, default=str)}")
+    provenance = cert.get("provenance") or {}
+    if provenance:
+        wall = provenance.get("wall_time_s")
+        if wall is not None:
+            lines.append(f"{pad}  wall time: {wall}s")
+        metrics = provenance.get("metrics")
+        if metrics:
+            lines.append(
+                f"{pad}  metric deltas: {json.dumps(metrics, default=str)}"
+            )
+        coverage = provenance.get("coverage")
+        if coverage:
+            lines.extend(
+                f"{pad}  {line}" for line in render_coverage_map(coverage)
+            )
+    for obligation in cert.get("obligations") or []:
+        ok = obligation.get("ok")
+        if ok and not show_ok:
+            continue
+        mark = "✓" if ok else "✗"
+        details = obligation.get("details") or ""
+        suffix = f" — {details}" if details else ""
+        lines.append(f"{pad}  {mark} {obligation.get('description')}{suffix}")
+        counterexample = _counterexample_of(obligation.get("evidence"))
+        if counterexample is not None:
+            lines.append(f"{pad}    {counterexample.digest()}")
+            lines.extend(
+                f"{pad}    | {line}"
+                for line in counterexample.render().splitlines()
+            )
+    for child in cert.get("children") or []:
+        lines.extend(_explain_cert(child, indent + 1, show_ok=show_ok))
+    return lines
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Pretty-print an exported certificate tree."""
+    try:
+        with open(args.certificate, "r", encoding="utf-8") as fh:
+            cert = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read certificate {args.certificate!r}: {err}",
+              file=sys.stderr)
+        return 2
+    if cert.get("schema") != "repro.cert/v1":
+        print(
+            f"error: {args.certificate!r} is not a repro.cert/v1 export "
+            f"(schema={cert.get('schema')!r})",
+            file=sys.stderr,
+        )
+        return 2
+    lines = _explain_cert(cert, show_ok=args.all)
+    counterexamples = _count_counterexamples(cert)
+    lines.append("")
+    lines.append(
+        f"certificate: {'OK' if cert.get('ok') else 'FAILED'}; "
+        f"{counterexamples} counterexample(s) attached"
+    )
+    print("\n".join(lines))
+    return 0
+
+
+def _count_counterexamples(cert: Dict[str, Any]) -> int:
+    count = sum(
+        1
+        for o in cert.get("obligations") or []
+        if _counterexample_of(o.get("evidence")) is not None
+    )
+    return count + sum(
+        _count_counterexamples(child) for child in cert.get("children") or []
+    )
+
+
+def _load_bench(path: str) -> Dict[str, Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != "repro.bench/v1":
+        raise ValueError(
+            f"{path!r} is not a repro.bench/v1 result file "
+            f"(schema={payload.get('schema')!r})"
+        )
+    return {t["nodeid"]: t for t in payload.get("tests", [])}
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Diff two benchmark result files; gate on slowdown ratios.
+
+    Ratio is ``candidate / baseline`` per test (matched by nodeid).
+    Tests faster than ``--min-seconds`` in the baseline are reported but
+    never gate — their timings are noise-dominated.
+    """
+    try:
+        baseline = _load_bench(args.baseline)
+        candidate = _load_bench(args.candidate)
+    except (OSError, json.JSONDecodeError, ValueError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    rows: List[List[str]] = []
+    warnings: List[str] = []
+    failures: List[str] = []
+    for nodeid in sorted(set(baseline) | set(candidate)):
+        base = baseline.get(nodeid)
+        cand = candidate.get(nodeid)
+        if base is None or cand is None:
+            rows.append([
+                nodeid, _fmt(base), _fmt(cand), "-",
+                "baseline-only" if cand is None else "new",
+            ])
+            continue
+        if cand.get("outcome") != "passed":
+            failures.append(f"{nodeid}: candidate outcome {cand.get('outcome')!r}")
+            rows.append([nodeid, _fmt(base), _fmt(cand), "-", "not passed"])
+            continue
+        base_s = base.get("duration_s") or 0.0
+        cand_s = cand.get("duration_s") or 0.0
+        if base_s < args.min_seconds:
+            rows.append([nodeid, _fmt(base), _fmt(cand), "-", "below min-seconds"])
+            continue
+        ratio = cand_s / base_s if base_s else float("inf")
+        verdict = "ok"
+        if ratio >= args.fail_threshold:
+            verdict = f"FAIL (≥{args.fail_threshold}x)"
+            failures.append(f"{nodeid}: {ratio:.2f}x slowdown")
+        elif ratio >= args.threshold:
+            verdict = f"warn (≥{args.threshold}x)"
+            warnings.append(f"{nodeid}: {ratio:.2f}x slowdown")
+        rows.append([nodeid, _fmt(base), _fmt(cand), f"{ratio:.2f}x", verdict])
+
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(
+            ["test", "baseline", "candidate", "ratio", "verdict"]
+        )
+    ]
+    headers = ["test", "baseline", "candidate", "ratio", "verdict"]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+    for warning in warnings:
+        print(f"warning: {warning}")
+    for failure in failures:
+        print(f"FAILURE: {failure}")
+    if failures:
+        return 1
+    print(
+        f"compare: {len(rows)} test(s), {len(warnings)} warning(s), "
+        f"no regression ≥ {args.fail_threshold}x"
+    )
+    return 0
+
+
+def _fmt(record: Optional[Dict[str, Any]]) -> str:
+    if record is None:
+        return "-"
+    duration = record.get("duration_s")
+    return f"{duration:.3f}s" if duration is not None else "-"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="render a JSONL event stream as a text report"
+    )
+    p_report.add_argument("events", help="path to events.jsonl")
+    p_report.set_defaults(func=cmd_report)
+
+    p_explain = sub.add_parser(
+        "explain", help="pretty-print an exported certificate (cert.json)"
+    )
+    p_explain.add_argument("certificate", help="path to a repro.cert/v1 JSON file")
+    p_explain.add_argument(
+        "--all", action="store_true",
+        help="also list passed obligations (default: failures only)",
+    )
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_compare = sub.add_parser(
+        "compare", help="diff two repro.bench/v1 result files"
+    )
+    p_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    p_compare.add_argument("candidate", help="candidate BENCH_*.json")
+    p_compare.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="warn at this slowdown ratio (default 1.5)",
+    )
+    p_compare.add_argument(
+        "--fail-threshold", type=float, default=2.0,
+        help="exit non-zero at this slowdown ratio (default 2.0)",
+    )
+    p_compare.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="ignore baseline timings below this (noise floor, default 0.05)",
+    )
+    p_compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,444 @@
+"""Failure forensics: structured counterexamples and a delta-debugging shrinker.
+
+When a simulation / calculus / contextual / linking obligation fails,
+the bare ``Obligation(ok=False, details=...)`` string hides everything a
+human needs: *which* schedule, *which* environment moves, *where* the
+two layers diverged.  This module captures that as a
+:class:`Counterexample` — the failing schedule (scheduler decisions or
+environment-choice indices), the environment moves delivered, the log
+prefix, both layers' views at the divergence point — and minimizes it
+with :func:`shrink_sequence`, a deterministic ddmin-style delta
+debugger: remove chunks of the schedule while the same failure still
+reproduces, iterated to a fixpoint so shrinking is idempotent.
+
+Counterexamples attach to the failed obligation's ``evidence`` field
+(so they travel inside the :class:`~repro.core.certificate.Certificate`
+and its JSON export) and render as an ASCII per-participant
+interleaving diagram (:meth:`Counterexample.render`) — the textual
+cousin of the paper's Fig. 3 interleaving pictures.
+
+This module is deliberately core-free: events are consumed via duck
+typing (``tid``/``name``/``args``/``ret``) and stored as plain dicts,
+so the checkers in :mod:`repro.core` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Ceiling on shrinker re-executions per counterexample.  Probes are
+#: bounded re-runs of an already-bounded check, so this caps forensics
+#: cost on heavily-failing certificates.
+MAX_SHRINK_PROBES = 600
+
+#: Checkers capture at most this many counterexamples per judgment —
+#: a broken layer typically fails hundreds of obligations with the same
+#: root cause; shrinking every one would turn diagnosis into a stall.
+MAX_COUNTEREXAMPLES = 4
+
+
+# --- event (de)hydration ------------------------------------------------------
+
+
+def event_to_dict(event: Any) -> Dict[str, Any]:
+    """Serialize one log event (duck-typed) to a JSON-ready dict."""
+    return {
+        "tid": getattr(event, "tid", None),
+        "name": getattr(event, "name", str(event)),
+        "args": [_plain(a) for a in getattr(event, "args", ()) or ()],
+        "ret": _plain(getattr(event, "ret", None)),
+    }
+
+
+def _plain(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return repr(value)
+
+
+def format_event(event: Dict[str, Any]) -> str:
+    """Render a hydrated event dict the way the paper prints events."""
+    text = str(event.get("name", "?"))
+    args = event.get("args") or []
+    if args:
+        text += "(" + ",".join(_fmt_arg(a) for a in args) + ")"
+    if event.get("ret") is not None:
+        text += f"↓{_fmt_arg(event['ret'])}"
+    return text
+
+
+def _fmt_arg(value: Any) -> str:
+    if isinstance(value, list):
+        return "(" + ",".join(_fmt_arg(v) for v in value) + ")"
+    return str(value)
+
+
+def events_to_dicts(events: Sequence[Any]) -> Tuple[Dict[str, Any], ...]:
+    return tuple(event_to_dict(e) for e in events)
+
+
+def divergence_index(
+    low: Sequence[Dict[str, Any]], high: Sequence[Dict[str, Any]]
+) -> Optional[int]:
+    """First index where the two (hydrated) logs structurally differ.
+
+    A structural, relation-free comparison — good enough to point a
+    human at the first interesting event; the obligation's relation
+    explains *why* the logs are unrelated, this says *where*.
+    """
+    for index, (a, b) in enumerate(zip(low, high)):
+        if (a.get("tid"), a.get("name"), a.get("args")) != (
+            b.get("tid"), b.get("name"), b.get("args")
+        ):
+            return index
+    if len(low) != len(high):
+        return min(len(low), len(high))
+    return None
+
+
+# --- the counterexample record ------------------------------------------------
+
+
+@dataclass
+class Counterexample:
+    """One failing execution, minimized and ready to render.
+
+    ``schedule`` is the decision sequence that drives the failure:
+    environment-choice indices for local simulation checks
+    (``schedule_kind="env_choices"``), scheduler decisions for
+    whole-machine games (``schedule_kind="sched_decisions"``).
+    ``env_moves`` are the environment batches actually delivered (each a
+    tuple of event dicts).  ``log`` is the failing (implementation/low)
+    log; ``expected_log`` the specification/high side when one exists;
+    ``divergence`` the first structurally divergent index between them.
+    ``shrunk_from`` records the original schedule length before
+    delta-debugging (``None`` when shrinking was not attempted).
+    """
+
+    kind: str
+    judgment: str
+    obligation: str
+    status: str
+    schedule: Tuple[int, ...]
+    schedule_kind: str = "env_choices"
+    env_moves: Tuple[Tuple[Dict[str, Any], ...], ...] = ()
+    log: Tuple[Dict[str, Any], ...] = ()
+    expected_log: Optional[Tuple[Dict[str, Any], ...]] = None
+    divergence: Optional[int] = None
+    shrunk_from: Optional[int] = None
+    shrink_probes: int = 0
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.obs/counterexample/v1",
+            "kind": self.kind,
+            "judgment": self.judgment,
+            "obligation": self.obligation,
+            "status": self.status,
+            "schedule": list(self.schedule),
+            "schedule_kind": self.schedule_kind,
+            "env_moves": [list(batch) for batch in self.env_moves],
+            "log": list(self.log),
+            "expected_log": (
+                list(self.expected_log) if self.expected_log is not None else None
+            ),
+            "divergence": self.divergence,
+            "shrunk_from": self.shrunk_from,
+            "shrink_probes": self.shrink_probes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Counterexample":
+        return cls(
+            kind=data.get("kind", "?"),
+            judgment=data.get("judgment", ""),
+            obligation=data.get("obligation", ""),
+            status=data.get("status", ""),
+            schedule=tuple(data.get("schedule") or ()),
+            schedule_kind=data.get("schedule_kind", "env_choices"),
+            env_moves=tuple(
+                tuple(batch) for batch in data.get("env_moves") or ()
+            ),
+            log=tuple(data.get("log") or ()),
+            expected_log=(
+                tuple(data["expected_log"])
+                if data.get("expected_log") is not None
+                else None
+            ),
+            divergence=data.get("divergence"),
+            shrunk_from=data.get("shrunk_from"),
+            shrink_probes=data.get("shrink_probes", 0),
+        )
+
+    # -- human views -------------------------------------------------------
+
+    def digest(self) -> str:
+        """One line: the schedule plus the first divergent event."""
+        label = "env" if self.schedule_kind == "env_choices" else "sched"
+        parts = [f"{label}={tuple(self.schedule)}"]
+        if self.shrunk_from is not None and self.shrunk_from != len(self.schedule):
+            parts[-1] += f" (shrunk from {self.shrunk_from})"
+        if self.divergence is not None:
+            got = (
+                format_event(self.log[self.divergence])
+                if self.divergence < len(self.log)
+                else "∎ (log ends)"
+            )
+            want = (
+                format_event(self.expected_log[self.divergence])
+                if self.expected_log is not None
+                and self.divergence < len(self.expected_log)
+                else "∎ (spec ends)"
+            )
+            parts.append(f"diverges@{self.divergence}: got {got}, want {want}")
+        elif self.status:
+            parts.append(self.status.splitlines()[0][:120])
+        return "; ".join(parts)
+
+    def render(self, width: int = 24) -> str:
+        """The ASCII per-CPU/thread interleaving diagram.
+
+        One column per participant; each row is one event of the failing
+        log placed in its generator's column, with the divergence point
+        marked and the specification's expected continuation appended.
+        """
+        tids = sorted(
+            {e.get("tid") for e in self.log if e.get("tid") is not None}
+            | {
+                e.get("tid")
+                for e in (self.expected_log or ())
+                if e.get("tid") is not None
+            }
+        ) or [0]
+        header = [
+            f"counterexample [{self.kind}] — {self.obligation}",
+            f"judgment: {self.judgment}",
+        ]
+        if self.status:
+            header.append(f"status: {self.status.splitlines()[0]}")
+        sched_label = (
+            "env choices" if self.schedule_kind == "env_choices"
+            else "scheduler decisions"
+        )
+        shrink = (
+            f" (shrunk {self.shrunk_from} → {len(self.schedule)})"
+            if self.shrunk_from is not None
+            else ""
+        )
+        header.append(f"schedule ({sched_label}){shrink}: {tuple(self.schedule)}")
+        if self.env_moves:
+            moves = " | ".join(
+                "·" if not batch else "•".join(format_event(e) for e in batch)
+                for batch in self.env_moves
+            )
+            header.append(f"env moves: {moves}")
+
+        cols = {tid: index for index, tid in enumerate(tids)}
+        head_cells = ["step"] + [f"tid {tid}" for tid in tids]
+        rows: List[List[str]] = []
+        marks: List[str] = []
+        for index, event in enumerate(self.log):
+            cells = [""] * len(tids)
+            col = cols.get(event.get("tid"), 0)
+            cells[col] = format_event(event)
+            rows.append([str(index)] + cells)
+            if self.divergence is not None and index == self.divergence:
+                want = (
+                    format_event(self.expected_log[index])
+                    if self.expected_log is not None
+                    and index < len(self.expected_log)
+                    else "∎"
+                )
+                marks.append(f"◀ divergence (expected {want})")
+            else:
+                marks.append("")
+        if self.divergence is not None and self.divergence >= len(self.log):
+            rows.append([str(len(self.log))] + ["∎ (log ends)"] * 1 + [""] * (len(tids) - 1))
+            want = (
+                format_event(self.expected_log[self.divergence])
+                if self.expected_log is not None
+                and self.divergence < len(self.expected_log)
+                else "∎"
+            )
+            marks.append(f"◀ divergence (expected {want})")
+
+        widths = [
+            max(len(head_cells[i]), *(len(r[i]) for r in rows)) if rows else len(head_cells[i])
+            for i in range(len(head_cells))
+        ]
+        lines = list(header)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(head_cells, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row, mark in zip(rows, marks):
+            line = "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            lines.append((line + ("  " + mark if mark else "")).rstrip())
+        if (
+            self.expected_log is not None
+            and self.divergence is not None
+            and self.divergence < len(self.expected_log)
+        ):
+            tail = self.expected_log[self.divergence : self.divergence + 6]
+            lines.append(
+                "expected (spec) continuation: "
+                + "•".join(
+                    f"({e.get('tid')}.{format_event(e)})" for e in tail
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Counterexample({self.kind}: {self.digest()})"
+
+
+# --- the delta-debugging shrinker ---------------------------------------------
+
+
+def shrink_sequence(
+    seq: Sequence[Any],
+    still_fails: Callable[[Tuple[Any, ...]], bool],
+    max_probes: int = MAX_SHRINK_PROBES,
+) -> Tuple[Tuple[Any, ...], int]:
+    """Minimize ``seq`` while ``still_fails`` keeps reproducing.
+
+    Deterministic ddmin (Zeller & Hildebrandt): partition the sequence
+    into chunks, try deleting each chunk, refine granularity when
+    nothing deletes, and finish with a single-element sweep — the whole
+    round iterated to a fixpoint, which makes the shrinker *idempotent*
+    (shrinking an already-minimal sequence performs the identical,
+    fruitless probe sequence and returns it unchanged).
+
+    ``still_fails`` must be a pure predicate of the candidate sequence;
+    exceptions it raises count as "does not reproduce".  Returns the
+    shrunk sequence and the number of probes spent.  If the original
+    sequence does not reproduce the failure (flaky predicate), it is
+    returned unchanged.
+    """
+    probes = 0
+    memo: Dict[Tuple[Any, ...], bool] = {}
+
+    def check(candidate: Sequence[Any]) -> bool:
+        nonlocal probes
+        key = tuple(candidate)
+        if key in memo:
+            return memo[key]
+        if probes >= max_probes:
+            return False
+        probes += 1
+        try:
+            verdict = bool(still_fails(key))
+        except Exception:
+            verdict = False
+        memo[key] = verdict
+        return verdict
+
+    current = tuple(seq)
+    if not check(current):
+        return current, probes
+    if current and check(()):
+        return (), probes
+
+    def one_round(sequence: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        work = list(sequence)
+        n = 2
+        while len(work) >= 2:
+            reduced = False
+            bounds = [len(work) * i // n for i in range(n + 1)]
+            for i in range(n):
+                complement = work[: bounds[i]] + work[bounds[i + 1] :]
+                if len(complement) < len(work) and check(complement):
+                    work = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if n >= len(work):
+                    break
+                n = min(len(work), n * 2)
+        index = 0
+        while index < len(work):
+            candidate = work[:index] + work[index + 1 :]
+            if check(candidate):
+                work = candidate
+            else:
+                index += 1
+        return tuple(work)
+
+    while True:
+        shrunk = one_round(current)
+        if shrunk == current:
+            break
+        current = shrunk
+    return current, probes
+
+
+# --- capture helper used by the checkers --------------------------------------
+
+
+def build_counterexample(
+    kind: str,
+    judgment: str,
+    obligation: str,
+    status: str,
+    schedule: Sequence[int],
+    still_fails: Optional[Callable[[Tuple[int, ...]], bool]] = None,
+    artifacts: Optional[Callable[[Tuple[int, ...]], Dict[str, Any]]] = None,
+    schedule_kind: str = "env_choices",
+    log: Sequence[Any] = (),
+    expected_log: Optional[Sequence[Any]] = None,
+    env_moves: Sequence[Sequence[Any]] = (),
+) -> Counterexample:
+    """Capture, shrink and hydrate one counterexample.
+
+    ``still_fails`` (when given) drives :func:`shrink_sequence` over
+    ``schedule``.  ``artifacts`` (when given) re-executes the *shrunk*
+    schedule and returns fresh ``log`` / ``expected_log`` / ``env_moves``
+    / ``status`` for it, so the rendered diagram shows the minimal run,
+    not the original one.  Both callables are optional: checkers that
+    cannot re-run (sampled schedulers) still get an unshrunk record.
+    """
+    schedule = tuple(schedule)
+    shrunk_from: Optional[int] = None
+    probes = 0
+    if still_fails is not None:
+        shrunk, probes = shrink_sequence(schedule, still_fails)
+        if shrunk != schedule:
+            shrunk_from = len(schedule)
+            schedule = shrunk
+        else:
+            shrunk_from = len(schedule)
+    if artifacts is not None:
+        try:
+            fresh = artifacts(schedule)
+        except Exception:
+            fresh = {}
+        log = fresh.get("log", log)
+        expected_log = fresh.get("expected_log", expected_log)
+        env_moves = fresh.get("env_moves", env_moves)
+        status = fresh.get("status", status)
+    log_d = events_to_dicts(tuple(log))
+    expected_d = (
+        events_to_dicts(tuple(expected_log)) if expected_log is not None else None
+    )
+    return Counterexample(
+        kind=kind,
+        judgment=judgment,
+        obligation=obligation,
+        status=status or "",
+        schedule=schedule,
+        schedule_kind=schedule_kind,
+        env_moves=tuple(events_to_dicts(tuple(b)) for b in env_moves),
+        log=log_d,
+        expected_log=expected_d,
+        divergence=(
+            divergence_index(log_d, expected_d) if expected_d is not None else None
+        ),
+        shrunk_from=shrunk_from,
+        shrink_probes=probes,
+    )

@@ -12,8 +12,14 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
+from .coverage import COVERAGE, coverage_map
 from .metrics import snapshot
-from .trace import TraceCollector, collector as _default_collector
+from .trace import SpanRecord, TraceCollector, collector as _default_collector
+
+#: Schema tag of the JSONL event-stream export (one JSON object per
+#: line: a header, every span record, one metrics snapshot, and every
+#: coverage record of the run).
+EVENTS_SCHEMA = "repro.obs/events/v1"
 
 
 def span_rollup(
@@ -62,6 +68,126 @@ def report_json(
         "spans": span_rollup(trace_collector),
         "threads": trace_collector.threads(),
         "metrics": snapshot(),
+        "coverage": coverage_map(),
+    }
+
+
+def write_jsonl(
+    path: str,
+    trace_collector: Optional[TraceCollector] = None,
+) -> str:
+    """Export the run's event stream as JSON Lines.
+
+    One object per line: a ``header`` (schema tag), every completed
+    ``span``, one ``metrics`` snapshot, and every ``coverage`` record.
+    The format is append-friendly and survives truncation — CI uploads
+    it as a failure artifact next to the Chrome trace.
+    """
+    trace_collector = trace_collector or _default_collector()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": "header", "schema": EVENTS_SCHEMA}) + "\n")
+        for record in trace_collector.spans:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "sid": record.sid,
+                        "parent": record.parent,
+                        "depth": record.depth,
+                        "name": record.name,
+                        "category": record.category,
+                        "args": record.args,
+                        "start_us": record.start_us,
+                        "dur_us": record.dur_us,
+                        "thread_index": record.thread_index,
+                        "thread_name": record.thread_name,
+                        "error": record.error,
+                    },
+                    default=repr,
+                )
+                + "\n"
+            )
+        fh.write(
+            json.dumps({"type": "metrics", "data": snapshot()}, default=repr)
+            + "\n"
+        )
+        for record in COVERAGE.records:
+            fh.write(
+                json.dumps({"type": "coverage", "data": record}, default=repr)
+                + "\n"
+            )
+    return path
+
+
+class ReplayCollector:
+    """A read-only stand-in for :class:`TraceCollector` over loaded spans.
+
+    Lets :func:`span_rollup` / :func:`render_report` run against an
+    event stream loaded from disk (``python -m repro.obs report``)
+    instead of the live process-wide collector.
+    """
+
+    def __init__(self, spans: List[SpanRecord]):
+        self._spans = list(spans)
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        return list(self._spans)
+
+    def threads(self) -> Dict[int, str]:
+        return {
+            record.thread_index: record.thread_name for record in self._spans
+        }
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+def read_jsonl(path: str) -> Dict[str, Any]:
+    """Load a JSONL event stream written by :func:`write_jsonl`.
+
+    Returns ``{"schema", "spans" (a :class:`ReplayCollector`),
+    "metrics", "coverage"}``; unknown line types are ignored so the
+    format can grow.
+    """
+    schema = None
+    spans: List[SpanRecord] = []
+    metrics: Dict[str, Any] = {}
+    coverage_records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            kind = entry.get("type")
+            if kind == "header":
+                schema = entry.get("schema")
+            elif kind == "span":
+                spans.append(
+                    SpanRecord(
+                        sid=entry.get("sid", 0),
+                        parent=entry.get("parent"),
+                        depth=entry.get("depth", 0),
+                        name=entry.get("name", "?"),
+                        category=entry.get("category", "repro"),
+                        args=entry.get("args") or {},
+                        start_us=entry.get("start_us", 0.0),
+                        dur_us=entry.get("dur_us", 0.0),
+                        thread_index=entry.get("thread_index", 0),
+                        thread_name=entry.get("thread_name", "main"),
+                        error=entry.get("error"),
+                    )
+                )
+            elif kind == "metrics":
+                metrics = entry.get("data") or {}
+            elif kind == "coverage":
+                coverage_records.append(entry.get("data") or {})
+    return {
+        "schema": schema,
+        "spans": ReplayCollector(spans),
+        "metrics": metrics,
+        "coverage": coverage_records,
     }
 
 
@@ -77,11 +203,54 @@ def _format_rows(headers: List[str], rows: List[List[str]]) -> List[str]:
     return lines
 
 
+def render_coverage_map(
+    coverage: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> List[str]:
+    """The "coverage map" section: per enumeration axis, explored vs.
+    budget, depth bound, and whether the bounded space was exhausted."""
+    coverage = coverage if coverage is not None else coverage_map()
+    if not coverage:
+        return []
+    rows = []
+    for axis, entry in sorted(coverage.items()):
+        budget = entry.get("budget")
+        rows.append(
+            [
+                axis,
+                str(entry.get("enumerations", 1)),
+                str(entry.get("explored", 0)),
+                str(budget) if budget is not None else "∞",
+                str(entry.get("pruned", 0)),
+                str(entry.get("distinct", "-")),
+                str(entry.get("depth_bound", "-")),
+                entry.get("mode", "exhaustive"),
+                "yes" if entry.get("exhausted") else "no",
+            ]
+        )
+    lines = ["coverage map (per enumeration axis):"]
+    lines.extend(
+        _format_rows(
+            [
+                "axis", "enums", "explored", "budget", "pruned",
+                "distinct", "depth", "mode", "exhausted",
+            ],
+            rows,
+        )
+    )
+    return lines
+
+
 def render_report(
     trace_collector: Optional[TraceCollector] = None,
     title: str = "repro.obs report",
+    metrics: Optional[Dict[str, Any]] = None,
+    coverage: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> str:
-    """A human-readable text report of spans and metrics."""
+    """A human-readable text report of spans, metrics and coverage.
+
+    ``metrics`` / ``coverage`` default to the live process-wide state;
+    the CLI passes values loaded from a JSONL event stream instead.
+    """
     trace_collector = trace_collector or _default_collector()
     rollup = span_rollup(trace_collector)
     lines = [f"=== {title} ===", ""]
@@ -108,8 +277,8 @@ def render_report(
         )
     else:
         lines.append("spans: none recorded")
-    metrics = snapshot()
-    if metrics["counters"]:
+    metrics = metrics if metrics is not None else snapshot()
+    if metrics.get("counters"):
         lines += ["", "counters:"]
         lines.extend(
             _format_rows(
@@ -117,7 +286,7 @@ def render_report(
                 [[name, str(value)] for name, value in metrics["counters"].items()],
             )
         )
-    if metrics["gauges"]:
+    if metrics.get("gauges"):
         lines += ["", "gauges:"]
         lines.extend(
             _format_rows(
@@ -125,7 +294,7 @@ def render_report(
                 [[name, str(value)] for name, value in metrics["gauges"].items()],
             )
         )
-    if metrics["histograms"]:
+    if metrics.get("histograms"):
         lines += ["", "histograms:"]
         rows = []
         for name, summary in metrics["histograms"].items():
@@ -142,6 +311,9 @@ def render_report(
             else:
                 rows.append([name, "0", "-", "-", "-"])
         lines.extend(_format_rows(["name", "count", "mean", "min", "max"], rows))
+    coverage_lines = render_coverage_map(coverage)
+    if coverage_lines:
+        lines += [""] + coverage_lines
     return "\n".join(lines)
 
 

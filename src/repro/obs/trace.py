@@ -272,9 +272,11 @@ def enable(reset: bool = True) -> TraceCollector:
     """Turn collection on (optionally clearing prior spans and metrics)."""
     if reset:
         _COLLECTOR.reset()
+        from .coverage import COVERAGE
         from .metrics import REGISTRY
 
         REGISTRY.reset()
+        COVERAGE.reset()
     _STATE.enabled = True
     return _COLLECTOR
 

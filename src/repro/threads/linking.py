@@ -28,6 +28,8 @@ from ..core.interface import LayerInterface
 from ..core.log import Log
 from ..core.machine import GameResult, run_game
 from ..obs import obs_enabled, span
+from ..obs.coverage import CoverageBuilder, merge_coverage_maps
+from ..obs.forensics import MAX_COUNTEREXAMPLES, build_counterexample
 from ..obs.metrics import MetricsWindow, inc
 from ..objects.sched import CpuMap, TEXIT, ThreadGameScheduler
 
@@ -148,6 +150,7 @@ def enumerate_thread_games(
     max_rounds: int = 200,
     max_runs: int = 50_000,
     max_choice_depth: int = 10,
+    coverage: Optional[CoverageBuilder] = None,
 ) -> List[GameResult]:
     """Enumerate thread games over bounded hardware schedules.
 
@@ -156,9 +159,20 @@ def enumerate_thread_games(
     branch); the first ``max_choice_depth`` real decision points branch
     exhaustively, after which the hardware round-robins.  On a
     single-CPU machine this is one deterministic run.
+
+    Each returned result carries the CPU-choice script that produced it
+    as ``result.choice_script`` (forensics replays from it).
+    ``coverage`` (optional) accumulates the explored choice-script
+    counts; when omitted and observability is on, a ``"thread_games"``
+    axis record is published to the process-wide coverage registry.
     """
     from ..core.machine import NeedChoice
 
+    own_coverage = coverage is None and obs_enabled()
+    if own_coverage:
+        coverage = CoverageBuilder(
+            "thread_games", budget=max_runs, depth_bound=max_choice_depth
+        )
     wrapped = {
         tid: (exiting(player), args) for tid, (player, args) in players.items()
     }
@@ -176,6 +190,8 @@ def enumerate_thread_games(
             script = stack.pop()
             runs += 1
             if runs > max_runs:
+                if coverage is not None:
+                    coverage.exhausted = False
                 raise OutOfFuel(
                     f"thread-game enumeration exceeded {max_runs} runs"
                 )
@@ -192,14 +208,23 @@ def enumerate_thread_games(
                 )
             except NeedChoice as need:
                 if len(script) >= max_rounds:
+                    if coverage is not None:
+                        coverage.prune()
                     continue
                 for tid in sorted(need.ready, reverse=True):
                     stack.append(script + (tid,))
                 continue
+            if coverage is not None:
+                coverage.visit(depth=len(script))
             key = (result.log, result.finished, result.stuck)
             if key not in seen:
                 seen.add(key)
+                result.choice_script = script
                 results.append(result)
+    if coverage is not None:
+        coverage.distinct = (coverage.distinct or 0) + len(results)
+        if own_coverage:
+            coverage.record()
     if obs_enabled():
         inc("threads.games_explored", runs)
         inc("threads.games_distinct", len(results))
@@ -238,31 +263,96 @@ def check_multithreaded_linking(
         },
     )
     games = {"low": 0, "high": 0}
+    track_cov = obs_enabled()
+    coverage_maps: List[Dict[str, Any]] = []
+    captured = 0
+
+    def thread_rerun(iface, players):
+        wrapped = {
+            tid: (exiting(p), args) for tid, (p, args) in players.items()
+        }
+
+        def rerun(script):
+            return run_game(
+                iface, wrapped,
+                ThreadChoiceScheduler(
+                    cpus, init_current, script, max_choice_depth
+                ),
+                fuel=fuel, max_rounds=max_rounds,
+            )
+
+        return rerun
+
+    def capture(obligation, status, run, rerun, still_fails):
+        nonlocal captured
+        if captured >= MAX_COUNTEREXAMPLES:
+            return None
+        captured += 1
+
+        def artifacts(script):
+            replay = rerun(script)
+            return {"log": tuple(replay.log), "status": status}
+
+        counterexample = build_counterexample(
+            kind="thread-linking",
+            judgment=cert.judgment,
+            obligation=obligation,
+            status=status,
+            schedule=getattr(run, "choice_script", run.schedule),
+            still_fails=still_fails,
+            artifacts=artifacts,
+            schedule_kind="sched_decisions",
+            log=tuple(run.log),
+        )
+        return {"counterexample": counterexample}
+
     for index, players in enumerate(client_families):
         with span("multithreaded_linking.client", client=index):
+            cov_low, cov_high = (
+                (
+                    CoverageBuilder(
+                        "thread_games", depth_bound=max_choice_depth
+                    ),
+                    CoverageBuilder(
+                        "thread_games", depth_bound=max_choice_depth
+                    ),
+                )
+                if track_cov else (None, None)
+            )
             low = enumerate_thread_games(
                 lbtd, players, cpus, init_current, fuel=fuel,
                 max_rounds=max_rounds, max_choice_depth=max_choice_depth,
+                coverage=cov_low,
             )
             high = enumerate_thread_games(
                 lhtd, players, cpus, init_current, fuel=fuel,
                 max_rounds=max_rounds, max_choice_depth=max_choice_depth,
+                coverage=cov_high,
             )
+            if track_cov:
+                coverage_maps.append({"thread_games": cov_low.record()})
+                coverage_maps.append({"thread_games": cov_high.record()})
         games["low"] += len(low)
         games["high"] += len(high)
+        rerun_low = thread_rerun(lbtd, players)
+        rerun_high = thread_rerun(lhtd, players)
         # Safety: no run may get *stuck* (divergence — e.g. a sleeping
         # thread that is never woken — is legitimate behaviour and must
         # simply agree across the two layers).
-        cert.add(
-            f"P{index}: no implementation game gets stuck",
-            all(r.stuck is None for r in low),
-            "; ".join(r.stuck for r in low if r.stuck)[:200],
-        )
-        cert.add(
-            f"P{index}: no atomic game gets stuck",
-            all(r.stuck is None for r in high),
-            "; ".join(r.stuck for r in high if r.stuck)[:200],
-        )
+        for name, runs_, rerun in (
+            ("implementation", low, rerun_low),
+            ("atomic", high, rerun_high),
+        ):
+            stuck_runs = [r for r in runs_ if r.stuck]
+            desc = f"P{index}: no {name} game gets stuck"
+            details = "; ".join(r.stuck for r in stuck_runs)[:200]
+            evidence = None
+            if stuck_runs:
+                evidence = capture(
+                    desc, stuck_runs[0].stuck, stuck_runs[0], rerun,
+                    lambda script, rr=rerun: rr(script).stuck is not None,
+                )
+            cert.add(desc, not stuck_runs, details, evidence=evidence)
         for completed in (True, False):
             kind = "completed" if completed else "divergent"
             low_skeletons = {
@@ -279,10 +369,40 @@ def check_multithreaded_linking(
             missing_down = high_skeletons - low_skeletons
             # Thm 5.1 proper: Lbtd ≤ Lhtd — every implementation-level
             # behaviour must be witnessed at the atomic level.
+            desc = f"P{index}: every {kind} Lbtd behaviour has an Lhtd witness"
+            evidence = None
+            if missing_up:
+                target = sorted(missing_up)[0]
+                witness_run = next(
+                    (
+                        r for r in low
+                        if r.stuck is None and r.finished == completed
+                        and canonical_skeleton(r.log, cpus) == target
+                    ),
+                    None,
+                )
+                if witness_run is not None:
+                    def skeleton_unmatched(script, rr=rerun_low,
+                                           want_completed=completed,
+                                           skeletons=high_skeletons):
+                        replay = rr(script)
+                        return (
+                            replay.stuck is None
+                            and replay.finished == want_completed
+                            and canonical_skeleton(replay.log, cpus)
+                            not in skeletons
+                        )
+
+                    evidence = capture(
+                        desc,
+                        f"no atomic game shares this {kind} skeleton",
+                        witness_run, rerun_low, skeleton_unmatched,
+                    )
             cert.add(
-                f"P{index}: every {kind} Lbtd behaviour has an Lhtd witness",
+                desc,
                 not missing_up,
                 f"unmatched: {sorted(missing_up)[:1]}" if missing_up else "",
+                evidence=evidence,
             )
             if require_completeness:
                 # The converse (atomic behaviours are implementable) is
@@ -298,10 +418,15 @@ def check_multithreaded_linking(
         cert.log_universe = cert.log_universe + tuple(
             r.log for r in low if r.stuck is None
         ) + tuple(r.log for r in high if r.stuck is None)
-    stamp_provenance(
-        cert, time.perf_counter() - started, window,
+    extra: Dict[str, Any] = dict(
         clients=len(client_families),
         implementation_games=games["low"],
         atomic_games=games["high"],
+    )
+    coverage = merge_coverage_maps(coverage_maps)
+    if coverage:
+        extra["coverage"] = coverage
+    stamp_provenance(
+        cert, time.perf_counter() - started, window, **extra,
     )
     return cert

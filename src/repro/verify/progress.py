@@ -27,8 +27,33 @@ from ..core.interface import LayerInterface
 from ..core.log import Log
 from ..core.machine import GameScheduler, run_game, sample_game_logs
 from ..machine.hw_sched import fair_scheduler_family
-from ..obs import span
+from ..obs import obs_enabled, span
+from ..obs.coverage import SAMPLED, CoverageBuilder
+from ..obs.forensics import MAX_COUNTEREXAMPLES, build_counterexample
 from ..obs.metrics import MetricsWindow
+
+
+def _progress_evidence(cert, obligation, details, result, captured):
+    """Unshrunk counterexample for one failing sampled schedule.
+
+    Sampled fair schedulers do not enumerate a script space the shrinker
+    could probe meaningfully (fairness is a property of the whole
+    schedule, not a prefix), so the evidence records the full failing
+    schedule and log without delta-debugging.
+    """
+    if captured[0] >= MAX_COUNTEREXAMPLES:
+        return None
+    captured[0] += 1
+    counterexample = build_counterexample(
+        kind="progress",
+        judgment=cert.judgment,
+        obligation=obligation,
+        status=details,
+        schedule=result.schedule,
+        schedule_kind="sched_decisions",
+        log=tuple(result.log),
+    )
+    return {"counterexample": counterexample}
 
 
 def check_starvation_freedom(
@@ -45,13 +70,21 @@ def check_starvation_freedom(
     window = MetricsWindow()
     if schedulers is None:
         schedulers = fair_scheduler_family(sorted(players), fairness_bound)
+    coverage = (
+        CoverageBuilder(
+            "progress.fair_schedules", depth_bound=round_bound, mode=SAMPLED
+        )
+        if obs_enabled() else None
+    )
+    captured = [0]
     with span(
         "progress.starvation_freedom",
         interface=interface.name,
         participants=len(players),
     ):
         results = sample_game_logs(
-            interface, players, schedulers, fuel=fuel, max_rounds=round_bound
+            interface, players, schedulers, fuel=fuel, max_rounds=round_bound,
+            coverage=coverage,
         )
         cert = Certificate(
             judgment=judgment,
@@ -63,16 +96,23 @@ def check_starvation_freedom(
             },
         )
         for index, result in enumerate(results):
+            desc = f"fair schedule {index} completes within {round_bound} rounds"
+            details = result.stuck or f"unfinished after {result.rounds} rounds"
             cert.add(
-                f"fair schedule {index} completes within {round_bound} rounds",
+                desc,
                 result.ok,
-                result.stuck or f"unfinished after {result.rounds} rounds",
+                details,
+                evidence=None if result.ok else _progress_evidence(
+                    cert, desc, details, result, captured
+                ),
             )
         cert.log_universe = tuple(r.log for r in results)
-    stamp_provenance(
-        cert, time.perf_counter() - started, window,
-        schedulers=len(list(schedulers)),
-    )
+    extra: Dict[str, Any] = {"schedulers": len(list(schedulers))}
+    if coverage is not None:
+        extra["coverage"] = {
+            "progress.fair_schedules": coverage.record()
+        }
+    stamp_provenance(cert, time.perf_counter() - started, window, **extra)
     return cert
 
 
@@ -119,13 +159,21 @@ def check_ticket_liveness_bound(
     ncpu = len(players)
     budget = release_bound * fairness_bound * ncpu
     schedulers = fair_scheduler_family(sorted(players), fairness_bound)
+    coverage = (
+        CoverageBuilder(
+            "progress.fair_schedules", depth_bound=round_bound, mode=SAMPLED
+        )
+        if obs_enabled() else None
+    )
+    captured = [0]
     with span(
         "progress.ticket_liveness_bound",
         interface=interface.name,
         budget=budget,
     ):
         results = sample_game_logs(
-            interface, players, schedulers, fuel=fuel, max_rounds=round_bound
+            interface, players, schedulers, fuel=fuel, max_rounds=round_bound,
+            coverage=coverage,
         )
         cert = Certificate(
             judgment=f"ticket acq terminates within n×m×#CPU = "
@@ -135,23 +183,38 @@ def check_ticket_liveness_bound(
         )
         worst = 0
         for index, result in enumerate(results):
+            desc = f"fair schedule {index} completes"
+            details = result.stuck or f"unfinished after {result.rounds} rounds"
             cert.add(
-                f"fair schedule {index} completes", result.ok,
-                result.stuck or f"unfinished after {result.rounds} rounds",
+                desc, result.ok, details,
+                evidence=None if result.ok else _progress_evidence(
+                    cert, desc, details, result, captured
+                ),
             )
             for tid in players:
                 for count in spin_iterations(result.log, tid, lock):
                     worst = max(worst, count)
+                    desc = f"schedule {index}, thread {tid}: spin {count} ≤ {budget}"
+                    spin_ok = count <= budget
                     cert.add(
-                        f"schedule {index}, thread {tid}: spin {count} ≤ {budget}",
-                        count <= budget,
+                        desc,
+                        spin_ok,
+                        evidence=None if spin_ok else _progress_evidence(
+                            cert, desc,
+                            f"spin count {count} exceeds budget {budget}",
+                            result, captured,
+                        ),
                     )
         cert.bounds["worst_observed_spin"] = worst
         cert.log_universe = tuple(r.log for r in results)
-    stamp_provenance(
-        cert, time.perf_counter() - started, window,
+    extra: Dict[str, Any] = dict(
         schedulers=len(schedulers),
         worst_observed_spin=worst,
         step_budget=budget,
     )
+    if coverage is not None:
+        extra["coverage"] = {
+            "progress.fair_schedules": coverage.record()
+        }
+    stamp_provenance(cert, time.perf_counter() - started, window, **extra)
     return cert

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import (
@@ -19,6 +21,29 @@ from repro.objects.ticket_lock import lock_guarantee, lock_rely
 
 DOMAIN = [1, 2]
 LOCK = "q0"
+
+#: When set to a directory, the whole pytest run is observed and its
+#: JSONL event stream + Chrome trace are written there at session end.
+#: CI sets this so failing runs upload the artifacts for diagnosis.
+CAPTURE_ENV = "REPRO_OBS_CAPTURE"
+
+
+def pytest_configure(config):
+    if os.environ.get(CAPTURE_ENV):
+        from repro import obs
+
+        obs.enable()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    capture_dir = os.environ.get(CAPTURE_ENV)
+    if not capture_dir:
+        return
+    from repro import obs
+
+    os.makedirs(capture_dir, exist_ok=True)
+    obs.write_jsonl(os.path.join(capture_dir, "events.jsonl"))
+    obs.write_chrome_trace(os.path.join(capture_dir, "trace.json"))
 
 
 @pytest.fixture

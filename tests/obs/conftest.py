@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import obs
@@ -13,7 +15,13 @@ def obs_isolation():
     obs.disable()
     obs.collector().reset()
     obs.REGISTRY.reset()
+    obs.COVERAGE.reset()
     yield
     obs.disable()
     obs.collector().reset()
     obs.REGISTRY.reset()
+    obs.COVERAGE.reset()
+    if os.environ.get("REPRO_OBS_CAPTURE"):
+        # Session-wide capture (CI artifacts): keep observing the rest of
+        # the suite; these tests already wiped the shared state above.
+        obs.enable(reset=False)

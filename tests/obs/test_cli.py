@@ -1,0 +1,152 @@
+"""The ``python -m repro.obs`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.certificate import Certificate
+from repro.obs import build_counterexample, cli
+
+
+def bench_payload(durations, outcome="passed"):
+    return {
+        "schema": "repro.bench/v1",
+        "module": "bench_demo.py",
+        "tests": [
+            {
+                "nodeid": f"benchmarks/bench_demo.py::{name}",
+                "outcome": outcome,
+                "duration_s": duration,
+                "tables": [],
+                "extra": {},
+            }
+            for name, duration in durations.items()
+        ],
+    }
+
+
+def write_bench(path, durations, **kwargs):
+    path.write_text(json.dumps(bench_payload(durations, **kwargs)))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_passes(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        assert cli.main(["compare", base, base]) == 0
+        out = capsys.readouterr().out
+        assert "no regression" in out
+
+    def test_injected_2x_slowdown_fails(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        cand = write_bench(tmp_path / "b.json", {"test_x": 0.9})
+        assert cli.main(["compare", base, cand]) == 1
+        out = capsys.readouterr().out
+        assert "FAILURE" in out
+        assert "2.2" in out  # 0.9/0.4 = 2.25x
+
+    def test_warn_band_passes_with_warning(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        cand = write_bench(tmp_path / "b.json", {"test_x": 0.65})
+        assert cli.main(["compare", base, cand]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_min_seconds_skips_noise(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "a.json", {"tiny": 0.001})
+        cand = write_bench(tmp_path / "b.json", {"tiny": 0.04})
+        assert cli.main(["compare", base, cand]) == 0
+        assert "below min-seconds" in capsys.readouterr().out
+
+    def test_thresholds_configurable(self, tmp_path):
+        base = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        cand = write_bench(tmp_path / "b.json", {"test_x": 0.65})
+        assert cli.main([
+            "compare", base, cand, "--fail-threshold", "1.5"
+        ]) == 1
+
+    def test_failed_candidate_outcome_fails(self, tmp_path):
+        base = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        cand = write_bench(tmp_path / "b.json", {"test_x": 0.4},
+                           outcome="failed")
+        assert cli.main(["compare", base, cand]) == 1
+
+    def test_bad_schema_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/v9", "tests": []}))
+        good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        assert cli.main(["compare", str(bad), good]) == 2
+        assert "repro.bench/v1" in capsys.readouterr().err
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        assert cli.main(["compare", str(tmp_path / "nope.json"), good]) == 2
+
+
+class TestReport:
+    def test_renders_loaded_event_stream(self, tmp_path, capsys):
+        obs.enable()
+        with obs.span("demo.work", layer="L1"):
+            pass
+        builder = obs.CoverageBuilder("env_contexts", budget=4)
+        builder.visit(depth=1, n=2)
+        builder.record()
+        path = tmp_path / "events.jsonl"
+        obs.write_jsonl(str(path))
+        # Render from disk with the live state cleared: everything shown
+        # must come from the loaded stream.
+        obs.disable()
+        obs.collector().reset()
+        obs.COVERAGE.reset()
+        assert cli.main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo.work" in out
+        assert "env_contexts" in out
+
+    def test_missing_stream_is_usage_error(self, tmp_path, capsys):
+        assert cli.main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+@pytest.fixture
+def failed_cert_path(tmp_path):
+    cert = Certificate(judgment="L ⊢ M : L'", rule="Fun")
+    cert.add("spec total", True)
+    counterexample = build_counterexample(
+        kind="simulation",
+        judgment="L ⊢ M : L'",
+        obligation="logs related",
+        status="logs unrelated",
+        schedule=(0, 1),
+        still_fails=lambda s: 1 in s,
+    )
+    cert.add(
+        "logs related", False, "logs unrelated",
+        evidence={"counterexample": counterexample},
+    )
+    path = tmp_path / "cert.json"
+    path.write_text(json.dumps(cert.to_json()))
+    return str(path)
+
+
+class TestExplain:
+    def test_renders_failures_and_counterexamples(self, failed_cert_path, capsys):
+        assert cli.main(["explain", failed_cert_path]) == 0
+        out = capsys.readouterr().out
+        assert "[FAILED] L ⊢ M : L'" in out
+        assert "✗ logs related" in out
+        assert "shrunk" in out  # (0, 1) minimizes to (1,)
+        assert "1 counterexample(s) attached" in out
+        assert "✓ spec total" not in out
+
+    def test_all_flag_shows_passed_obligations(self, failed_cert_path, capsys):
+        assert cli.main(["explain", failed_cert_path, "--all"]) == 0
+        assert "✓ spec total" in capsys.readouterr().out
+
+    def test_wrong_schema_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "notcert.json"
+        path.write_text(json.dumps({"schema": "other", "ok": True}))
+        assert cli.main(["explain", str(path)]) == 2
+        assert "repro.cert/v1" in capsys.readouterr().err

@@ -1,0 +1,132 @@
+"""Exploration-coverage accounting and its provenance plumbing."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core import Event, FuncImpl, LayerInterface, SimConfig, fun_rule
+from repro.core.relation import ID_REL
+from repro.core.interface import shared_prim
+from repro.objects.ticket_lock import certify_ticket_lock
+
+
+class TestCoverageBuilder:
+    def test_accounting(self):
+        builder = obs.CoverageBuilder("env_contexts", budget=100, depth_bound=3)
+        builder.visit(depth=0)
+        builder.visit(depth=2, n=2)
+        builder.prune()
+        builder.distinct = 2
+        record = builder.as_dict()
+        assert record["axis"] == "env_contexts"
+        assert record["explored"] == 3
+        assert record["pruned"] == 1
+        assert record["budget"] == 100
+        assert record["distinct"] == 2
+        assert record["depth_bound"] == 3
+        assert record["depth_histogram"] == {"0": 1, "2": 2}
+        assert record["exhausted"] is True
+        assert record["mode"] == obs.EXHAUSTIVE
+
+    def test_record_publishes_only_when_enabled(self):
+        obs.CoverageBuilder("axis_a").record()
+        assert len(obs.COVERAGE) == 0
+        obs.enable()
+        obs.CoverageBuilder("axis_a").record()
+        assert len(obs.COVERAGE) == 1
+
+    def test_registry_aggregates_per_axis(self):
+        obs.enable()
+        first = obs.CoverageBuilder("axis_a", budget=10)
+        first.visit(depth=1, n=4)
+        first.record()
+        second = obs.CoverageBuilder("axis_a", budget=10)
+        second.visit(depth=2, n=6)
+        second.exhausted = False
+        second.record()
+        merged = obs.coverage_map()["axis_a"]
+        assert merged["enumerations"] == 2
+        assert merged["explored"] == 10
+        assert merged["budget"] == 20
+        assert merged["exhausted"] is False
+        assert merged["depth_histogram"] == {"1": 4, "2": 6}
+
+    def test_merge_coverage_maps_unions_axes(self):
+        merged = obs.merge_coverage_maps(
+            [
+                {"axis_a": {"explored": 3, "exhausted": True}},
+                {"axis_a": {"explored": 4, "exhausted": True},
+                 "axis_b": {"explored": 1, "exhausted": False, "mode": obs.SAMPLED}},
+                None,
+            ]
+        )
+        assert merged["axis_a"]["explored"] == 7
+        assert merged["axis_a"]["enumerations"] == 2
+        assert merged["axis_b"]["mode"] == obs.SAMPLED
+
+
+def step_spec(ctx):
+    yield from ctx.query()
+    ctx.emit("step")
+    return None
+
+
+def step_impl(ctx):
+    yield from ctx.call("step")
+    return None
+
+
+class TestCheckerCoverage:
+    def test_sim_certificate_reports_env_context_coverage(self):
+        base = LayerInterface(
+            "B", [1, 2], {"step": shared_prim("step", step_spec)}
+        )
+        overlay = base.extend("O", [shared_prim("go", step_spec)])
+        config = SimConfig(
+            env_alphabet=[(), (Event(2, "step"),)], env_depth=2,
+            compare_rets=False,
+        )
+        with obs.observing():
+            layer = fun_rule(
+                base, FuncImpl("go", step_impl), overlay, ID_REL, 1, config
+            )
+        coverage = layer.certificate.provenance["coverage"]
+        record = coverage["env_contexts"]
+        assert record["explored"] >= 1
+        assert record["depth_bound"] == 2
+        assert record["exhausted"] is True
+        # The same enumeration also lands in the process-wide registry
+        # (the run report's coverage map).
+        assert "env_contexts" in obs.coverage_map()
+
+    def test_fig5_pipeline_certs_carry_coverage(self):
+        """Every provenance-stamped cert of the Fig. 5 derivation has
+        coverage counts — leaves own them, composition rules inherit."""
+        with obs.observing():
+            stack = certify_ticket_lock(
+                [1, 2], lock="q0", focused=[1], use_c_source=False
+            )
+
+        def walk(cert):
+            yield cert
+            for child in cert.children:
+                yield from walk(child)
+
+        certs = list(walk(stack.composed.certificate))
+        stamped = [c for c in certs if c.provenance]
+        assert stamped
+        for cert in stamped:
+            assert "coverage" in cert.provenance, cert.judgment
+        root = stack.composed.certificate.provenance["coverage"]
+        assert root["env_contexts"]["explored"] > 0
+        assert root["env_contexts"]["exhausted"] is True
+
+    def test_report_renders_coverage_map(self):
+        obs.enable()
+        builder = obs.CoverageBuilder("env_contexts", budget=8, depth_bound=2)
+        builder.visit(depth=1, n=3)
+        builder.record()
+        text = obs.render_report()
+        assert "coverage map" in text
+        assert "env_contexts" in text
+        lines = obs.render_coverage_map()
+        assert any("env_contexts" in line for line in lines)

@@ -1,0 +1,292 @@
+"""Counterexample capture, the ddmin shrinker, and evidence plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Event,
+    EventMapRel,
+    FuncImpl,
+    LayerInterface,
+    SimConfig,
+    check_soundness,
+    fun_rule,
+    pcomp,
+    shared_prim,
+)
+from repro.core.calculus import module_rule
+from repro.core.errors import VerificationError
+from repro.core.events import ACQ, REL
+from repro.core.module import Module
+from repro.core.relation import ID_REL
+from repro.machine.atomics import FAI
+from repro.obs import (
+    Counterexample,
+    build_counterexample,
+    divergence_index,
+    shrink_sequence,
+)
+from repro.objects.ticket_lock import (
+    acq_impl,
+    lock_guarantee,
+    lock_low_interface,
+    lock_rely,
+    lock_scenarios,
+    low_env_alphabet,
+    lx86_like_interface,
+    n_cell,
+)
+
+
+class TestShrinkSequence:
+    def test_known_minimal(self):
+        """Failure = "contains a 9"; ddmin must find the single 9."""
+        shrunk, probes = shrink_sequence(
+            (0, 1, 9, 2, 3), lambda s: 9 in s
+        )
+        assert shrunk == (9,)
+        assert probes > 0
+
+    def test_deterministic(self):
+        seq = tuple(range(12)) + (99,)
+        fails = lambda s: 99 in s and len(s) % 2 == 1
+        first = shrink_sequence(seq, fails)
+        second = shrink_sequence(seq, fails)
+        assert first == second
+
+    def test_idempotent(self):
+        """Shrinking an already-minimal sequence is a no-op."""
+        fails = lambda s: 9 in s
+        minimal, _ = shrink_sequence((0, 9, 0, 9), fails)
+        again, _ = shrink_sequence(minimal, fails)
+        assert again == minimal
+
+    def test_non_reproducing_input_unchanged(self):
+        shrunk, probes = shrink_sequence((1, 2, 3), lambda s: False)
+        assert shrunk == (1, 2, 3)
+        assert probes == 1
+
+    def test_predicate_exception_is_not_reproducing(self):
+        def fails(s):
+            if len(s) < 3:
+                raise RuntimeError("replay invalid")
+            return True
+
+        shrunk, _ = shrink_sequence((1, 2, 3, 4), fails)
+        assert len(shrunk) == 3
+
+    def test_probe_budget_respected(self):
+        calls = []
+
+        def fails(s):
+            calls.append(s)
+            return 9 in s
+
+        shrink_sequence(tuple(range(40)) + (9,), fails, max_probes=10)
+        assert len(calls) <= 10
+
+
+class TestDivergenceIndex:
+    def test_first_structural_difference(self):
+        low = [{"tid": 1, "name": "a", "args": []},
+               {"tid": 1, "name": "b", "args": []}]
+        high = [{"tid": 1, "name": "a", "args": []},
+                {"tid": 1, "name": "c", "args": []}]
+        assert divergence_index(low, high) == 1
+
+    def test_prefix_divergence(self):
+        low = [{"tid": 1, "name": "a", "args": []}]
+        assert divergence_index(low, low + low) == 1
+        assert divergence_index(low, list(low)) is None
+
+
+class TestCounterexampleRecord:
+    def _sample(self):
+        return build_counterexample(
+            kind="simulation",
+            judgment="L ⊢ M : L'",
+            obligation="logs related",
+            status="logs unrelated",
+            schedule=(1, 0, 1),
+            log=[Event(1, "a"), Event(2, "b")],
+            expected_log=[Event(1, "a"), Event(2, "c")],
+        )
+
+    def test_roundtrip(self):
+        original = self._sample()
+        clone = Counterexample.from_dict(original.to_dict())
+        assert clone == original
+        assert clone.render() == original.render()
+
+    def test_digest_names_divergence(self):
+        digest = self._sample().digest()
+        assert "diverges@1" in digest
+        assert "got b" in digest and "want c" in digest
+
+    def test_render_marks_divergence(self):
+        rendered = self._sample().render()
+        assert "◀ divergence" in rendered
+        assert "tid 1" in rendered and "tid 2" in rendered
+
+
+def broken_rel(ctx, lock):
+    """The deliberate bug: bump now-serving without publishing (no push)."""
+    yield from ctx.call(FAI, n_cell(lock))
+    return None
+
+
+@pytest.fixture(scope="module")
+def broken_lock_certificate():
+    """The Fun* certificate of a ticket lock whose ``rel`` skips the push."""
+    domain, lock = [1, 2], "q0"
+    base = lx86_like_interface(
+        domain, 32, lock_rely(domain, [lock]), lock_guarantee(domain, [lock])
+    )
+    low = lock_low_interface(base)
+    module = Module(
+        {
+            ACQ: FuncImpl(ACQ, acq_impl, lang="spec"),
+            REL: FuncImpl(REL, broken_rel, lang="spec"),
+        },
+        name="M_broken_rel",
+    )
+    config = SimConfig(
+        env_alphabet=low_env_alphabet([2], [lock]),
+        env_depth=1,
+        fuel=2_000,
+        delivery="per_query",
+    )
+    with pytest.raises(VerificationError) as excinfo:
+        module_rule(base, module, low, ID_REL, 1, lock_scenarios(lock, config))
+    return excinfo.value.certificate
+
+
+class TestBrokenTicketLock:
+    def test_counterexamples_attached_to_failed_obligations(
+        self, broken_lock_certificate
+    ):
+        failed = broken_lock_certificate.failures
+        assert failed
+        with_evidence = [o for o in failed if o.counterexample is not None]
+        assert with_evidence
+        for obligation in with_evidence:
+            cx = obligation.counterexample
+            assert cx.kind == "simulation"
+            assert cx.schedule_kind == "env_choices"
+
+    def test_shrunk_schedule_strictly_shorter(self, broken_lock_certificate):
+        """The env=(1,) failure must shrink to the empty context."""
+        shrunk = [
+            cx
+            for cx in broken_lock_certificate.counterexamples()
+            if cx.shrunk_from is not None and cx.shrunk_from > len(cx.schedule)
+        ]
+        assert shrunk, "no counterexample shrank to a strictly shorter schedule"
+        assert any(cx.schedule == () for cx in shrunk)
+
+    def test_minimal_counterexample_shrinks_to_itself(
+        self, broken_lock_certificate
+    ):
+        """The env=() failure is already minimal: shrinking is a no-op."""
+        minimal = [
+            cx
+            for cx in broken_lock_certificate.counterexamples()
+            if cx.shrunk_from == 0
+        ]
+        assert minimal
+        assert all(cx.schedule == () for cx in minimal)
+
+    def test_divergence_points_at_missing_push(self, broken_lock_certificate):
+        cxs = [
+            cx
+            for cx in broken_lock_certificate.counterexamples()
+            if cx.expected_log is not None
+        ]
+        assert cxs
+        cx = cxs[0]
+        assert cx.divergence is not None
+        expected = cx.expected_log[cx.divergence]
+        assert expected["name"] == "push"
+        assert "push" in cx.render()
+
+    def test_summary_carries_digests(self, broken_lock_certificate):
+        summary = broken_lock_certificate.summary()
+        assert "✗" in summary
+        assert "env=" in summary
+
+    def test_cert_json_preserves_counterexamples(self, broken_lock_certificate):
+        data = broken_lock_certificate.to_json()
+        assert data["schema"] == "repro.cert/v1"
+
+        def walk(node):
+            for obligation in node["obligations"]:
+                evidence = obligation.get("evidence") or {}
+                if "counterexample" in evidence:
+                    yield evidence["counterexample"]
+            for child in node["children"]:
+                yield from walk(child)
+
+        serialized = list(walk(data))
+        assert len(serialized) == len(broken_lock_certificate.counterexamples())
+        clone = Counterexample.from_dict(serialized[0])
+        assert clone.schedule == tuple(serialized[0]["schedule"])
+
+
+def bump_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump") + 1
+    ctx.emit("bump", ret=count)
+    return count
+
+
+def bump2_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump")
+    ctx.emit("bump", ret=count + 1)
+    ctx.emit("bump", ret=count + 2)
+    return None
+
+
+def non_atomic_bump2_impl(ctx):
+    # atomicity bug: the pair can be interleaved by the other participant
+    yield from ctx.call("bump")
+    yield from ctx.call("bump")
+    return None
+
+
+class TestSoundnessForensics:
+    def test_refinement_counterexample_shrinks_scheduler_script(self):
+        """Whole-machine games shrink their scheduler-decision scripts.
+
+        The non-atomic pair passes per-participant simulation under an
+        interference-free bound, then the Thm 2.2 game exposes the
+        interleaving; its counterexamples carry minimized schedules.
+        """
+        base = LayerInterface(
+            "L0", [1, 2], {"bump": shared_prim("bump", bump_spec)}
+        )
+        overlay = base.extend(
+            "L1", [shared_prim("bump2", bump2_spec)], hide=["bump"]
+        )
+        rel = EventMapRel("Rb", ret_rel=lambda lo, hi: True)
+        config = SimConfig(env_alphabet=[()], env_depth=1, compare_rets=False)
+        layer = pcomp(
+            fun_rule(base, FuncImpl("bump2", non_atomic_bump2_impl),
+                     overlay, rel, 1, config),
+            fun_rule(base, FuncImpl("bump2", non_atomic_bump2_impl),
+                     overlay, rel, 2, config),
+        )
+        cert = check_soundness(
+            layer,
+            clients=[{1: [("bump2", ())], 2: [("bump2", ())]}],
+            max_rounds=24,
+        )
+        assert not cert.ok
+        cxs = cert.counterexamples()
+        assert cxs
+        assert all(cx.schedule_kind == "sched_decisions" for cx in cxs)
+        assert any(
+            cx.shrunk_from is not None and cx.shrunk_from > len(cx.schedule)
+            for cx in cxs
+        )
