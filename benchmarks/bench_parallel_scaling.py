@@ -1,0 +1,97 @@
+"""Parallel obligation checking + certificate cache: scaling study.
+
+Runs the Fig. 5 lock pipeline (the engine's hottest end-to-end path)
+under four configurations:
+
+* ``serial cold``   — ``jobs=1``, cache off (the reference run)
+* ``jobs=2 cold``   — two worker processes, cache off
+* ``jobs=4 cold``   — four worker processes, cache off
+* ``warm cache``    — ``jobs=1``, second run against a populated
+  content-addressed certificate cache (the CompCertX
+  separate-compilation analogue: unchanged inputs are not re-verified)
+
+Besides wall times and speedups, the benchmark asserts the engine's
+determinism contract: the soundness certificate's ``to_json()`` is
+byte-identical across all four configurations (observability off).
+
+Honesty note: parallel speedup depends on the runner's CPU count
+(recorded in the JSON as ``cpus``); on a single-core container the
+worker runs merely must not diverge, while the warm-cache run must win
+regardless of core count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from conftest import print_table, record_bench
+from bench_fig5_pipeline import run_pipeline
+
+
+def _run_once(jobs: int, cache_dir: str | None):
+    """One pipeline run under explicit jobs/cache env; returns (s, cert)."""
+    old_jobs = os.environ.get("REPRO_JOBS")
+    old_cache = os.environ.get("REPRO_CACHE_DIR")
+    try:
+        os.environ["REPRO_JOBS"] = str(jobs)
+        if cache_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = cache_dir
+        start = time.perf_counter()
+        _stages, _stack, _queue, _compile_cert, soundness = run_pipeline()
+        return time.perf_counter() - start, soundness
+    finally:
+        for key, value in (("REPRO_JOBS", old_jobs), ("REPRO_CACHE_DIR", old_cache)):
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _cert_bytes(cert) -> bytes:
+    return json.dumps(cert.to_json(), sort_keys=True, ensure_ascii=False).encode()
+
+
+def test_parallel_scaling(benchmark):
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        def all_phases():
+            phases = []
+            phases.append(("serial cold", *_run_once(jobs=1, cache_dir=None)))
+            phases.append(("jobs=2 cold", *_run_once(jobs=2, cache_dir=None)))
+            phases.append(("jobs=4 cold", *_run_once(jobs=4, cache_dir=None)))
+            # Populate the cache, then measure the warm rerun.
+            _run_once(jobs=1, cache_dir=cache_dir)
+            phases.append(("warm cache", *_run_once(jobs=1, cache_dir=cache_dir)))
+            return phases
+
+        phases = benchmark.pedantic(all_phases, rounds=1, iterations=1)
+
+    serial_s = phases[0][1]
+    reference = _cert_bytes(phases[0][2])
+    rows = []
+    results = []
+    for label, seconds, cert in phases:
+        speedup = serial_s / seconds if seconds > 0 else float("inf")
+        rows.append([label, f"{seconds * 1000:.1f} ms", f"{speedup:.2f}x"])
+        results.append(
+            {"phase": label, "seconds": round(seconds, 6),
+             "speedup": round(speedup, 3)}
+        )
+        assert _cert_bytes(cert) == reference, (
+            f"{label}: certificate diverged from serial cold run"
+        )
+    record_bench(phases=results, cpus=os.cpu_count())
+    print_table(
+        "Parallel obligation checking + certificate cache (Fig. 5 pipeline)",
+        ["configuration", "time", "speedup vs serial"],
+        rows,
+    )
+    warm = results[-1]
+    assert warm["phase"] == "warm cache"
+    # The cache must make the rerun clearly cheaper than re-verification;
+    # parallel speedup is core-count-dependent and only *recorded*.
+    assert warm["speedup"] > 2.0, f"warm-cache rerun too slow: {warm}"

@@ -23,6 +23,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 from ..obs import obs_enabled, span
 from ..obs.coverage import CoverageBuilder
 from ..obs.metrics import MetricsWindow, inc, observe
+from ..parallel.cache import cached_certificate
+from ..parallel.pool import get_jobs
 from .certificate import Certificate, CertifiedLayer, InterfaceSim, stamp_provenance
 from .errors import ComposeError
 from .interface import LayerInterface
@@ -63,6 +65,7 @@ def module_rule(
     relation: SimRel,
     tid: int,
     scenarios: Sequence[Scenario],
+    jobs: Optional[int] = None,
 ) -> CertifiedLayer:
     """``Fun`` generalized to a whole module via protocol scenarios.
 
@@ -72,6 +75,12 @@ def module_rule(
     under all bounded environment behaviours.  Each module function must
     be exercised by at least one scenario and have a specification in
     the overlay.
+
+    Structural pre-checks (scenario coverage, overlay specs) run before
+    the certificate cache is consulted, so a malformed application
+    raises :class:`ComposeError` cold or warm; cached *failing*
+    certificates likewise re-raise through ``CertifiedLayer``'s
+    ``require_ok``, which runs outside the cached computation.
     """
     started = time.perf_counter()
     window = MetricsWindow()
@@ -82,26 +91,38 @@ def module_rule(
                 raise ComposeError(f"module function {name!r} not covered by any scenario")
             if not overlay.has(name):
                 raise ComposeError(f"overlay {overlay.name} lacks a spec for {name!r}")
-        cert = check_scenarios(
-            underlay,
-            lambda scenario: scenario_impl_player(module, scenario),
-            overlay,
-            relation,
-            tid,
-            scenarios,
-            judgment=(
-                f"{underlay.name}[{tid}] ⊢_{relation.name} {module.name} : "
-                f"{overlay.name}[{tid}]"
-            ),
-            rule="Fun*",
+
+        def compute() -> Certificate:
+            cert = check_scenarios(
+                underlay,
+                lambda scenario: scenario_impl_player(module, scenario),
+                overlay,
+                relation,
+                tid,
+                scenarios,
+                judgment=(
+                    f"{underlay.name}[{tid}] ⊢_{relation.name} {module.name} : "
+                    f"{overlay.name}[{tid}]"
+                ),
+                rule="Fun*",
+                jobs=jobs,
+            )
+            _stamp_rule(
+                cert, "Fun*", started, window,
+                module=module.name,
+                functions=sorted(module.names()),
+                scenarios=len(scenarios),
+                workers=get_jobs(jobs),
+            )
+            return cert
+
+        cert = cached_certificate(
+            "Fun*",
+            (underlay, module, overlay, relation, tid, tuple(scenarios)),
+            compute,
+            jobs=jobs,
         )
         layer = CertifiedLayer(underlay, module, overlay, relation, {tid}, cert)
-    _stamp_rule(
-        cert, "Fun*", started, window,
-        module=module.name,
-        functions=sorted(module.names()),
-        scenarios=len(scenarios),
-    )
     return layer
 
 
@@ -111,6 +132,7 @@ def interface_sim_rule(
     relation: SimRel,
     tid: int,
     scenarios: Sequence[Scenario],
+    jobs: Optional[int] = None,
 ) -> InterfaceSim:
     """Establish ``L ≤_R L'`` via protocol scenarios (a ``Wk`` premise).
 
@@ -118,24 +140,40 @@ def interface_sim_rule(
     interface's strategies against the high interface's — under all
     bounded environment behaviours, related by ``R``.  This is the
     log-lift step: e.g. ``L_lock_low[i] ≤_{R_lock} L_lock[i]``.
+
+    Cache-aware like :func:`module_rule`: the :class:`InterfaceSim`
+    wrapper (and its ``require_ok``) is built outside the cached
+    computation, so cached failing certificates raise identically warm.
     """
     started = time.perf_counter()
     window = MetricsWindow()
     with _rule_span("interface-sim", low=low.name, high=high.name):
-        cert = check_scenarios(
-            low,
-            scenario_spec_player,  # low side also just calls its primitives
-            high,
-            relation,
-            tid,
-            scenarios,
-            judgment=f"{low.name} ≤_{relation.name} {high.name}",
-            rule="interface-sim",
+        def compute() -> Certificate:
+            cert = check_scenarios(
+                low,
+                scenario_spec_player,  # low side also just calls its primitives
+                high,
+                relation,
+                tid,
+                scenarios,
+                judgment=f"{low.name} ≤_{relation.name} {high.name}",
+                rule="interface-sim",
+                jobs=jobs,
+            )
+            _stamp_rule(
+                cert, "interface-sim", started, window,
+                scenarios=len(scenarios),
+                workers=get_jobs(jobs),
+            )
+            return cert
+
+        cert = cached_certificate(
+            "interface-sim",
+            (low, high, relation, tid, tuple(scenarios)),
+            compute,
+            jobs=jobs,
         )
         sim = InterfaceSim(low, high, relation, cert)
-    _stamp_rule(
-        cert, "interface-sim", started, window, scenarios=len(scenarios)
-    )
     return sim
 
 
@@ -163,6 +201,7 @@ def fun_rule(
     relation: SimRel,
     tid: int,
     config: SimConfig,
+    jobs: Optional[int] = None,
 ) -> CertifiedLayer:
     """``Fun``: certify one function against its overlay specification.
 
@@ -181,24 +220,38 @@ def fun_rule(
             raise ComposeError(
                 f"overlay {overlay.name} has no specification for {impl.name!r}"
             )
-        cert = check_sim(
-            underlay,
-            impl.player,
-            overlay,
-            prim_player(impl.name),
-            relation,
-            tid,
-            config,
-            judgment=(
-                f"{underlay.name}[{tid}] ⊢_{relation.name} "
-                f"{impl.name} : {overlay.name}.{impl.name}"
-            ),
-            rule="Fun",
+
+        def compute() -> Certificate:
+            cert = check_sim(
+                underlay,
+                impl.player,
+                overlay,
+                prim_player(impl.name),
+                relation,
+                tid,
+                config,
+                judgment=(
+                    f"{underlay.name}[{tid}] ⊢_{relation.name} "
+                    f"{impl.name} : {overlay.name}.{impl.name}"
+                ),
+                rule="Fun",
+                jobs=jobs,
+            )
+            _stamp_rule(
+                cert, "Fun", started, window,
+                function=impl.name, lang=impl.lang, workers=get_jobs(jobs),
+            )
+            return cert
+
+        cert = cached_certificate(
+            "Fun",
+            (underlay, impl, overlay, relation, tid, config),
+            compute,
+            jobs=jobs,
         )
         layer = CertifiedLayer(
             underlay, Module.single(impl), overlay, relation, {tid}, cert
         )
-    _stamp_rule(cert, "Fun", started, window, function=impl.name, lang=impl.lang)
     return layer
 
 
@@ -375,40 +428,48 @@ def check_compat_interfaces(
     tids_a = sorted(set(tids_a))
     tids_b = sorted(set(tids_b))
     universe = list(universe)
-    cert = Certificate(
-        judgment=f"compat({iface.name}[{tids_a}], {iface.name}[{tids_b}])",
-        rule="Compat",
-        bounds={"universe_size": len(universe)},
-    )
-    with _rule_span(
-        "Compat", interface=iface.name, universe=len(universe)
-    ):
-        if set(tids_a) & set(tids_b):
-            cert.add("A ⊥ B", False, f"overlap: {set(tids_a) & set(tids_b)}")
-            return cert
-        cert.add("A ⊥ B", True)
-        inc("compat.logs_checked", len(universe))
-        failures = check_compat(
-            iface.rely, iface.guar, tids_a, iface.rely, iface.guar, tids_b,
-            universe,
+
+    def compute() -> Certificate:
+        cert = Certificate(
+            judgment=f"compat({iface.name}[{tids_a}], {iface.name}[{tids_b}])",
+            rule="Compat",
+            bounds={"universe_size": len(universe)},
         )
-        if failures:
-            for failure in failures:
-                cert.add("G ⊇ R implication", False, failure)
-        else:
-            cert.add("G ⊇ R implications on universe", True)
-    extra = dict(universe_size=len(universe), tids_a=tids_a, tids_b=tids_b)
-    if obs_enabled():
-        # The Compat rule's enumeration axis is the log universe itself:
-        # the rely/guarantee cross-implication is only checked on logs
-        # actually encountered while certifying the premises (DESIGN.md
-        # §4's coverage caveat, now stated in the certificate).
-        cov = CoverageBuilder("compat.log_universe", budget=len(universe))
-        cov.visit(n=len(universe))
-        cov.distinct = len(set(universe))
-        extra["coverage"] = {"compat.log_universe": cov.record()}
-    _stamp_rule(cert, "Compat", started, window, **extra)
-    return cert
+        with _rule_span(
+            "Compat", interface=iface.name, universe=len(universe)
+        ):
+            if set(tids_a) & set(tids_b):
+                cert.add("A ⊥ B", False, f"overlap: {set(tids_a) & set(tids_b)}")
+                return cert
+            cert.add("A ⊥ B", True)
+            inc("compat.logs_checked", len(universe))
+            failures = check_compat(
+                iface.rely, iface.guar, tids_a, iface.rely, iface.guar, tids_b,
+                universe,
+            )
+            if failures:
+                for failure in failures:
+                    cert.add("G ⊇ R implication", False, failure)
+            else:
+                cert.add("G ⊇ R implications on universe", True)
+        extra = dict(universe_size=len(universe), tids_a=tids_a, tids_b=tids_b)
+        if obs_enabled():
+            # The Compat rule's enumeration axis is the log universe itself:
+            # the rely/guarantee cross-implication is only checked on logs
+            # actually encountered while certifying the premises (DESIGN.md
+            # §4's coverage caveat, now stated in the certificate).
+            cov = CoverageBuilder("compat.log_universe", budget=len(universe))
+            cov.visit(n=len(universe))
+            cov.distinct = len(set(universe))
+            extra["coverage"] = {"compat.log_universe": cov.record()}
+        _stamp_rule(cert, "Compat", started, window, **extra)
+        return cert
+
+    return cached_certificate(
+        "Compat",
+        (iface, tuple(tids_a), tuple(tids_b), tuple(universe)),
+        compute,
+    )
 
 
 def pcomp(

@@ -312,6 +312,33 @@ def stamp_provenance(
     return cert
 
 
+def stamp_cache_status(
+    cert: Certificate,
+    status: str,
+    key: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> Certificate:
+    """Record the certificate cache outcome (``"hit"``/``"miss"``).
+
+    Obs-gated like :func:`stamp_provenance`.  On a miss the checker has
+    already stamped full provenance and this merely annotates it; on a
+    hit the loaded certificate is provenance-free (cached certificates
+    are stored stripped) and gains a minimal record, since the
+    enumeration the original provenance described did not happen in
+    this run.
+    """
+    if not obs_enabled():
+        return cert
+    provenance = dict(cert.provenance or {"rule": cert.rule, "judgment": cert.judgment})
+    provenance["cache"] = status
+    if key is not None:
+        provenance["cache_key"] = key[:16]
+    if workers is not None:
+        provenance["workers"] = workers
+    cert.provenance = provenance
+    return cert
+
+
 @dataclass
 class InterfaceSim:
     """The judgment ``L ≤_R L'`` (strategy simulation between interfaces),

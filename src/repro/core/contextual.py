@@ -21,6 +21,8 @@ from ..obs import obs_enabled, span
 from ..obs.coverage import CoverageBuilder, merge_coverage_maps
 from ..obs.forensics import MAX_COUNTEREXAMPLES, build_counterexample
 from ..obs.metrics import MetricsWindow, inc
+from ..parallel.cache import cached_certificate
+from ..parallel.pool import get_jobs, parallel_map
 from .certificate import Certificate, CertifiedLayer, stamp_provenance
 from .errors import ComposeError
 from .interface import LayerInterface
@@ -48,12 +50,14 @@ def behaviors_of(
     max_rounds: int = 64,
     max_runs: int = 100_000,
     coverage: Optional[CoverageBuilder] = None,
+    jobs: Optional[int] = None,
 ) -> List[GameResult]:
     """``[[P ⊕ M]]_{L[D]}`` (or ``[[P]]_{L[D]}`` when ``module`` is None).
 
     Links the module's functions into the interface, instantiates each
     participant's call sequence as a player, and enumerates every bounded
-    scheduling of the game.
+    scheduling of the game (splitting the scheduler tree across ``jobs``
+    workers when asked — see :func:`enumerate_game_logs`).
     """
     machine = link(interface, module) if module and len(module) else interface
     players = {
@@ -68,7 +72,7 @@ def behaviors_of(
     ):
         results = enumerate_game_logs(
             machine, players, fuel=fuel, max_rounds=max_rounds,
-            max_runs=max_runs, coverage=coverage,
+            max_runs=max_runs, coverage=coverage, jobs=jobs,
         )
     inc("contextual.behaviors_enumerated", len(results))
     return results
@@ -222,6 +226,7 @@ def check_soundness(
     max_rounds: int = 64,
     max_runs: int = 100_000,
     require_progress: bool = True,
+    jobs: Optional[int] = None,
 ) -> Certificate:
     """Thm 2.2: contextual refinement for a family of client programs.
 
@@ -230,7 +235,49 @@ def check_soundness(
     layer's relation.  Clients must only exercise the certified focused
     set (participants outside ``layer.focused`` would not be covered by
     the premise).
+
+    With ``jobs > 1`` (or ``REPRO_JOBS`` set) clients are checked in
+    worker processes and their obligations merged in client order; with
+    a single client the workers split the scheduler tree instead.  The
+    whole judgment is memoized in the content-addressed certificate
+    cache when enabled — keyed by the layer's interfaces, module,
+    relation, premise certificate, the clients and the bounds.
     """
+    n_jobs = get_jobs(jobs)
+    for index, client in enumerate(clients):
+        extra = set(client) - set(layer.focused)
+        if extra:
+            raise ComposeError(
+                f"client {index} uses uncertified participants {sorted(extra)}"
+            )
+
+    def compute() -> Certificate:
+        return _check_soundness_uncached(
+            layer, clients, fuel, max_rounds, max_runs, require_progress,
+            n_jobs,
+        )
+
+    return cached_certificate(
+        "Soundness",
+        (
+            layer.underlay, layer.module, layer.overlay, layer.relation,
+            tuple(sorted(layer.focused)), layer.certificate,
+            tuple(clients), fuel, max_rounds, max_runs, require_progress,
+        ),
+        compute,
+        jobs=n_jobs,
+    )
+
+
+def _check_soundness_uncached(
+    layer: CertifiedLayer,
+    clients: Sequence[ClientProgram],
+    fuel: int,
+    max_rounds: int,
+    max_runs: int,
+    require_progress: bool,
+    n_jobs: int,
+) -> Certificate:
     started = time.perf_counter()
     window = MetricsWindow()
     cert = Certificate(
@@ -245,63 +292,78 @@ def check_soundness(
         children=[layer.certificate],
     )
     behaviors = {"low": 0, "high": 0}
-    track_cov = obs_enabled()
     coverage_maps: List[Dict[str, Any]] = []
-    with span("check_soundness", module=layer.module.name, clients=len(clients)):
-        for index, client in enumerate(clients):
-            extra = set(client) - set(layer.focused)
-            if extra:
-                raise ComposeError(
-                    f"client {index} uses uncertified participants {sorted(extra)}"
-                )
-            with span("soundness.client", client=index):
-                cov_low, cov_high = (
-                    (
-                        CoverageBuilder(
-                            "machine.schedules", budget=max_runs,
-                            depth_bound=max_rounds,
-                        ),
-                        CoverageBuilder(
-                            "machine.schedules", budget=max_runs,
-                            depth_bound=max_rounds,
-                        ),
-                    )
-                    if track_cov else (None, None)
-                )
-                low = behaviors_of(
-                    layer.underlay, client, layer.module,
-                    fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
-                    coverage=cov_low,
-                )
-                high = behaviors_of(
-                    layer.overlay, client, None,
-                    fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
-                    coverage=cov_high,
-                )
-                if track_cov:
-                    coverage_maps.append(
-                        {"machine.schedules": cov_low.record()}
-                    )
-                    coverage_maps.append(
-                        {"machine.schedules": cov_high.record()}
-                    )
-                check_refinement(
-                    low, high, layer.relation, cert,
-                    label=f"P{index}", require_progress=require_progress,
-                    rerun_low=game_rerun(
-                        layer.underlay, client, layer.module,
-                        fuel=fuel, max_rounds=max_rounds,
+    # With several clients the fan-out is per client; with one client the
+    # workers are spent inside the scheduler-tree exploration instead.
+    inner_jobs = n_jobs if len(clients) == 1 else 1
+
+    def check_client(item) -> Dict[str, Any]:
+        index, client = item
+        track_cov = obs_enabled()
+        with span("soundness.client", client=index):
+            cov_low, cov_high = (
+                (
+                    CoverageBuilder(
+                        "machine.schedules", budget=max_runs,
+                        depth_bound=max_rounds,
+                    ),
+                    CoverageBuilder(
+                        "machine.schedules", budget=max_runs,
+                        depth_bound=max_rounds,
                     ),
                 )
-            behaviors["low"] += len(low)
-            behaviors["high"] += len(high)
-            cert.log_universe = cert.log_universe + tuple(
-                r.log for r in low
-            ) + tuple(r.log for r in high)
+                if track_cov else (None, None)
+            )
+            low = behaviors_of(
+                layer.underlay, client, layer.module,
+                fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
+                coverage=cov_low, jobs=inner_jobs,
+            )
+            high = behaviors_of(
+                layer.overlay, client, None,
+                fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
+                coverage=cov_high, jobs=inner_jobs,
+            )
+            maps: List[Dict[str, Any]] = []
+            if track_cov:
+                maps.append({"machine.schedules": cov_low.record()})
+                maps.append({"machine.schedules": cov_high.record()})
+            # Obligations land in a shadow certificate with the same
+            # judgment (counterexamples embed it); the parent splices
+            # them into the real certificate in client order.
+            shadow = Certificate(judgment=cert.judgment, rule=cert.rule)
+            check_refinement(
+                low, high, layer.relation, shadow,
+                label=f"P{index}", require_progress=require_progress,
+                rerun_low=game_rerun(
+                    layer.underlay, client, layer.module,
+                    fuel=fuel, max_rounds=max_rounds,
+                ),
+            )
+        return {
+            "obligations": shadow.obligations,
+            "low": len(low),
+            "high": len(high),
+            "logs": tuple(r.log for r in low) + tuple(r.log for r in high),
+            "coverage": maps,
+        }
+
+    with span("check_soundness", module=layer.module.name, clients=len(clients)):
+        outputs = parallel_map(
+            check_client, list(enumerate(clients)),
+            jobs=n_jobs if len(clients) > 1 else 1,
+        )
+        for output in outputs:
+            cert.obligations.extend(output["obligations"])
+            behaviors["low"] += output["low"]
+            behaviors["high"] += output["high"]
+            cert.log_universe = cert.log_universe + output["logs"]
+            coverage_maps.extend(output["coverage"])
     extra_prov: Dict[str, Any] = dict(
         clients=len(clients),
         low_behaviors=behaviors["low"],
         high_behaviors=behaviors["high"],
+        workers=n_jobs,
     )
     coverage = merge_coverage_maps(coverage_maps)
     if coverage:

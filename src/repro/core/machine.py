@@ -29,6 +29,8 @@ from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Seq
 from ..obs import obs_enabled, span
 from ..obs.coverage import SAMPLED, CoverageBuilder
 from ..obs.metrics import inc
+from ..parallel.partition import CHUNKS_PER_WORKER, chunk_evenly
+from ..parallel.pool import get_jobs, parallel_map
 from .context import QUERY, ExecutionContext
 from .environment import EnvContext, NullEnv
 from .errors import OutOfFuel, Stuck
@@ -323,6 +325,57 @@ def run_game(
     )
 
 
+#: Prefix length at which scheduler-tree exploration hands subtrees to
+#: workers.  Depth 2 yields at most |participants|² frontier tasks —
+#: enough to saturate a pool without fragmenting the tree.
+_FRONTIER_DEPTH = 2
+
+
+def _explore_prefixes(
+    run_one: Callable[[Tuple[int, ...]], GameResult],
+    max_rounds: int,
+    max_runs: int,
+    stack: List[Tuple[int, ...]],
+    frontier_depth: Optional[int] = None,
+) -> Tuple[List[Tuple[Optional[GameResult], Optional[Tuple[int, ...]]]], int, int]:
+    """The scheduler-prefix DFS shared by serial and parallel enumeration.
+
+    Returns ``(plan, runs, pruned)``.  Each plan entry is either
+    ``(result, None)`` for a completed run or ``(None, prefix)`` for a
+    subtree deferred at ``frontier_depth`` — deferred entries sit exactly
+    where the subtree's results would appear in serial DFS order (the
+    stack discipline explores a branched node's subtree contiguously),
+    so splicing worker results at those positions reproduces the serial
+    result sequence.  Deferred prefixes are neither run nor counted;
+    their runs happen (and are counted) in the worker's sub-DFS.
+    """
+    plan: List[Tuple[Optional[GameResult], Optional[Tuple[int, ...]]]] = []
+    runs = 0
+    pruned = 0
+    while stack:
+        prefix = stack.pop()
+        if frontier_depth is not None and len(prefix) >= frontier_depth:
+            plan.append((None, prefix))
+            continue
+        runs += 1
+        if runs > max_runs:
+            raise OutOfFuel(
+                f"behaviour enumeration exceeded {max_runs} runs "
+                f"(max_rounds={max_rounds})"
+            )
+        try:
+            result = run_one(prefix)
+        except NeedChoice as need:
+            if len(prefix) >= max_rounds:
+                pruned += 1
+                continue
+            for tid in sorted(need.ready, reverse=True):
+                stack.append(prefix + (tid,))
+            continue
+        plan.append((result, None))
+    return plan, runs, pruned
+
+
 def enumerate_game_logs(
     interface: LayerInterface,
     players: Dict[int, Tuple[Callable, Tuple[Any, ...]]],
@@ -332,6 +385,7 @@ def enumerate_game_logs(
     init_log: Optional[Iterable] = None,
     fine_grained: bool = False,
     coverage: Optional[CoverageBuilder] = None,
+    jobs: Optional[int] = None,
 ) -> List[GameResult]:
     """Exhaustively enumerate game outcomes over all schedulers.
 
@@ -347,52 +401,96 @@ def enumerate_game_logs(
     fresh ``"machine.schedules"`` axis record is published to the
     process-wide coverage registry so every behaviour enumeration shows
     up in the run's coverage map.
+
+    With ``jobs > 1`` (or ``REPRO_JOBS`` set) the tree is split at a
+    fixed frontier depth: the parent explores shallow prefixes; subtrees
+    rooted at the frontier are handed to worker processes and their
+    results spliced back at the positions serial DFS would have produced
+    them, so the result list, run count and an eventual
+    :class:`OutOfFuel` are identical to a serial run.
     """
     own_coverage = coverage is None and obs_enabled()
     if own_coverage:
         coverage = CoverageBuilder(
             "machine.schedules", budget=max_runs, depth_bound=max_rounds
         )
+
+    def run_one(prefix: Tuple[int, ...]) -> GameResult:
+        return run_game(
+            interface,
+            players,
+            ScriptScheduler(prefix),
+            fuel=fuel,
+            max_rounds=max_rounds,
+            init_log=init_log,
+            fine_grained=fine_grained,
+        )
+
+    n_jobs = get_jobs(jobs)
+    split = (
+        _FRONTIER_DEPTH
+        if n_jobs > 1 and len(players) > 1 and max_rounds > _FRONTIER_DEPTH
+        else None
+    )
     results: List[GameResult] = []
-    stack: List[Tuple[int, ...]] = [()]
-    runs = 0
     with span(
         "enumerate_game_logs",
         interface=interface.name,
         participants=len(players),
         fine_grained=fine_grained,
     ):
-        while stack:
-            prefix = stack.pop()
-            runs += 1
-            if runs > max_runs:
-                if coverage is not None:
-                    coverage.exhausted = False
-                raise OutOfFuel(
-                    f"behaviour enumeration exceeded {max_runs} runs "
-                    f"(max_rounds={max_rounds})"
-                )
-            try:
-                result = run_game(
-                    interface,
-                    players,
-                    ScriptScheduler(prefix),
-                    fuel=fuel,
-                    max_rounds=max_rounds,
-                    init_log=init_log,
-                    fine_grained=fine_grained,
-                )
-            except NeedChoice as need:
-                if len(prefix) >= max_rounds:
-                    if coverage is not None:
-                        coverage.prune()
-                    continue
-                for tid in sorted(need.ready, reverse=True):
-                    stack.append(prefix + (tid,))
-                continue
+        try:
+            plan, runs, pruned = _explore_prefixes(
+                run_one, max_rounds, max_runs, [()], frontier_depth=split
+            )
+            if split is not None:
+                frontier = [prefix for result, prefix in plan if result is None]
+
+                def explore_subtrees(prefixes):
+                    out = []
+                    for prefix in prefixes:
+                        sub_plan, sub_runs, sub_pruned = _explore_prefixes(
+                            run_one, max_rounds, max_runs, [prefix]
+                        )
+                        out.append(
+                            ([r for r, _ in sub_plan], sub_runs, sub_pruned)
+                        )
+                    return out
+
+                chunks = chunk_evenly(frontier, n_jobs * CHUNKS_PER_WORKER)
+                subtree_outputs = [
+                    entry
+                    for chunk_out in parallel_map(
+                        explore_subtrees, chunks, jobs=n_jobs
+                    )
+                    for entry in chunk_out
+                ]
+                cursor = 0
+                for result, _prefix in plan:
+                    if result is not None:
+                        results.append(result)
+                    else:
+                        sub_results, sub_runs, sub_pruned = subtree_outputs[cursor]
+                        cursor += 1
+                        results.extend(sub_results)
+                        runs += sub_runs
+                        pruned += sub_pruned
+                if runs > max_runs:
+                    raise OutOfFuel(
+                        f"behaviour enumeration exceeded {max_runs} runs "
+                        f"(max_rounds={max_rounds})"
+                    )
+            else:
+                results = [result for result, _prefix in plan]
+        except OutOfFuel:
             if coverage is not None:
+                coverage.exhausted = False
+            raise
+        if coverage is not None:
+            for result in results:
                 coverage.visit(depth=len(result.schedule))
-            results.append(result)
+            if pruned:
+                coverage.prune(pruned)
     if coverage is not None:
         coverage.distinct = (coverage.distinct or 0) + len(results)
         if own_coverage:

@@ -21,19 +21,43 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from .log import Log
 
 
+#: Per-invariant memo size bound.  Sibling runs of a bounded enumeration
+#: share long log prefixes, so the same (invariant, log) query recurs
+#: constantly; the memo is cleared wholesale when it fills.
+_MEMO_LIMIT = 1 << 16
+
+
 class LogInvariant:
     """A named predicate over logs.
 
     Supports conjunction (``&``) and implication checking over a finite
     universe of logs.  ``holds`` must be total: invariants never raise.
+
+    ``holds`` may be memoized per log content (``memo=True``): invariants
+    are pure predicates over immutable logs (the paper presents
+    rely/guarantee conditions as "invariants over the global log"), and
+    bounded enumerations re-check the same prefix logs across thousands
+    of sibling runs.  Memoization is opt-in because hashing a log costs
+    more than evaluating a trivial predicate (e.g. ``TRUE_INV``); the
+    builders below enable it for the O(n) protocol walks where it pays.
     """
 
-    def __init__(self, name: str, check: Callable[[Log], bool]):
+    def __init__(self, name: str, check: Callable[[Log], bool], memo: bool = False):
         self.name = name
         self._check = check
+        self._memo: Optional[Dict[Log, bool]] = {} if memo else None
 
     def holds(self, log: Log) -> bool:
-        return bool(self._check(log))
+        memo = self._memo
+        if memo is None or type(log) is not Log:  # unhashable raw sequences: no memo
+            return bool(self._check(log))
+        verdict = memo.get(log)
+        if verdict is None:
+            verdict = bool(self._check(log))
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()
+            memo[log] = verdict
+        return verdict
 
     def __and__(self, other: "LogInvariant") -> "LogInvariant":
         return LogInvariant(
@@ -210,7 +234,7 @@ def events_follow_protocol(
             prefix.append(event)
         return True
 
-    return LogInvariant(f"{name}[{tid}]", check)
+    return LogInvariant(f"{name}[{tid}]", check, memo=True)
 
 
 def release_within(tid: int, acquire: str, release: str, bound: int) -> LogInvariant:
@@ -240,7 +264,7 @@ def release_within(tid: int, acquire: str, release: str, bound: int) -> LogInvar
                 return False
         return True
 
-    return LogInvariant(f"release_within[{tid},{acquire}->{release}≤{bound}]", check)
+    return LogInvariant(f"release_within[{tid},{acquire}->{release}≤{bound}]", check, memo=True)
 
 
 def scheduled_within(tid: int, bound: int) -> LogInvariant:
@@ -258,4 +282,4 @@ def scheduled_within(tid: int, bound: int) -> LogInvariant:
                     return False
         return True
 
-    return LogInvariant(f"fair[{tid}≤{bound}]", check)
+    return LogInvariant(f"fair[{tid}≤{bound}]", check, memo=True)

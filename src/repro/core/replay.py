@@ -16,9 +16,11 @@ paper's ``Rshared`` (Fig. 8).  Object-specific replay functions
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Callable, Generic, Optional, Tuple, TypeVar
+from typing import Any, Callable, Dict, Generic, Optional, Tuple, TypeVar
 
 from ..obs import obs_enabled
 from ..obs.metrics import inc
@@ -27,6 +29,10 @@ from .events import PULL, PUSH, Event
 from .log import Log
 
 S = TypeVar("S")
+
+#: Every live ReplayFn, so checkers can expose aggregate ``cache_info()``
+#: in certificate provenance without threading instances around.
+_REPLAY_REGISTRY: "weakref.WeakSet[ReplayFn]" = weakref.WeakSet()
 
 
 class ReplayFn(Generic[S]):
@@ -47,9 +53,16 @@ class ReplayFn(Generic[S]):
         self.name = name
         self._init = init
         self._step = step
+        # Hit/miss accounting is derived from the *return path*: the
+        # cached fold body flips a thread-local flag whenever it actually
+        # executes, so a lookup that raced with another thread's insert
+        # is still classified by what happened on this call, not by a
+        # before/after read of the shared lru_cache counters.
+        self._tls = threading.local()
 
         @lru_cache(maxsize=cache_size)
         def _run(log: Log, params: Tuple[Any, ...]) -> S:
+            self._tls.computed = True
             state = init(*params)
             for event in log:
                 state = step(state, event, *params) if _step_takes_params else step(state, event)
@@ -58,22 +71,48 @@ class ReplayFn(Generic[S]):
         # Detect whether `step` wants the parameters forwarded.
         _step_takes_params = _arity_at_least(step, 3)
         self._run = _run
+        _REPLAY_REGISTRY.add(self)
 
     def __call__(self, log, *params) -> S:
         if not isinstance(log, Log):
             log = Log(log)
         if obs_enabled():
-            hits_before = self._run.cache_info().hits
+            self._tls.computed = False
             result = self._run(log, params)
-            if self._run.cache_info().hits > hits_before:
-                inc("replay.cache_hits")
-            else:
+            if self._tls.computed:
                 inc("replay.cache_misses")
+            else:
+                inc("replay.cache_hits")
             return result
         return self._run(log, params)
 
+    def cache_info(self):
+        """The underlying ``functools.lru_cache`` statistics."""
+        return self._run.cache_info()
+
+    def cache_clear(self) -> None:
+        self._run.cache_clear()
+
     def __repr__(self):
         return f"ReplayFn({self.name})"
+
+
+def replay_cache_info() -> Dict[str, Dict[str, int]]:
+    """``cache_info()`` of every live replay function, keyed by name.
+
+    Stamped into certificate provenance by the checkers (obs-gated) so a
+    certificate records how much log replay the run amortized.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for fn in sorted(_REPLAY_REGISTRY, key=lambda f: f.name):
+        info = fn.cache_info()
+        entry = out.setdefault(
+            fn.name, {"hits": 0, "misses": 0, "currsize": 0}
+        )
+        entry["hits"] += info.hits
+        entry["misses"] += info.misses
+        entry["currsize"] += info.currsize
+    return out
 
 
 def _arity_at_least(fn: Callable, n: int) -> bool:

@@ -36,6 +36,8 @@ from ..obs import obs_enabled, span
 from ..obs.coverage import CoverageBuilder, merge_coverage_maps
 from ..obs.forensics import MAX_COUNTEREXAMPLES, build_counterexample
 from ..obs.metrics import MetricsWindow, inc, observe
+from ..parallel.partition import CHUNKS_PER_WORKER, chunk_evenly
+from ..parallel.pool import get_jobs, parallel_map
 from .certificate import Certificate, stamp_provenance
 from .environment import Batch, ChoiceEnv, RecordingEnv, ScriptedEnv
 from .errors import OutOfFuel
@@ -45,6 +47,7 @@ from .log import Log
 from .machine import LocalRun, run_local
 from .relation import SimRel
 from .rely_guarantee import Rely
+from .replay import replay_cache_info
 
 
 def prim_player(name: str) -> Callable:
@@ -343,6 +346,111 @@ class _SimForensics:
         return {"counterexample": counterexample}
 
 
+def _trim_counterexamples(
+    obligations, budget: int = MAX_COUNTEREXAMPLES
+) -> int:
+    """Enforce the per-judgment counterexample budget at merge time.
+
+    Parallel (or per-chunk) checking gives each task its own forensics
+    budget so no counterexample a serial run would have captured is
+    missing; the merged obligation list may then carry more.  Walking the
+    obligations in serial plan order and dropping evidence past the
+    budget restores exactly the serial capture set (capture + shrinking
+    are deterministic per failing context).  The capture-count metric is
+    adjusted down by the number trimmed so counter totals match a serial
+    run.
+    """
+    kept = 0
+    trimmed = 0
+    for obligation in obligations:
+        if obligation.evidence and "counterexample" in obligation.evidence:
+            kept += 1
+            if kept > budget:
+                obligation.evidence = None
+                trimmed += 1
+    if trimmed:
+        inc("cert.counterexamples_captured", -trimmed)
+    return trimmed
+
+
+def _discharge_sim_records(
+    records: Sequence[RunRecord],
+    args: Tuple[Any, ...],
+    low_iface: LayerInterface,
+    low_player: Callable,
+    relation: SimRel,
+    tid: int,
+    config: SimConfig,
+    cert: Certificate,
+    logs: List[Log],
+    forensics: _SimForensics,
+) -> None:
+    """Discharge the per-environment-context obligations of one argument
+    vector (the inner loop of :func:`check_sim`)."""
+    for record in records:
+        label = f"args={args} env={record.choices}"
+        logs.append(record.run.log)
+        if not record.run.ok:
+            details = record.run.stuck or "guarantee violated"
+            cert.add(
+                f"spec safe under valid env [{label}]",
+                False,
+                details,
+                evidence=forensics.capture(
+                    "spec", f"spec safe under valid env [{label}]",
+                    details, tuple(args), record.choices,
+                ),
+            )
+            continue
+        low_batches = [
+            relation.concretize_events(b) for b in record.batches
+        ]
+        low_run = run_local(
+            low_iface,
+            tid,
+            low_player,
+            tuple(args),
+            env=ScriptedEnv(low_batches),
+            fuel=config.fuel,
+        )
+        logs.append(low_run.log)
+        if not low_run.ok:
+            details = low_run.stuck or "guarantee violated"
+            cert.add(
+                f"impl safe [{label}]",
+                False,
+                details,
+                evidence=forensics.capture(
+                    "impl", f"impl safe [{label}]", details,
+                    tuple(args), record.choices,
+                ),
+            )
+            continue
+        related = relation.relate_logs(low_run.log, record.run.log)
+        cert.add(
+            f"logs related [{label}]",
+            related,
+            "" if related else relation.explain(low_run.log, record.run.log),
+            evidence=None if related else forensics.capture(
+                "logs", f"logs related [{label}]",
+                f"logs unrelated under {relation.name}",
+                tuple(args), record.choices,
+            ),
+        )
+        if config.compare_rets:
+            rets_ok = relation.relate_ret(low_run.ret, record.run.ret)
+            cert.add(
+                f"rets related [{label}]",
+                rets_ok,
+                "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
+                evidence=None if rets_ok else forensics.capture(
+                    "rets", f"rets related [{label}]",
+                    f"{low_run.ret!r} vs {record.run.ret!r}",
+                    tuple(args), record.choices,
+                ),
+            )
+
+
 def check_sim(
     low_iface: LayerInterface,
     low_player: Callable,
@@ -353,6 +461,7 @@ def check_sim(
     config: SimConfig,
     judgment: str,
     rule: str = "sim",
+    jobs: Optional[int] = None,
 ) -> Certificate:
     """Check ``low_player ≤_R high_player`` per Def. 2.1 (spec-first).
 
@@ -360,20 +469,20 @@ def check_sim(
     run under a rely-valid environment, the low-level run under the
     R-mapped environment must finish safely with an R-related log and
     return value.
+
+    With ``jobs > 1`` (or ``REPRO_JOBS`` set) the argument vectors are
+    checked in worker processes; with a single argument vector the
+    enumerated environment contexts are chunked across workers instead.
+    Obligations and logs merge in serial order and the counterexample
+    budget is enforced globally at merge, so the certificate is
+    identical to a serial run's.
     """
     started = time.perf_counter()
     window = MetricsWindow()
+    n_jobs = get_jobs(jobs)
     cert = Certificate(judgment=judgment, rule=rule, bounds=config.describe())
     logs: List[Log] = []
     env_contexts = 0
-    forensics = _SimForensics(
-        judgment,
-        _sim_rerun_factory(
-            low_iface, low_player, high_iface, high_player, relation, config,
-            tid,
-        ),
-        relation,
-    )
     track_cov = obs_enabled()
     coverage_maps: List[Dict[str, Dict[str, Any]]] = []
     args_cov = (
@@ -381,92 +490,85 @@ def check_sim(
         if track_cov else None
     )
 
+    def make_forensics() -> _SimForensics:
+        return _SimForensics(
+            judgment,
+            _sim_rerun_factory(
+                low_iface, low_player, high_iface, high_player, relation,
+                config, tid,
+            ),
+            relation,
+        )
+
+    def check_args_vector(args: Tuple[Any, ...]) -> Dict[str, Any]:
+        """One argument vector: enumerate env contexts, discharge each."""
+        env_cov = (
+            CoverageBuilder(
+                "env_contexts",
+                budget=config.max_runs,
+                depth_bound=config.env_depth,
+            )
+            if obs_enabled() else None
+        )
+        records = enumerate_local_runs(
+            high_iface, tid, high_player, args, config, coverage=env_cov,
+        )
+        scratch = Certificate(judgment=judgment, rule=rule)
+        task_logs: List[Log] = []
+        if n_jobs > 1 and len(config.args_list) == 1 and len(records) > 1:
+            # Single argument vector: the parallelism is per environment
+            # context.  Records hold live execution contexts and reach
+            # workers via fork inheritance, never the pickle pipe.
+            def discharge_chunk(chunk: List[RunRecord]) -> Dict[str, Any]:
+                chunk_cert = Certificate(judgment=judgment, rule=rule)
+                chunk_logs: List[Log] = []
+                _discharge_sim_records(
+                    chunk, args, low_iface, low_player, relation, tid,
+                    config, chunk_cert, chunk_logs, make_forensics(),
+                )
+                return {
+                    "obligations": chunk_cert.obligations,
+                    "logs": chunk_logs,
+                }
+
+            chunks = chunk_evenly(records, n_jobs * CHUNKS_PER_WORKER)
+            for chunk_output in parallel_map(
+                discharge_chunk, chunks, jobs=n_jobs
+            ):
+                scratch.obligations.extend(chunk_output["obligations"])
+                task_logs.extend(chunk_output["logs"])
+        else:
+            _discharge_sim_records(
+                records, args, low_iface, low_player, relation, tid,
+                config, scratch, task_logs, make_forensics(),
+            )
+        return {
+            "obligations": scratch.obligations,
+            "logs": task_logs,
+            "env_contexts": len(records),
+            "coverage": env_cov.record() if env_cov is not None else None,
+        }
+
     with span("check_sim", judgment=judgment, rule=rule):
         init_ok = relation.relate_logs(
             Log(low_iface.init_log), Log(high_iface.init_log)
         )
         cert.add("initial logs related", init_ok)
 
-        for args in config.args_list:
-            env_cov = (
-                CoverageBuilder(
-                    "env_contexts",
-                    budget=config.max_runs,
-                    depth_bound=config.env_depth,
-                )
-                if track_cov else None
-            )
-            records = enumerate_local_runs(
-                high_iface, tid, high_player, tuple(args), config,
-                coverage=env_cov,
-            )
+        args_vectors = [tuple(args) for args in config.args_list]
+        outputs = parallel_map(
+            check_args_vector, args_vectors,
+            jobs=n_jobs if len(args_vectors) > 1 else 1,
+        )
+        for output in outputs:
             if args_cov is not None:
                 args_cov.visit()
-            if env_cov is not None:
-                coverage_maps.append({"env_contexts": env_cov.record()})
-            env_contexts += len(records)
-            for record in records:
-                label = f"args={args} env={record.choices}"
-                logs.append(record.run.log)
-                if not record.run.ok:
-                    details = record.run.stuck or "guarantee violated"
-                    cert.add(
-                        f"spec safe under valid env [{label}]",
-                        False,
-                        details,
-                        evidence=forensics.capture(
-                            "spec", f"spec safe under valid env [{label}]",
-                            details, tuple(args), record.choices,
-                        ),
-                    )
-                    continue
-                low_batches = [
-                    relation.concretize_events(b) for b in record.batches
-                ]
-                low_run = run_local(
-                    low_iface,
-                    tid,
-                    low_player,
-                    tuple(args),
-                    env=ScriptedEnv(low_batches),
-                    fuel=config.fuel,
-                )
-                logs.append(low_run.log)
-                if not low_run.ok:
-                    details = low_run.stuck or "guarantee violated"
-                    cert.add(
-                        f"impl safe [{label}]",
-                        False,
-                        details,
-                        evidence=forensics.capture(
-                            "impl", f"impl safe [{label}]", details,
-                            tuple(args), record.choices,
-                        ),
-                    )
-                    continue
-                related = relation.relate_logs(low_run.log, record.run.log)
-                cert.add(
-                    f"logs related [{label}]",
-                    related,
-                    "" if related else relation.explain(low_run.log, record.run.log),
-                    evidence=None if related else forensics.capture(
-                        "logs", f"logs related [{label}]",
-                        f"logs unrelated under {relation.name}",
-                        tuple(args), record.choices,
-                    ),
-                )
-                if config.compare_rets:
-                    rets_ok = relation.relate_ret(low_run.ret, record.run.ret)
-                    cert.add(
-                        f"rets related [{label}]",
-                        rets_ok,
-                        "" if rets_ok else f"{low_run.ret!r} vs {record.run.ret!r}",
-                        evidence=None if rets_ok else forensics.capture(
-                            "rets", f"rets related [{label}]",
-                            f"{low_run.ret!r} vs {record.run.ret!r}",
-                            tuple(args), record.choices,
-                        ),
-                    )
+            if output["coverage"] is not None:
+                coverage_maps.append({"env_contexts": output["coverage"]})
+            env_contexts += output["env_contexts"]
+            cert.obligations.extend(output["obligations"])
+            logs.extend(output["logs"])
+        _trim_counterexamples(cert.obligations)
     cert.log_universe = tuple(logs)
     elapsed = time.perf_counter() - started
     if obs_enabled():
@@ -474,7 +576,10 @@ def check_sim(
     extra: Dict[str, Any] = dict(
         env_contexts=env_contexts,
         args_vectors=len(config.args_list),
+        workers=n_jobs,
     )
+    if obs_enabled():
+        extra["replay_cache"] = replay_cache_info()
     if args_cov is not None:
         coverage_maps.append({"args_vectors": args_cov.record()})
     coverage = merge_coverage_maps(coverage_maps)
@@ -624,6 +729,7 @@ def check_scenario_sim(
     tid: int,
     judgment: str,
     rule: str = "sim",
+    jobs: Optional[int] = None,
 ) -> Certificate:
     """Check one scenario: spec-first enumeration, call-aligned witness.
 
@@ -631,19 +737,28 @@ def check_scenario_sim(
     :class:`CallScriptedEnv` delivering each high-level call's batches at
     the corresponding low-level call — the constructive form of Def 2.1's
     "related environmental event sequences" for multi-call protocols.
+
+    With ``jobs > 1`` the enumerated environment contexts are chunked
+    across worker processes (the records reach workers via fork
+    inheritance; obligations merge in enumeration order and the
+    counterexample budget is enforced globally at merge).
     """
     started = time.perf_counter()
     window = MetricsWindow()
+    n_jobs = get_jobs(jobs)
     config = scenario.config
     cert = Certificate(judgment=judgment, rule=rule, bounds=config.describe())
     logs: List[Log] = []
-    forensics = _SimForensics(
-        judgment,
-        _scenario_rerun_factory(
-            low_iface, impl_player, high_iface, scenario, relation, tid
-        ),
-        relation,
-    )
+
+    def make_forensics() -> _SimForensics:
+        return _SimForensics(
+            judgment,
+            _scenario_rerun_factory(
+                low_iface, impl_player, high_iface, scenario, relation, tid
+            ),
+            relation,
+        )
+
     env_cov = (
         CoverageBuilder(
             "env_contexts",
@@ -663,10 +778,31 @@ def check_scenario_sim(
         records = enumerate_local_runs(
             high_iface, tid, spec_player, (), config, coverage=env_cov
         )
-        _check_scenario_records(
-            records, scenario, low_iface, impl_player, relation, tid, config,
-            cert, logs, forensics,
-        )
+        if n_jobs > 1 and len(records) > 1:
+            def discharge_chunk(chunk) -> Dict[str, Any]:
+                chunk_cert = Certificate(judgment=judgment, rule=rule)
+                chunk_logs: List[Log] = []
+                _check_scenario_records(
+                    chunk, scenario, low_iface, impl_player, relation, tid,
+                    config, chunk_cert, chunk_logs, make_forensics(),
+                )
+                return {
+                    "obligations": chunk_cert.obligations,
+                    "logs": chunk_logs,
+                }
+
+            chunks = chunk_evenly(records, n_jobs * CHUNKS_PER_WORKER)
+            for chunk_output in parallel_map(
+                discharge_chunk, chunks, jobs=n_jobs
+            ):
+                cert.obligations.extend(chunk_output["obligations"])
+                logs.extend(chunk_output["logs"])
+            _trim_counterexamples(cert.obligations)
+        else:
+            _check_scenario_records(
+                records, scenario, low_iface, impl_player, relation, tid,
+                config, cert, logs, make_forensics(),
+            )
     cert.log_universe = tuple(logs)
     elapsed = time.perf_counter() - started
     if obs_enabled():
@@ -675,6 +811,7 @@ def check_scenario_sim(
         env_contexts=len(records),
         scenario=scenario.label,
         calls=len(scenario.calls),
+        workers=n_jobs,
     )
     if env_cov is not None:
         extra["coverage"] = merge_coverage_maps(
@@ -779,19 +916,26 @@ def check_scenarios(
     scenarios: Sequence[Scenario],
     judgment: str,
     rule: str = "sim",
+    jobs: Optional[int] = None,
 ) -> Certificate:
     """Check a family of scenarios; one sub-certificate per scenario.
 
     ``impl_player_for(scenario)`` builds the low-level player (module
     bodies, or low-interface primitive calls when checking an interface
-    simulation).
+    simulation).  With ``jobs > 1`` and multiple scenarios each scenario
+    is checked in its own worker process; with a single scenario the
+    worker budget is forwarded into :func:`check_scenario_sim`'s
+    per-environment-context fan-out instead.
     """
     started = time.perf_counter()
     window = MetricsWindow()
+    n_jobs = get_jobs(jobs)
     cert = Certificate(judgment=judgment, rule=rule)
     with span("check_scenarios", judgment=judgment, scenarios=len(scenarios)):
-        for scenario in scenarios:
-            sub = check_scenario_sim(
+        inner_jobs = n_jobs if len(scenarios) == 1 else 1
+
+        def check_one(scenario: Scenario) -> Certificate:
+            return check_scenario_sim(
                 low_iface,
                 impl_player_for(scenario),
                 high_iface,
@@ -800,11 +944,20 @@ def check_scenarios(
                 tid,
                 judgment=f"{judgment} :: {scenario.label}",
                 rule=rule,
+                jobs=inner_jobs,
             )
-            cert.children.append(sub)
+
+        cert.children.extend(
+            parallel_map(
+                check_one,
+                list(scenarios),
+                jobs=n_jobs if len(scenarios) > 1 else 1,
+            )
+        )
     stamp_provenance(
         cert, time.perf_counter() - started, window,
         scenarios=[s.label for s in scenarios],
+        workers=n_jobs,
     )
     return cert
 
@@ -816,21 +969,30 @@ def check_interface_sim(
     tid: int,
     configs: Dict[str, SimConfig],
     judgment: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> Certificate:
     """Check ``L ≤_R L'`` primitive by primitive.
 
     ``configs`` maps each checked primitive name to its
     :class:`SimConfig`; every primitive of the high interface that should
     be backed by the low interface must appear.  The per-primitive
-    sub-certificates become children of the returned certificate.
+    sub-certificates become children of the returned certificate.  With
+    ``jobs > 1`` and multiple primitives each primitive is checked in
+    its own worker process (one primitive forwards the budget into
+    :func:`check_sim`).
     """
     judgment = judgment or f"{low_iface.name} ≤_{relation.name} {high_iface.name}"
     started = time.perf_counter()
     window = MetricsWindow()
+    n_jobs = get_jobs(jobs)
     cert = Certificate(judgment=judgment, rule="interface-sim")
     with span("check_interface_sim", judgment=judgment):
-        for name, config in configs.items():
-            sub = check_sim(
+        items = list(configs.items())
+        inner_jobs = n_jobs if len(items) == 1 else 1
+
+        def check_one(item) -> Certificate:
+            name, config = item
+            return check_sim(
                 low_iface,
                 prim_player(name),
                 high_iface,
@@ -839,10 +1001,15 @@ def check_interface_sim(
                 tid,
                 config,
                 judgment=f"{low_iface.name}.{name} ≤_{relation.name} {high_iface.name}.{name}",
+                jobs=inner_jobs,
             )
-            cert.children.append(sub)
+
+        cert.children.extend(
+            parallel_map(check_one, items, jobs=n_jobs if len(items) > 1 else 1)
+        )
     stamp_provenance(
         cert, time.perf_counter() - started, window,
         primitives=sorted(configs),
+        workers=n_jobs,
     )
     return cert

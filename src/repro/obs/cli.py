@@ -156,9 +156,12 @@ def _load_bench(path: str) -> Dict[str, Dict[str, Any]]:
 def cmd_compare(args: argparse.Namespace) -> int:
     """Diff two benchmark result files; gate on slowdown ratios.
 
-    Ratio is ``candidate / baseline`` per test (matched by nodeid).
-    Tests faster than ``--min-seconds`` in the baseline are reported but
-    never gate — their timings are noise-dominated.
+    Ratio is ``candidate / baseline`` per test (matched by nodeid);
+    speedup is the inverse (``baseline / candidate`` — >1 means the
+    candidate got faster).  Tests faster than ``--min-seconds`` in the
+    baseline are reported but never gate — their timings are
+    noise-dominated.  With ``--json`` the comparison is emitted as one
+    machine-readable document instead of the table.
     """
     try:
         baseline = _load_bench(args.baseline)
@@ -167,28 +170,35 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
-    rows: List[List[str]] = []
+    records: List[Dict[str, Any]] = []
     warnings: List[str] = []
     failures: List[str] = []
     for nodeid in sorted(set(baseline) | set(candidate)):
         base = baseline.get(nodeid)
         cand = candidate.get(nodeid)
+        record: Dict[str, Any] = {
+            "nodeid": nodeid,
+            "baseline_s": (base or {}).get("duration_s"),
+            "candidate_s": (cand or {}).get("duration_s"),
+            "ratio": None,
+            "speedup": None,
+        }
+        records.append(record)
         if base is None or cand is None:
-            rows.append([
-                nodeid, _fmt(base), _fmt(cand), "-",
-                "baseline-only" if cand is None else "new",
-            ])
+            record["verdict"] = "baseline-only" if cand is None else "new"
             continue
         if cand.get("outcome") != "passed":
             failures.append(f"{nodeid}: candidate outcome {cand.get('outcome')!r}")
-            rows.append([nodeid, _fmt(base), _fmt(cand), "-", "not passed"])
+            record["verdict"] = "not passed"
             continue
         base_s = base.get("duration_s") or 0.0
         cand_s = cand.get("duration_s") or 0.0
         if base_s < args.min_seconds:
-            rows.append([nodeid, _fmt(base), _fmt(cand), "-", "below min-seconds"])
+            record["verdict"] = "below min-seconds"
             continue
         ratio = cand_s / base_s if base_s else float("inf")
+        record["ratio"] = round(ratio, 3)
+        record["speedup"] = round(base_s / cand_s, 3) if cand_s else float("inf")
         verdict = "ok"
         if ratio >= args.fail_threshold:
             verdict = f"FAIL (≥{args.fail_threshold}x)"
@@ -196,15 +206,44 @@ def cmd_compare(args: argparse.Namespace) -> int:
         elif ratio >= args.threshold:
             verdict = f"warn (≥{args.threshold}x)"
             warnings.append(f"{nodeid}: {ratio:.2f}x slowdown")
-        rows.append([nodeid, _fmt(base), _fmt(cand), f"{ratio:.2f}x", verdict])
+        record["verdict"] = verdict
 
+    if args.json:
+        print(json.dumps(
+            {
+                "schema": "repro.compare/v1",
+                "baseline": args.baseline,
+                "candidate": args.candidate,
+                "thresholds": {
+                    "warn": args.threshold,
+                    "fail": args.fail_threshold,
+                    "min_seconds": args.min_seconds,
+                },
+                "tests": records,
+                "warnings": warnings,
+                "failures": failures,
+            },
+            indent=2,
+            ensure_ascii=False,
+        ))
+        return 1 if failures else 0
+
+    headers = ["test", "baseline", "candidate", "ratio", "speedup", "verdict"]
+    rows = [
+        [
+            record["nodeid"],
+            _fmt_seconds(record["baseline_s"]),
+            _fmt_seconds(record["candidate_s"]),
+            f"{record['ratio']:.2f}x" if record["ratio"] is not None else "-",
+            f"{record['speedup']:.2f}x" if record["speedup"] is not None else "-",
+            record["verdict"],
+        ]
+        for record in records
+    ]
     widths = [
         max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
-        for i, h in enumerate(
-            ["test", "baseline", "candidate", "ratio", "verdict"]
-        )
+        for i, h in enumerate(headers)
     ]
-    headers = ["test", "baseline", "candidate", "ratio", "verdict"]
     print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     print("  ".join("-" * w for w in widths))
     for row in rows:
@@ -223,10 +262,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fmt(record: Optional[Dict[str, Any]]) -> str:
-    if record is None:
-        return "-"
-    duration = record.get("duration_s")
+def _fmt_seconds(duration: Optional[float]) -> str:
     return f"{duration:.3f}s" if duration is not None else "-"
 
 
@@ -269,6 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument(
         "--min-seconds", type=float, default=0.05,
         help="ignore baseline timings below this (noise floor, default 0.05)",
+    )
+    p_compare.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as machine-readable JSON instead of a table",
     )
     p_compare.set_defaults(func=cmd_compare)
     return parser

@@ -144,6 +144,25 @@ class TraceCollector:
         with self._lock:
             self._spans.append(record)
 
+    def adopt(self, records: List[SpanRecord]) -> None:
+        """Splice spans recorded in a worker process into this collector.
+
+        Worker span ids were allocated by the worker's (forked) collector
+        and would collide with the parent's; each adopted record gets a
+        fresh sid, parent links are remapped within the batch, and links
+        to spans outside the batch are dropped (the worker's enclosing
+        spans were inherited parent state, not part of this trace).
+        """
+        with self._lock:
+            mapping = {}
+            for record in records:
+                mapping[record.sid] = self._next_sid
+                self._next_sid += 1
+            for record in records:
+                record.sid = mapping[record.sid]
+                record.parent = mapping.get(record.parent)
+                self._spans.append(record)
+
     # -- read side ---------------------------------------------------------
 
     @property

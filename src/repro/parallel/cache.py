@@ -1,0 +1,172 @@
+"""Content-addressed on-disk certificate cache.
+
+The engine analogue of CompCertX separate compilation: a layer module
+whose inputs — implementation code, underlay and overlay interfaces,
+simulation relation, bounds — have not changed need not be re-verified;
+its certificate is reloaded from disk.  Keys are canonical fingerprints
+(:mod:`repro.parallel.canonical`) of exactly those inputs plus
+``ENGINE_VERSION``, which is bumped whenever checker semantics change
+(the invalidation rule for everything the fingerprint cannot see, such
+as module-level globals).
+
+The cache stores *certificates*, not verdicts: a cached failing
+certificate replays its counterexamples, and callers that
+``require_ok`` raise identically on a warm run.  Stored certificates
+are recursively stripped of provenance, so a warm run's
+``Certificate.to_json()`` is byte-identical to a serial cold run with
+observability off, regardless of the observability state of the run
+that populated the cache.
+
+Location: ``$REPRO_CACHE_DIR``, else ``~/.cache/repro``.  The cache is
+off unless ``REPRO_CACHE_DIR`` is set or ``REPRO_CACHE`` is truthy.
+Writes are atomic (temp file + rename), so concurrent runs sharing a
+cache directory at worst both compute; they never read torn entries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Optional, Tuple
+
+from ..obs.metrics import inc
+from .canonical import canonical_fingerprint
+from .pool import get_jobs
+
+#: Version of the checker semantics baked into every cache key.  Bump on
+#: any change to obligation generation, enumeration order, bounds
+#: semantics or certificate layout.
+ENGINE_VERSION = "repro-engine/1"
+
+_SCHEMA = "repro.cache/v1"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk certificate cache is active."""
+    if os.environ.get("REPRO_CACHE_DIR", "").strip():
+        return True
+    return os.environ.get("REPRO_CACHE", "").strip().lower() in _TRUTHY
+
+
+def cache_dir() -> str:
+    """The cache root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+    configured = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def clear_cache() -> int:
+    """Delete every cache entry; returns the number removed."""
+    removed = 0
+    root = cache_dir()
+    if not os.path.isdir(root):
+        return 0
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if filename.endswith(".pkl"):
+                try:
+                    os.unlink(os.path.join(dirpath, filename))
+                    removed += 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
+    return removed
+
+
+def cache_key(kind: str, parts: Tuple[Any, ...]) -> str:
+    """The content address of one rule application."""
+    return canonical_fingerprint((kind, ENGINE_VERSION) + tuple(parts))
+
+
+def _entry_path(key: str) -> str:
+    return os.path.join(cache_dir(), key[:2], key + ".pkl")
+
+
+def _load(key: str) -> Optional[Any]:
+    path = _entry_path(key)
+    try:
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    if not isinstance(entry, dict) or entry.get("schema") != _SCHEMA:
+        return None
+    if entry.get("engine") != ENGINE_VERSION:
+        return None
+    return entry.get("certificate")
+
+
+def _store(key: str, certificate: Any) -> None:
+    path = _entry_path(key)
+    directory = os.path.dirname(path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(
+                    {
+                        "schema": _SCHEMA,
+                        "engine": ENGINE_VERSION,
+                        "certificate": certificate,
+                    },
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+    except OSError:  # cache is best-effort: never fail verification
+        return
+
+
+def _strip_provenance(cert):
+    """A provenance-free copy of a certificate tree (for storage)."""
+    from ..core.certificate import Certificate
+
+    return Certificate(
+        judgment=cert.judgment,
+        rule=cert.rule,
+        obligations=list(cert.obligations),
+        bounds=dict(cert.bounds),
+        log_universe=tuple(cert.log_universe),
+        children=[_strip_provenance(child) for child in cert.children],
+        provenance=None,
+    )
+
+
+def cached_certificate(
+    kind: str,
+    parts: Tuple[Any, ...],
+    compute: Callable[[], Any],
+    jobs: Optional[int] = None,
+) -> Any:
+    """Look up the certificate for one rule application, or compute it.
+
+    ``parts`` are the rule's semantic inputs (fingerprinted, together
+    with ``kind`` and ``ENGINE_VERSION``, into the content address).
+    With the cache disabled this is just ``compute()``.  With
+    observability enabled the returned certificate's provenance gains a
+    ``cache`` field (``"hit"`` or ``"miss"``) and the (truncated) key.
+    """
+    from ..core.certificate import stamp_cache_status
+
+    if not cache_enabled():
+        return compute()
+    key = cache_key(kind, parts)
+    cert = _load(key)
+    if cert is not None:
+        inc("cache.hits")
+        return stamp_cache_status(cert, "hit", key=key, workers=get_jobs(jobs))
+    inc("cache.misses")
+    cert = compute()
+    _store(key, _strip_provenance(cert))
+    return stamp_cache_status(cert, "miss", key=key, workers=get_jobs(jobs))

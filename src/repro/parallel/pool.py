@@ -1,0 +1,168 @@
+"""Fork-based worker pools with deterministic merge order.
+
+The engine's fan-out points all follow the same shape: a list of
+independent tasks whose inputs are immutable (interfaces, players,
+bounds) and whose outputs are plain data (obligations, logs, counters).
+:func:`parallel_map` runs such a task list across worker processes and
+returns results **in task order**, so callers merge them exactly as a
+serial loop would have produced them.
+
+Two implementation constraints drive the design:
+
+* Task closures capture interpreters, generators and lambdas that do not
+  pickle.  The pool therefore uses the ``fork`` start method and passes
+  the task function and items to workers via a module-level global set
+  immediately before the pool is created — children inherit it through
+  the fork; only integer indices cross the pipe on submit, and only the
+  (picklable) results cross back.
+* Observability must aggregate across processes.  When tracing is
+  enabled, each worker wraps its task in a metrics window and ships the
+  counter deltas, span records and coverage records produced by the task
+  back with the result; the parent replays them into its own registry
+  and trace collector, in task order.
+
+Worker processes run with ``in_worker()`` true, which forces
+:func:`get_jobs` to 1 — nested fan-out points inside a task degrade to
+serial instead of forking grandchildren.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..obs import obs_enabled
+from ..obs.coverage import COVERAGE
+from ..obs.metrics import MetricsWindow, inc
+from ..obs.trace import collector
+
+#: Set in worker processes by the pool initializer (inherited state plus
+#: an explicit flag).  Guards against nested pools.
+_IN_WORKER = False
+
+#: The active task context: ``(fn, items)``.  Set in the parent
+#: immediately before the pool forks, cleared after the batch completes.
+#: Workers read it through fork inheritance; nothing here is pickled.
+_TASK: Optional[Tuple[Callable[[Any], Any], Sequence[Any]]] = None
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process."""
+    return _IN_WORKER
+
+
+def get_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count for a fan-out point.
+
+    Precedence: inside a worker always 1 (no nested pools); an explicit
+    ``jobs=`` argument; the ``REPRO_JOBS`` environment variable.
+    ``REPRO_JOBS=0`` means "one worker per CPU".  Absent all of these,
+    the engine runs serial.
+    """
+    if _IN_WORKER:
+        return 1
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _worker_init() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _run_task(index: int) -> Tuple[Any, Optional[dict]]:
+    """Run one task in a worker and bundle its observability output."""
+    fn, items = _TASK  # type: ignore[misc]
+    item = items[index]
+    if not obs_enabled():
+        return fn(item), None
+    window = MetricsWindow()
+    col = collector()
+    span_mark = len(col)
+    cov_mark = len(COVERAGE.records)
+    result = fn(item)
+    payload = {
+        "metrics": window.delta(),
+        "spans": col.spans[span_mark:],
+        "coverage": COVERAGE.records[cov_mark:],
+    }
+    return result, payload
+
+
+def _absorb(payload: Optional[dict]) -> None:
+    """Replay a worker's observability output into the parent."""
+    if not payload:
+        return
+    for name, delta in payload.get("metrics", {}).items():
+        if delta:
+            inc(name, delta)
+    spans = payload.get("spans")
+    if spans:
+        collector().adopt(spans)
+    for record in payload.get("coverage", ()):
+        COVERAGE.record(record)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Run ``fn`` over ``items`` and return results in item order.
+
+    With one job (or one item, or inside a worker) this is a plain
+    serial loop — the caller's merge logic is identical either way.
+    Items need not be picklable (they reach workers via fork
+    inheritance); results must be.
+
+    If a task raises, the exception of the *lowest-indexed* failing task
+    propagates, matching the serial loop; observability output of tasks
+    after the failing index is discarded, since a serial run would never
+    have executed them.
+    """
+    global _TASK
+    items = list(items)
+    n = get_jobs(jobs)
+    if n <= 1 or len(items) <= 1 or _IN_WORKER or _TASK is not None:
+        return [fn(item) for item in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return [fn(item) for item in items]
+
+    _TASK = (fn, items)
+    outcomes: List[Tuple[str, Any]] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n, len(items)),
+            mp_context=ctx,
+            initializer=_worker_init,
+        ) as pool:
+            futures = [pool.submit(_run_task, i) for i in range(len(items))]
+            for future in futures:
+                try:
+                    outcomes.append(("ok", future.result()))
+                except Exception as error:  # noqa: BLE001 - re-raised below
+                    outcomes.append(("err", error))
+    finally:
+        _TASK = None
+
+    results: List[Any] = []
+    for kind, value in outcomes:
+        if kind == "err":
+            raise value
+        result, payload = value
+        _absorb(payload)
+        results.append(result)
+    return results

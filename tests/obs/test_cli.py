@@ -84,6 +84,33 @@ class TestCompare:
         good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
         assert cli.main(["compare", str(tmp_path / "nope.json"), good]) == 2
 
+    def test_speedup_column(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "a.json", {"test_x": 0.8})
+        cand = write_bench(tmp_path / "b.json", {"test_x": 0.4})
+        assert cli.main(["compare", base, cand]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "2.00x" in out  # 0.8/0.4 — the candidate got 2x faster
+
+    def test_json_output(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "a.json", {"test_x": 0.8})
+        cand = write_bench(tmp_path / "b.json", {"test_x": 0.4})
+        assert cli.main(["compare", base, cand, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.compare/v1"
+        (record,) = payload["tests"]
+        assert record["speedup"] == 2.0
+        assert record["ratio"] == 0.5
+        assert record["verdict"] == "ok"
+        assert payload["failures"] == []
+
+    def test_json_output_regression_exit_code(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        cand = write_bench(tmp_path / "b.json", {"test_x": 0.9})
+        assert cli.main(["compare", base, cand, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"]
+
 
 class TestReport:
     def test_renders_loaded_event_stream(self, tmp_path, capsys):
