@@ -1,0 +1,142 @@
+"""``python -m repro.analysis`` — standalone lint CLI.
+
+Targets are dotted module names (``repro.objects.ticket_lock``) or
+filesystem paths (``src/repro/objects``); directories are walked
+recursively for Python modules.  Each target module is imported and its
+namespace swept for lintable objects (primitives, interfaces, modules,
+replay functions, player-shaped functions).
+
+Exit status is 1 when any unsuppressed ERROR finding is reported,
+0 otherwise — suitable as a CI gate::
+
+    PYTHONPATH=src python -m repro.analysis src/repro/objects src/repro/threads
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import sys
+from typing import Iterable, List
+
+from .findings import LintReport, dedupe, sort_findings
+from .linter import lint_namespace
+from .rules import RULES, RULESET_VERSION, rule_table
+
+
+def _module_name_for_path(path: str) -> str:
+    """Map ``.../src/repro/objects/foo.py`` to ``repro.objects.foo``."""
+    path = os.path.normpath(path)
+    if path.endswith(".py"):
+        path = path[:-3]
+    parts = path.split(os.sep)
+    for anchor in ("src", "tests"):
+        if anchor in parts:
+            idx = parts.index(anchor)
+            tail = parts[idx + 1 :] if anchor == "src" else parts[idx:]
+            if tail:
+                return ".".join(p for p in tail if p != "__init__")
+    return ".".join(p for p in parts if p not in (".", "") and p != "__init__")
+
+
+def _expand_target(target: str) -> List[str]:
+    """One CLI target → a list of importable module names."""
+    if not (os.path.exists(target) or os.sep in target or target.endswith(".py")):
+        return [target]  # already a dotted module name
+    if os.path.isfile(target):
+        return [_module_name_for_path(target)]
+    names: List[str] = []
+    for root, dirs, files in os.walk(target):
+        dirs[:] = sorted(d for d in dirs if not d.startswith(("_", ".")))
+        for fname in sorted(files):
+            if fname.endswith(".py") and not fname.startswith("_"):
+                names.append(_module_name_for_path(os.path.join(root, fname)))
+    return names
+
+
+def lint_targets(targets: Iterable[str]) -> LintReport:
+    """Import and lint every module named by ``targets``."""
+    combined = LintReport(mode="record")
+    for target in targets:
+        for mod_name in _expand_target(target):
+            module = importlib.import_module(mod_name)
+            report = lint_namespace(module, name=mod_name)
+            combined.extend(report.findings)
+            for what, count in report.checked.items():
+                combined.note_checked(what, count)
+            combined.note_checked("modules_scanned")
+    combined.findings = sort_findings(dedupe(combined.findings))
+    return combined
+
+
+def _render_rule_table() -> str:
+    width = max(len(rule_id) for rule_id, _, _ in rule_table())
+    lines = [f"lint rule catalog ({RULESET_VERSION})", ""]
+    for rule_id, severity, title in rule_table():
+        lines.append(f"  {rule_id:<{width}}  {severity:<7}  {title}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Static layer linter: pre-verification checks over "
+                    "interfaces, modules, and replay functions.",
+    )
+    parser.add_argument(
+        "targets", nargs="*",
+        help="dotted module names or paths (directories are walked)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON (schema repro.lint/v1)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--no-warnings", action="store_true",
+        help="suppress WARNING findings from the output (errors still gate)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rule_table())
+        return 0
+    if not args.targets:
+        build_parser().print_usage()
+        print("error: no targets given (try --list-rules)", file=sys.stderr)
+        return 2
+
+    report = lint_targets(args.targets)
+    shown = [
+        f for f in report.findings
+        if not (args.no_warnings and f.severity == "warning")
+    ]
+    if args.as_json:
+        print(json.dumps({
+            "schema": "repro.lint/v1",
+            "ruleset": RULESET_VERSION,
+            "checked": dict(sorted(report.checked.items())),
+            "findings": [f.to_dict() for f in shown],
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+        }, indent=2, sort_keys=True))
+    else:
+        for f in shown:
+            print(f.render())
+        checked = ", ".join(
+            f"{count} {what}" for what, count in sorted(report.checked.items())
+        )
+        print(
+            f"checked {checked or 'nothing'}: "
+            f"{len(report.errors)} error(s), "
+            f"{len(report.warnings)} warning(s) ({RULESET_VERSION})"
+        )
+    return 1 if report.errors else 0

@@ -1,0 +1,503 @@
+"""Layer-discipline checks over modules, interfaces, and relations.
+
+The checks here consume :mod:`repro.analysis.effects` summaries and the
+*structure* of engine inputs (``module.funcs``, ``interface.prims``,
+``relation.mapping`` ...) by duck-typing — nothing from
+:mod:`repro.core` is imported, so this module is safely importable from
+anywhere, including under :mod:`repro.parallel.cache`.
+
+Rule families implemented here:
+
+* ``REPRO-L101/L102/L103`` — every primitive a module invokes exists in
+  its declared underlay with a compatible arity, and every module
+  function has an overlay specification.
+* ``REPRO-L104/L105`` — for *event-preserving* relations only (identity,
+  or an event map with no renames and no erasure), the overlay spec's
+  emitted event names must be producible by the implementation, and a
+  spec that emits several events atomically (no query point between
+  them) refuses an implementation whose event-producing calls are not
+  protected by critical state.
+* ``REPRO-I201/I202/I203`` and ``REPRO-N301/N302`` — per-primitive
+  event etiquette and determinism checks over interfaces.
+
+Relations that lift logs (rename/erase mappings, stateful relations)
+intentionally change the event vocabulary between the two sides, so the
+producibility/atomicity rules stay silent for them: these rules are
+engineered for zero false positives, not for completeness (DESIGN.md
+records the caveats).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from .effects import (
+    OP_CALL,
+    OP_EMIT,
+    OP_ENTER,
+    OP_EXIT,
+    OP_LOCAL_CALL,
+    OP_QUERY,
+    EffectSummary,
+    analyze_ast_function,
+    analyze_function,
+    analyze_impl,
+    may_emit,
+    unit_of_impl,
+)
+from .findings import LintFinding, finding, suppressed_rules
+
+_CO_VARARGS = 0x04
+
+
+# --- per-interface memo ------------------------------------------------------
+
+
+def _iface_memo(iface: Any) -> Dict[str, Any]:
+    """A lint scratch cache stored on the interface instance.
+
+    Interfaces are immutable, so per-interface results (prim emit
+    closures, interface findings) are safe to keep for the process
+    lifetime.  The attribute is excluded from canonical fingerprints
+    (:mod:`repro.parallel.canonical`), so caching never shifts a
+    content address.
+    """
+    memo = getattr(iface, "_lint_memo", None)
+    if memo is None:
+        memo = {}
+        try:
+            iface._lint_memo = memo
+        except (AttributeError, TypeError):  # pragma: no cover - frozen iface
+            pass
+    return memo
+
+
+def prim_may_emit(iface: Any, name: str) -> Tuple[FrozenSet[str], bool]:
+    """``(names, exact)`` the primitive ``name`` of ``iface`` can emit."""
+    memo = _iface_memo(iface)
+    key = f"emit:{name}"
+    if key not in memo:
+        prim = iface.prims.get(name)
+        if prim is None:
+            memo[key] = (frozenset(), False)
+        else:
+            memo[key] = may_emit(prim, prim_lookup=iface.prims.get)
+    return memo[key]
+
+
+# --- effect-level findings (N301/N302/I202) ----------------------------------
+
+
+def effect_findings(
+    summary: EffectSummary,
+    obj: str = "",
+    suppressed: FrozenSet[str] = frozenset(),
+) -> List[LintFinding]:
+    """Determinism and raw-log findings carried by one effect summary."""
+    out: List[LintFinding] = []
+    for description, line in summary.nondet:
+        out.append(finding(
+            "REPRO-N301",
+            f"reads nondeterminism source {description}; replayed runs "
+            f"would diverge from the log",
+            file=summary.file, line=line or summary.line, obj=obj,
+            suppressed="REPRO-N301" in suppressed,
+        ))
+    for line in summary.set_iterations:
+        out.append(finding(
+            "REPRO-N302",
+            "iterates a freshly-built set; iteration order is not a "
+            "function of the log",
+            file=summary.file, line=line or summary.line, obj=obj,
+            suppressed="REPRO-N302" in suppressed,
+        ))
+    for line in summary.buffer_access:
+        out.append(finding(
+            "REPRO-I202",
+            "touches ctx.buffer directly instead of ctx.emit/ctx.log",
+            file=summary.file, line=line or summary.line, obj=obj,
+            suppressed="REPRO-I202" in suppressed,
+        ))
+    return out
+
+
+# --- arity helpers -----------------------------------------------------------
+
+
+def _spec_signature(prim: Any) -> Tuple[Optional[int], Optional[int]]:
+    """``(min_args, max_args)`` a primitive accepts after ``ctx``.
+
+    ``max_args`` is ``None`` for variadic specs.  Wrapped specs
+    (``private_prim``) are resolved through ``__wrapped__``.
+    """
+    spec = getattr(prim, "spec", None)
+    fn = getattr(spec, "__wrapped__", spec)
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None, None
+    declared = code.co_argcount - 1  # minus ctx
+    defaults = len(getattr(fn, "__defaults__", None) or ())
+    min_args = max(0, declared - defaults)
+    max_args = None if code.co_flags & _CO_VARARGS else declared
+    return min_args, max_args
+
+
+def _ast_signature(ast_fn: Any) -> Tuple[Optional[int], Optional[int]]:
+    params = getattr(ast_fn, "params", None)
+    if params is None:
+        return None, None
+    return len(params), len(params)
+
+
+def _arity_violation(
+    nargs: Optional[int], min_args: Optional[int], max_args: Optional[int]
+) -> Optional[str]:
+    if nargs is None or min_args is None:
+        return None
+    if nargs < min_args:
+        return f"{nargs} argument(s) passed, at least {min_args} required"
+    if max_args is not None and nargs > max_args:
+        return f"{nargs} argument(s) passed, at most {max_args} accepted"
+    return None
+
+
+# --- relation shape ----------------------------------------------------------
+
+
+def event_preserving(relation: Any) -> bool:
+    """Whether the relation compares logs event-for-event by name.
+
+    True for the identity relation and for event maps with no renames
+    and no erasure (pure ``ret_rel`` adapters).  Everything else — log
+    lifts, stateful relations, compositions — changes the event
+    vocabulary and disables the L104/L105 rules.
+    """
+    type_name = type(relation).__name__
+    if type_name in ("SimRel", "IdRel"):
+        return True
+    if type_name in ("EventMapRel", "ErasureRel"):
+        return not getattr(relation, "mapping", None) and not getattr(
+            relation, "erase_names", None
+        )
+    return False
+
+
+# --- spec-side shape ---------------------------------------------------------
+
+
+def atomic_emit_group(spec_summary: EffectSummary) -> int:
+    """The longest run of emits with no query point between them.
+
+    A spec whose ops contain ``emit, emit`` with no intervening
+    ``query``/``call`` presents those events as one atomic action; an
+    implementation must realize the whole group without yielding
+    control.
+    """
+    longest = run = 0
+    for kind, _name, _nargs, _line in spec_summary.ops:
+        if kind == OP_EMIT:
+            run += 1
+            longest = max(longest, run)
+        elif kind in (OP_QUERY, OP_CALL, OP_LOCAL_CALL):
+            run = 0
+    return longest
+
+
+def unprotected_event_ops(
+    summary: EffectSummary,
+    underlay: Any,
+    local_fns: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Event-producing steps the implementation takes outside critical state.
+
+    Walks the op sequence with a critical-depth counter fed by explicit
+    ``enter/exit_critical`` calls and by the ``enters_critical`` /
+    ``exits_critical`` declarations of the underlay primitives invoked.
+    Direct emits and calls to non-private primitives count when they
+    happen at depth zero.
+    """
+    local_fns = local_fns or {}
+    depth = 0
+    unprotected = 0
+    for kind, name, _nargs, _line in summary.ops:
+        if kind == OP_ENTER:
+            depth += 1
+        elif kind == OP_EXIT:
+            depth = max(0, depth - 1)
+        elif kind == OP_EMIT:
+            if depth == 0:
+                unprotected += 1
+        elif kind in (OP_CALL, OP_LOCAL_CALL):
+            if name is None:
+                continue
+            if kind == OP_LOCAL_CALL or (
+                name in local_fns and not underlay.has(name)
+            ):
+                continue  # same-unit call; its own body was walked separately
+            prim = underlay.prims.get(name)
+            if prim is None:
+                continue  # L101 already fired
+            if getattr(prim, "kind", "shared") != "private" and depth == 0:
+                unprotected += 1
+            if getattr(prim, "enters_critical", False):
+                depth += 1
+            if getattr(prim, "exits_critical", False):
+                depth = max(0, depth - 1)
+    return unprotected
+
+
+# --- module-level lint (L1xx + effect rules) ---------------------------------
+
+
+def lint_module_application(
+    underlay: Any,
+    module: Any,
+    overlay: Any,
+    relation: Any,
+) -> List[LintFinding]:
+    """Lint one ``underlay ⊢_R module : overlay`` rule application."""
+    out: List[LintFinding] = []
+    preserving = event_preserving(relation)
+    for name in sorted(module.funcs):
+        impl = module.funcs[name]
+        summary = analyze_impl(impl)
+        unit = unit_of_impl(impl) if impl.lang in ("c", "asm") else None
+        local_fns = dict(getattr(unit, "functions", {}) or {}) if unit else {}
+        supp = (
+            suppressed_rules(impl.player)
+            if impl.lang == "spec" else frozenset()
+        )
+        obj = f"{module.name}.{name}"
+
+        out.extend(effect_findings(summary, obj=obj, suppressed=supp))
+        out.extend(_call_site_findings(
+            summary, underlay, local_fns, obj=obj, suppressed=supp,
+        ))
+        # Walk same-unit callees of interpreted impls once each.
+        for local_name, local_fn in sorted(local_fns.items()):
+            if local_name == name:
+                continue
+            local_summary = analyze_ast_function(
+                local_fn, name=local_name,
+                file=summary.file, line=summary.line,
+            )
+            out.extend(_call_site_findings(
+                local_summary, underlay, local_fns,
+                obj=f"{module.name}.{local_name}", suppressed=frozenset(),
+            ))
+
+        if not overlay.has(name):
+            out.append(finding(
+                "REPRO-L103",
+                f"module function {name!r} has no specification in "
+                f"overlay {overlay.name!r}",
+                file=summary.file, line=summary.line, obj=obj,
+                suppressed="REPRO-L103" in supp,
+            ))
+            continue
+        if not preserving:
+            continue
+
+        spec_prim = overlay.prims[name]
+        spec_fn = getattr(spec_prim.spec, "__wrapped__", spec_prim.spec)
+        spec_summary = analyze_function(spec_prim.spec)
+        spec_supp = suppressed_rules(spec_fn)
+
+        # L104: every event the spec emits must be producible by the impl.
+        if not spec_summary.dynamic_emit and spec_summary.emits:
+            local_lookup = local_fns.get if local_fns else None
+            impl_may, exact = may_emit(
+                impl, prim_lookup=underlay.prims.get, local_lookup=local_lookup,
+            )
+            if exact:
+                for missing in sorted(spec_summary.emits - impl_may):
+                    out.append(finding(
+                        "REPRO-L104",
+                        f"overlay spec {overlay.name}.{name} emits "
+                        f"{missing!r} but the implementation can only "
+                        f"produce {sorted(impl_may)} through underlay "
+                        f"{underlay.name}",
+                        file=summary.file, line=summary.line, obj=obj,
+                        suppressed=(
+                            "REPRO-L104" in supp or "REPRO-L104" in spec_supp
+                        ),
+                    ))
+
+        # L105: an atomic multi-emit spec needs a protected implementation.
+        # Only meaningful with at least two participants — alone in the
+        # domain there is nobody to interleave between the steps.
+        group = atomic_emit_group(spec_summary)
+        if group >= 2 and len(getattr(underlay, "domain", ()) or ()) >= 2:
+            unprotected = unprotected_event_ops(summary, underlay, local_fns)
+            if unprotected >= 2:
+                out.append(finding(
+                    "REPRO-L105",
+                    f"overlay spec {overlay.name}.{name} emits {group} "
+                    f"events atomically (no query point between them) but "
+                    f"the implementation performs {unprotected} event-"
+                    f"producing steps outside critical state; the "
+                    f"environment can interleave between them",
+                    file=summary.file, line=summary.line, obj=obj,
+                    suppressed=(
+                        "REPRO-L105" in supp or "REPRO-L105" in spec_supp
+                    ),
+                ))
+    return out
+
+
+def _call_site_findings(
+    summary: EffectSummary,
+    underlay: Any,
+    local_fns: Dict[str, Any],
+    obj: str,
+    suppressed: FrozenSet[str],
+) -> List[LintFinding]:
+    """L101/L102 for every resolved call site of one body."""
+    out: List[LintFinding] = []
+    for kind, name, nargs, line in summary.ops:
+        if kind not in (OP_CALL, OP_LOCAL_CALL) or name is None:
+            continue
+        if kind == OP_LOCAL_CALL or (
+            name in local_fns and not underlay.has(name)
+        ):
+            target = local_fns.get(name)
+            if target is None:
+                out.append(finding(
+                    "REPRO-L101",
+                    f"call to {name!r}: not a primitive of underlay "
+                    f"{underlay.name!r} and not a function of the "
+                    f"translation unit",
+                    file=summary.file, line=line, obj=obj,
+                    suppressed="REPRO-L101" in suppressed,
+                ))
+                continue
+            violation = _arity_violation(nargs, *_ast_signature(target))
+            if violation:
+                out.append(finding(
+                    "REPRO-L102",
+                    f"call to unit function {name!r}: {violation}",
+                    file=summary.file, line=line, obj=obj,
+                    suppressed="REPRO-L102" in suppressed,
+                ))
+            continue
+        if not underlay.has(name):
+            out.append(finding(
+                "REPRO-L101",
+                f"call to {name!r}: no such primitive in underlay "
+                f"{underlay.name!r} (has: {sorted(underlay.prims)})",
+                file=summary.file, line=line, obj=obj,
+                suppressed="REPRO-L101" in suppressed,
+            ))
+            continue
+        violation = _arity_violation(
+            nargs, *_spec_signature(underlay.prims[name])
+        )
+        if violation:
+            out.append(finding(
+                "REPRO-L102",
+                f"call to primitive {name!r} of {underlay.name!r}: "
+                f"{violation}",
+                file=summary.file, line=line, obj=obj,
+                suppressed="REPRO-L102" in suppressed,
+            ))
+    return out
+
+
+# --- interface-level lint (I2xx + effect rules) ------------------------------
+
+
+def lint_interface(iface: Any) -> List[LintFinding]:
+    """Per-primitive etiquette and determinism checks (memoized)."""
+    memo = _iface_memo(iface)
+    cached = memo.get("findings")
+    if cached is not None:
+        return list(cached)
+    out: List[LintFinding] = []
+    declared = getattr(getattr(iface, "guar", None), "events", None)
+    for name in sorted(iface.prims):
+        prim = iface.prims[name]
+        spec_fn = getattr(prim.spec, "__wrapped__", prim.spec)
+        summary = analyze_function(prim.spec)
+        supp = suppressed_rules(spec_fn)
+        obj = f"{iface.name}.{name}"
+        out.extend(effect_findings(summary, obj=obj, suppressed=supp))
+
+        kind = getattr(prim, "kind", "shared")
+        names, exact = prim_may_emit(iface, name)
+        if kind in ("shared", "atomic") and exact and not names:
+            out.append(finding(
+                "REPRO-I201",
+                f"{kind} primitive {name!r} can never append to the log; "
+                f"a shared mutation with no observable event breaks "
+                f"replay (declare it private, or emit)",
+                file=summary.file, line=summary.line, obj=obj,
+                suppressed="REPRO-I201" in supp,
+            ))
+        elif kind == "private" and (summary.emits or summary.dynamic_emit):
+            emitted = sorted(summary.emits) or ["<dynamic>"]
+            out.append(finding(
+                "REPRO-I201",
+                f"private primitive {name!r} emits {emitted}; private "
+                f"primitives are silent by definition (§3.1)",
+                file=summary.file, line=summary.line, obj=obj,
+                suppressed="REPRO-I201" in supp,
+            ))
+
+        if declared is not None:
+            # Only *resolved* emit sites gate: direct emits plus emits
+            # reached through resolvable underlay calls.
+            reachable, _exact = may_emit(
+                prim, prim_lookup=iface.prims.get,
+            )
+            known = frozenset(
+                n for n in reachable if isinstance(n, str)
+            ) if reachable else frozenset()
+            for extra in sorted(known - frozenset(declared)):
+                out.append(finding(
+                    "REPRO-I203",
+                    f"primitive {name!r} can emit {extra!r}, outside the "
+                    f"guarantee's declared event set "
+                    f"{sorted(declared)}",
+                    file=summary.file, line=summary.line, obj=obj,
+                    suppressed="REPRO-I203" in supp,
+                ))
+    memo["findings"] = tuple(out)
+    return out
+
+
+# --- standalone prim lint (CLI, no interface in hand) ------------------------
+
+
+def lint_prim(prim: Any, owner: str = "") -> List[LintFinding]:
+    """Lint one primitive without its interface (CLI module scan).
+
+    Underlay calls are unresolvable here, so only the checks that need
+    no resolution run: the effect rules, and I201 for primitives whose
+    spec neither emits nor calls anything.
+    """
+    spec_fn = getattr(prim.spec, "__wrapped__", prim.spec)
+    summary = analyze_function(prim.spec)
+    supp = suppressed_rules(spec_fn)
+    obj = owner or f"prim:{prim.name}"
+    out = effect_findings(summary, obj=obj, suppressed=supp)
+    kind = getattr(prim, "kind", "shared")
+    names, exact = may_emit(prim)
+    if (
+        kind in ("shared", "atomic")
+        and exact and not names and not summary.calls
+    ):
+        out.append(finding(
+            "REPRO-I201",
+            f"{kind} primitive {prim.name!r} can never append to the log",
+            file=summary.file, line=summary.line, obj=obj,
+            suppressed="REPRO-I201" in supp,
+        ))
+    elif kind == "private" and (summary.emits or summary.dynamic_emit):
+        out.append(finding(
+            "REPRO-I201",
+            f"private primitive {prim.name!r} emits "
+            f"{sorted(summary.emits) or ['<dynamic>']}",
+            file=summary.file, line=summary.line, obj=obj,
+            suppressed="REPRO-I201" in supp,
+        ))
+    return out

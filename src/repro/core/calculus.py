@@ -25,7 +25,13 @@ from ..obs.coverage import CoverageBuilder
 from ..obs.metrics import MetricsWindow, inc, observe
 from ..parallel.cache import cached_certificate
 from ..parallel.pool import get_jobs
-from .certificate import Certificate, CertifiedLayer, InterfaceSim, stamp_provenance
+from .certificate import (
+    Certificate,
+    CertifiedLayer,
+    InterfaceSim,
+    stamp_lint,
+    stamp_provenance,
+)
 from .errors import ComposeError
 from .interface import LayerInterface
 from .log import Log
@@ -58,6 +64,64 @@ def _stamp_rule(cert: Certificate, rule: str, started: float,
     stamp_provenance(cert, elapsed, window, **extra)
 
 
+def _lint_gate(
+    rule: str,
+    judgment: str,
+    lint: Optional[str],
+    *,
+    underlay=None,
+    module=None,
+    overlay=None,
+    relation=None,
+    interfaces=(),
+):
+    """Run the static pre-pass over the rule's inputs (ISSUE 5).
+
+    Mode resolution (explicit ``lint=`` argument, then the
+    ``REPRO_LINT`` env var, then ``record``) lives in
+    :mod:`repro.analysis.linter`.  In ``strict`` mode, unsuppressed
+    ERROR findings refuse the judgment up front: a failing certificate
+    carrying one obligation per finding is raised via
+    :class:`~repro.core.errors.VerificationError` *before* the
+    certificate cache is consulted, so a statically ill-formed
+    application is refused cold and warm alike.  In ``record`` mode the
+    report is returned for provenance stamping; ``off`` skips the pass.
+    """
+    from ..analysis.linter import lint_rule_inputs, resolve_mode
+    from ..analysis.rules import RULESET_VERSION
+
+    mode = resolve_mode(lint)
+    if mode == "off":
+        return None
+    report = lint_rule_inputs(
+        mode=mode,
+        underlay=underlay,
+        module=module,
+        overlay=overlay,
+        relation=relation,
+        interfaces=interfaces,
+    )
+    inc("lint.runs")
+    if report.findings:
+        inc("lint.findings", len(report.findings))
+    if mode == "strict" and report.errors:
+        cert = Certificate(
+            judgment=judgment,
+            rule=rule,
+            bounds={"lint_ruleset": RULESET_VERSION, "lint_mode": mode},
+        )
+        for f in report.errors:
+            cert.add(
+                f"lint {f.rule_id} clean",
+                False,
+                f.render(),
+                evidence={"lint_finding": f.to_dict()},
+            )
+        stamp_lint(cert, report)
+        cert.require_ok()
+    return report
+
+
 def module_rule(
     underlay: LayerInterface,
     module: Module,
@@ -66,6 +130,7 @@ def module_rule(
     tid: int,
     scenarios: Sequence[Scenario],
     jobs: Optional[int] = None,
+    lint: Optional[str] = None,
 ) -> CertifiedLayer:
     """``Fun`` generalized to a whole module via protocol scenarios.
 
@@ -91,6 +156,15 @@ def module_rule(
                 raise ComposeError(f"module function {name!r} not covered by any scenario")
             if not overlay.has(name):
                 raise ComposeError(f"overlay {overlay.name} lacks a spec for {name!r}")
+        judgment = (
+            f"{underlay.name}[{tid}] ⊢_{relation.name} {module.name} : "
+            f"{overlay.name}[{tid}]"
+        )
+        lint_report = _lint_gate(
+            "Fun*", judgment, lint,
+            underlay=underlay, module=module, overlay=overlay,
+            relation=relation, interfaces=(underlay, overlay),
+        )
 
         def compute() -> Certificate:
             cert = check_scenarios(
@@ -100,10 +174,7 @@ def module_rule(
                 relation,
                 tid,
                 scenarios,
-                judgment=(
-                    f"{underlay.name}[{tid}] ⊢_{relation.name} {module.name} : "
-                    f"{overlay.name}[{tid}]"
-                ),
+                judgment=judgment,
                 rule="Fun*",
                 jobs=jobs,
             )
@@ -122,6 +193,7 @@ def module_rule(
             compute,
             jobs=jobs,
         )
+        stamp_lint(cert, lint_report)
         layer = CertifiedLayer(underlay, module, overlay, relation, {tid}, cert)
     return layer
 
@@ -133,6 +205,7 @@ def interface_sim_rule(
     tid: int,
     scenarios: Sequence[Scenario],
     jobs: Optional[int] = None,
+    lint: Optional[str] = None,
 ) -> InterfaceSim:
     """Establish ``L ≤_R L'`` via protocol scenarios (a ``Wk`` premise).
 
@@ -148,6 +221,14 @@ def interface_sim_rule(
     started = time.perf_counter()
     window = MetricsWindow()
     with _rule_span("interface-sim", low=low.name, high=high.name):
+        lint_report = _lint_gate(
+            "interface-sim",
+            f"{low.name} \u2264_{relation.name} {high.name}",
+            lint,
+            relation=relation,
+            interfaces=(low, high),
+        )
+
         def compute() -> Certificate:
             cert = check_scenarios(
                 low,
@@ -173,6 +254,7 @@ def interface_sim_rule(
             compute,
             jobs=jobs,
         )
+        stamp_lint(cert, lint_report)
         sim = InterfaceSim(low, high, relation, cert)
     return sim
 
@@ -202,6 +284,7 @@ def fun_rule(
     tid: int,
     config: SimConfig,
     jobs: Optional[int] = None,
+    lint: Optional[str] = None,
 ) -> CertifiedLayer:
     """``Fun``: certify one function against its overlay specification.
 
@@ -220,6 +303,15 @@ def fun_rule(
             raise ComposeError(
                 f"overlay {overlay.name} has no specification for {impl.name!r}"
             )
+        judgment = (
+            f"{underlay.name}[{tid}] \u22a2_{relation.name} "
+            f"{impl.name} : {overlay.name}.{impl.name}"
+        )
+        lint_report = _lint_gate(
+            "Fun", judgment, lint,
+            underlay=underlay, module=Module.single(impl), overlay=overlay,
+            relation=relation, interfaces=(underlay, overlay),
+        )
 
         def compute() -> Certificate:
             cert = check_sim(
@@ -230,10 +322,7 @@ def fun_rule(
                 relation,
                 tid,
                 config,
-                judgment=(
-                    f"{underlay.name}[{tid}] ⊢_{relation.name} "
-                    f"{impl.name} : {overlay.name}.{impl.name}"
-                ),
+                judgment=judgment,
                 rule="Fun",
                 jobs=jobs,
             )
@@ -249,6 +338,7 @@ def fun_rule(
             compute,
             jobs=jobs,
         )
+        stamp_lint(cert, lint_report)
         layer = CertifiedLayer(
             underlay, Module.single(impl), overlay, relation, {tid}, cert
         )

@@ -339,6 +339,22 @@ def stamp_cache_status(
     return cert
 
 
+def stamp_lint(cert: Certificate, report: Any) -> Certificate:
+    """Record a lint pre-pass report in certificate provenance.
+
+    Obs-gated like :func:`stamp_provenance`, so obs-off certificate
+    bytes stay identical whether or not the lint pass ran.  ``report``
+    is a :class:`repro.analysis.findings.LintReport` (duck-typed on
+    ``to_provenance``); ``None`` is a no-op.
+    """
+    if report is None or not obs_enabled():
+        return cert
+    provenance = dict(cert.provenance or {"rule": cert.rule, "judgment": cert.judgment})
+    provenance["lint"] = report.to_provenance()
+    cert.provenance = provenance
+    return cert
+
+
 @dataclass
 class InterfaceSim:
     """The judgment ``L ≤_R L'`` (strategy simulation between interfaces),

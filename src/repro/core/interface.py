@@ -232,6 +232,7 @@ def private_prim(name: str, fn: Callable, cycle_cost: int = 1, doc: str = "") ->
         return fn(ctx, *args)
         yield  # pragma: no cover - makes `spec` a generator function
 
+    spec.__wrapped__ = fn  # real signature/source for static analysis
     return Prim(name, spec, kind=PRIVATE, cycle_cost=cycle_cost, doc=doc)
 
 

@@ -43,6 +43,13 @@ class FuncImpl:
     def __repr__(self):
         return f"FuncImpl({self.name}:{self.lang})"
 
+    def location(self) -> str:
+        """``file:line`` of the implementation body, for lint findings."""
+        code = getattr(self.player, "__code__", None)
+        if code is not None:
+            return f"{code.co_filename}:{code.co_firstlineno}"
+        return f"<{self.lang}:{self.name}>"
+
 
 class Module:
     """A finite map of function implementations, with ``⊕``."""

@@ -138,10 +138,24 @@ class Rely:
 
 
 class Guarantee:
-    """The guarantee condition: per-participant invariants on own events."""
+    """The guarantee condition: per-participant invariants on own events.
 
-    def __init__(self, conditions: Optional[Dict[int, LogInvariant]] = None):
+    ``events``, when given, declares the closed set of event names the
+    focused participants may append; the static analysis pass checks
+    every statically reachable emit site against it (rely/guarantee
+    lint, rule REPRO-I203).  ``None`` means undeclared — the lint rule
+    stays silent.
+    """
+
+    def __init__(
+        self,
+        conditions: Optional[Dict[int, LogInvariant]] = None,
+        events: Optional[Iterable[str]] = None,
+    ):
         self.conditions: Dict[int, LogInvariant] = dict(conditions or {})
+        self.events: Optional[frozenset] = (
+            None if events is None else frozenset(events)
+        )
 
     def condition(self, tid: int) -> LogInvariant:
         return self.conditions.get(tid, TRUE_INV)
@@ -162,12 +176,19 @@ class Guarantee:
                 merged[t] = mine
             else:
                 merged[t] = mine | theirs
-        return Guarantee(merged)
+        if self.events is None or other.events is None:
+            events = None  # one side undeclared -> union is undeclared
+        else:
+            events = self.events | other.events
+        return Guarantee(merged, events=events)
 
     def restrict(self, tids: Iterable[int]) -> "Guarantee":
         """``L[c].G|Ta`` — keep only the focused participants' guarantees."""
         wanted = set(tids)
-        return Guarantee({t: inv for t, inv in self.conditions.items() if t in wanted})
+        return Guarantee(
+            {t: inv for t, inv in self.conditions.items() if t in wanted},
+            events=self.events,
+        )
 
     def __repr__(self):
         return f"Guar({sorted(self.conditions)})"

@@ -97,6 +97,11 @@ class ReplayFn(Generic[S]):
         return f"ReplayFn({self.name})"
 
 
+def all_replay_fns() -> "list[ReplayFn]":
+    """Every live replay function, sorted by name — for the lint pass."""
+    return sorted(_REPLAY_REGISTRY, key=lambda f: f.name)
+
+
 def replay_cache_info() -> Dict[str, Dict[str, int]]:
     """``cache_info()`` of every live replay function, keyed by name.
 

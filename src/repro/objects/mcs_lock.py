@@ -34,6 +34,7 @@ from ..core.events import ACQ, Event, PULL, PUSH, REL, freeze, thaw
 from ..core.interface import LayerInterface, Prim, SHARED
 from ..core.log import Log
 from ..core.machint import IntWidth
+from ..core.relation import EventMapRel
 from ..core.rely_guarantee import Guarantee, LogInvariant, Rely
 from ..core.replay import replay_shared
 from ..machine.atomics import ALOAD, ASTORE, CAS, SWAP, replay_atomic
@@ -352,7 +353,7 @@ def mcs_low_interface(
 # --- log-lift relation ----------------------------------------------------------
 
 
-def mcs_relation() -> "EventMapRel":
+def mcs_relation() -> EventMapRel:
     """``R_mcs``: ``acq ↦ pull``, ``rel ↦ push``, MCS machinery erased.
 
     Concretization expands an environment's atomic round trip into a full
@@ -360,7 +361,6 @@ def mcs_relation() -> "EventMapRel":
     CAS); witness batches are delivered at quiescent points only, where
     this trace is replay-consistent.
     """
-    from ..core.relation import EventMapRel
 
     def conc_acq(event: Event) -> Tuple[Event, ...]:
         lock = event.args[0]

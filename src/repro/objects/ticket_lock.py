@@ -36,7 +36,7 @@ actually happens.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.context import ExecutionContext
 from ..core.errors import Stuck
@@ -49,6 +49,9 @@ from ..core.rely_guarantee import Guarantee, LogInvariant, Rely
 from ..core.replay import ReplayFn, replay_shared
 from ..machine.atomics import ALOAD, FAI, replay_atomic
 from ..machine.sharedmem import local_copy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..clight.ast import TranslationUnit
 
 # --- lock field cells -------------------------------------------------------
 
@@ -427,10 +430,29 @@ def lock_rely(
     )
 
 
-def lock_guarantee(domain: Iterable[int], locks: Sequence[Any]) -> Guarantee:
-    """The guarantee: focused participants also keep replay consistency."""
+#: The complete event vocabulary of the certified lock stacks: machine
+#: atomics, push/pull memory events, and the atomic lock actions.  Used
+#: as the declared guarantee event set of the ticket-lock derivation
+#: (rely/guarantee lint REPRO-I203 checks every statically reachable
+#: emit site against it).
+LOCK_EVENTS = frozenset(
+    {FAI, ALOAD, "astore", "cas", "swap", PULL, PUSH, ACQ, REL}
+)
+
+
+def lock_guarantee(
+    domain: Iterable[int],
+    locks: Sequence[Any],
+    events: Optional[Iterable[str]] = None,
+) -> Guarantee:
+    """The guarantee: focused participants also keep replay consistency.
+
+    ``events`` optionally declares the closed event-name set the focused
+    participants may emit (see :data:`LOCK_EVENTS`); callers whose
+    stacks add further events (the shared queue) leave it undeclared.
+    """
     inv = replay_consistent_inv(locks)
-    return Guarantee({tid: inv for tid in domain})
+    return Guarantee({tid: inv for tid in domain}, events=events)
 
 
 # --- environment alphabets for the simulation checks ---------------------------
@@ -612,7 +634,7 @@ def certify_ticket_lock(
 
     focused = list(focused if focused is not None else domain)
     rely = lock_rely(domain, [lock], width_bits=width_bits)
-    guar = lock_guarantee(domain, [lock])
+    guar = lock_guarantee(domain, [lock], events=LOCK_EVENTS)
     base = lx86_like_interface(domain, width_bits, rely, guar)
     low = lock_low_interface(base, width_bits=width_bits)
     atomic = lock_atomic_interface(

@@ -84,6 +84,28 @@ def _explain_cert(cert: Dict[str, Any], indent: int = 0,
             lines.extend(
                 f"{pad}  {line}" for line in render_coverage_map(coverage)
             )
+        lint = provenance.get("lint")
+        if lint:
+            findings = lint.get("findings") or []
+            errors = sum(
+                1 for f in findings
+                if f.get("severity") == "error" and not f.get("suppressed")
+            )
+            warnings = sum(
+                1 for f in findings
+                if f.get("severity") == "warning" and not f.get("suppressed")
+            )
+            lines.append(
+                f"{pad}  lint: {lint.get('ruleset')} mode={lint.get('mode')} "
+                f"{errors} error(s), {warnings} warning(s)"
+            )
+            for f in findings:
+                mark = "(suppressed) " if f.get("suppressed") else ""
+                lines.append(
+                    f"{pad}    {f.get('severity', '?').upper()} "
+                    f"{f.get('rule')}: {mark}{f.get('message')} "
+                    f"[{f.get('location')}]"
+                )
     for obligation in cert.get("obligations") or []:
         ok = obligation.get("ok")
         if ok and not show_ok:

@@ -30,14 +30,18 @@ import pickle
 import tempfile
 from typing import Any, Callable, Optional, Tuple
 
+from ..analysis.rules import RULESET_VERSION
 from ..obs.metrics import inc
 from .canonical import canonical_fingerprint
 from .pool import get_jobs
 
 #: Version of the checker semantics baked into every cache key.  Bump on
 #: any change to obligation generation, enumeration order, bounds
-#: semantics or certificate layout.
-ENGINE_VERSION = "repro-engine/1"
+#: semantics or certificate layout.  The lint rule-set version is folded
+#: in so certificates produced under an older rule set are invalidated —
+#: both through the content address and through ``_load``'s engine
+#: check on existing entries.
+ENGINE_VERSION = "repro-engine/1+" + RULESET_VERSION
 
 _SCHEMA = "repro.cache/v1"
 

@@ -48,6 +48,7 @@ _EXCLUDED_ATTRS = {
     "_snapshot",   # LogBuffer snapshot cache
     "_tls",        # ReplayFn thread-local accounting
     "_run",        # ReplayFn lru_cache wrapper (covered by _init/_step)
+    "_lint_memo",  # per-interface lint scratch cache (repro.analysis)
     "provenance",  # Certificate provenance: wall times, metrics, workers
 }
 

@@ -27,6 +27,7 @@ from .inventory import (
     TABLE1_COMPONENTS,
     TABLE2_OBJECTS,
     c_source_lines,
+    lint_rule_catalog,
     module_loc,
     table1_inventory,
     table2_paper_rows,

@@ -150,3 +150,23 @@ def c_source_lines(unit) -> int:
     """Statement-level size of a mini-C translation unit (Table 2's
     'C&Asm source' analog)."""
     return unit.source_lines()
+
+
+def lint_rule_catalog() -> List[Dict[str, str]]:
+    """The static-analysis rule catalog as inventory rows.
+
+    One row per ``repro.analysis`` rule — the checking surface that runs
+    *before* the bounded verifier (DESIGN.md §5), reported alongside the
+    proof-effort tables so the full obligation surface is in one place.
+    """
+    from ..analysis.rules import RULESET_VERSION, rule_table
+
+    return [
+        {
+            "rule": rule_id,
+            "severity": severity,
+            "title": title,
+            "ruleset": RULESET_VERSION,
+        }
+        for rule_id, severity, title in rule_table()
+    ]

@@ -1,0 +1,33 @@
+"""Shared fixtures for the static-analysis test suite.
+
+The player functions themselves live in :mod:`lint_players` (a uniquely
+named sibling module) so test files can import them directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EventMapRel, LayerInterface, shared_prim
+
+from lint_players import bump2_spec, bump_spec
+
+
+@pytest.fixture
+def counter_base():
+    return LayerInterface(
+        "L0", [1, 2], {"bump": shared_prim("bump", bump_spec)}
+    )
+
+
+@pytest.fixture
+def counter_overlay(counter_base):
+    return counter_base.extend(
+        "L1", [shared_prim("bump2", bump2_spec)], hide=["bump"]
+    )
+
+
+@pytest.fixture
+def ret_only_rel():
+    """Event-preserving adapter: no renames, no erasure, rets ignored."""
+    return EventMapRel("Rb", ret_rel=lambda lo, hi: True)

@@ -1,0 +1,43 @@
+"""Player functions shared across the static-analysis test suite.
+
+A tiny two-participant counter world: an underlay with one shared
+``bump`` primitive, an overlay whose ``bump2`` spec emits two events
+atomically, and known-good / known-bad implementations of it — the
+minimal reproduction of the non-atomic-pair forensics fixture.
+
+These live outside ``conftest.py`` so test modules can import them by a
+unique module name (the test tree has no ``__init__.py`` packages, and
+several directories carry a ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+
+def bump_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump") + 1
+    ctx.emit("bump", ret=count)
+    return count
+
+
+def bump2_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump")
+    ctx.emit("bump", ret=count + 1)
+    ctx.emit("bump", ret=count + 2)
+    return None
+
+
+def non_atomic_bump2_impl(ctx):
+    # atomicity bug: the pair can be interleaved by the other participant
+    yield from ctx.call("bump")
+    yield from ctx.call("bump")
+    return None
+
+
+def atomic_bump2_impl(ctx):
+    yield from ctx.call("bump")
+    ctx.enter_critical()
+    yield from ctx.call("bump")
+    ctx.exit_critical()
+    return None

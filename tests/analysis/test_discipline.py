@@ -1,0 +1,315 @@
+"""Golden findings: one positive and one negative fixture per rule."""
+
+from __future__ import annotations
+
+from repro.analysis.discipline import (
+    atomic_emit_group,
+    event_preserving,
+    lint_interface,
+    lint_module_application,
+)
+from repro.core import EventMapRel, LayerInterface, shared_prim
+from repro.core.interface import atomic_prim, private_prim
+from repro.core.module import FuncImpl, Module
+from repro.core.relation import ID_REL
+from repro.core.rely_guarantee import Guarantee
+
+from lint_players import (
+    atomic_bump2_impl,
+    bump2_spec,
+    non_atomic_bump2_impl,
+)
+
+
+def _rules(findings):
+    return {f.rule_id for f in findings if not f.suppressed}
+
+
+def _app(base, overlay, impl_fn, name="bump2", relation=ID_REL):
+    module = Module({name: FuncImpl(name, impl_fn)}, name="M")
+    return lint_module_application(base, module, overlay, relation)
+
+
+class TestL101UnknownPrimitive:
+    def test_positive(self, counter_base, counter_overlay):
+        def player(ctx):
+            yield from ctx.call("no_such_prim")
+            return None
+
+        findings = _app(counter_base, counter_overlay, player)
+        assert "REPRO-L101" in _rules(findings)
+
+    def test_negative(self, counter_base, counter_overlay):
+        findings = _app(counter_base, counter_overlay, atomic_bump2_impl)
+        assert "REPRO-L101" not in _rules(findings)
+
+
+class TestL102ArityMismatch:
+    def test_positive(self, counter_base, counter_overlay):
+        def player(ctx):
+            yield from ctx.call("bump", "extra-arg")
+            return None
+
+        findings = _app(counter_base, counter_overlay, player)
+        assert "REPRO-L102" in _rules(findings)
+
+    def test_too_few_args(self):
+        def two_arg_spec(ctx, a, b):
+            ctx.emit("pair", a, b)
+            yield
+
+        base = LayerInterface(
+            "L0", [1, 2], {"pair": shared_prim("pair", two_arg_spec)}
+        )
+        overlay = base.extend(
+            "L1", [shared_prim("w", two_arg_spec)], hide=["pair"]
+        )
+
+        def player(ctx, a, b):
+            yield from ctx.call("pair", a)
+            return None
+
+        findings = _app(base, overlay, player, name="w")
+        assert "REPRO-L102" in _rules(findings)
+
+    def test_negative(self, counter_base, counter_overlay):
+        findings = _app(counter_base, counter_overlay, atomic_bump2_impl)
+        assert "REPRO-L102" not in _rules(findings)
+
+
+class TestL103MissingOverlaySpec:
+    def test_positive(self, counter_base, counter_overlay):
+        def player(ctx):
+            yield from ctx.call("bump")
+            return None
+
+        module = Module({"unknown_fn": FuncImpl("unknown_fn", player)}, name="M")
+        findings = lint_module_application(
+            counter_base, module, counter_overlay, ID_REL
+        )
+        assert "REPRO-L103" in _rules(findings)
+
+    def test_negative(self, counter_base, counter_overlay):
+        findings = _app(counter_base, counter_overlay, atomic_bump2_impl)
+        assert "REPRO-L103" not in _rules(findings)
+
+
+class TestL104SpecEventNotProducible:
+    def test_positive(self, counter_base, counter_overlay):
+        def silent_impl(ctx):
+            # never calls bump: the spec's "bump" events are unproducible
+            yield from ctx.query()
+            return None
+
+        findings = _app(counter_base, counter_overlay, silent_impl)
+        assert "REPRO-L104" in _rules(findings)
+
+    def test_negative(self, counter_base, counter_overlay):
+        findings = _app(counter_base, counter_overlay, atomic_bump2_impl)
+        assert "REPRO-L104" not in _rules(findings)
+
+    def test_silent_under_renaming_relation(
+        self, counter_base, counter_overlay
+    ):
+        """Log-lift relations change the vocabulary: rule stays quiet."""
+        def silent_impl(ctx):
+            yield from ctx.query()
+            return None
+
+        renaming = EventMapRel("Rmap", mapping={"low": "bump"})
+        findings = _app(
+            counter_base, counter_overlay, silent_impl, relation=renaming
+        )
+        assert "REPRO-L104" not in _rules(findings)
+
+
+class TestL105NonAtomicPair:
+    def test_positive(self, counter_base, counter_overlay, ret_only_rel):
+        findings = _app(
+            counter_base, counter_overlay, non_atomic_bump2_impl,
+            relation=ret_only_rel,
+        )
+        assert "REPRO-L105" in _rules(findings)
+
+    def test_negative_critical_bracket(
+        self, counter_base, counter_overlay, ret_only_rel
+    ):
+        findings = _app(
+            counter_base, counter_overlay, atomic_bump2_impl,
+            relation=ret_only_rel,
+        )
+        assert "REPRO-L105" not in _rules(findings)
+
+    def test_single_participant_domain_is_exempt(self, ret_only_rel):
+        """Alone in the domain there is nobody to interleave with."""
+        from lint_players import bump_spec
+
+        base = LayerInterface(
+            "L0", [1], {"bump": shared_prim("bump", bump_spec)}
+        )
+        overlay = base.extend(
+            "L1", [shared_prim("bump2", bump2_spec)], hide=["bump"]
+        )
+        findings = _app(
+            base, overlay, non_atomic_bump2_impl, relation=ret_only_rel
+        )
+        assert "REPRO-L105" not in _rules(findings)
+
+
+class TestI201EventDiscipline:
+    def test_silent_shared_prim_positive(self):
+        def silent_spec(ctx):
+            yield from ctx.query()
+            return 0
+
+        iface = LayerInterface(
+            "L", [1, 2], {"peek": shared_prim("peek", silent_spec)}
+        )
+        assert "REPRO-I201" in _rules(lint_interface(iface))
+
+    def test_emitting_private_prim_positive(self):
+        def chatty_spec(ctx):
+            ctx.emit("leak")
+            yield
+            return None
+
+        from repro.core.interface import PRIVATE, Prim
+
+        iface = LayerInterface(
+            "L", [1, 2], {"leak": Prim("leak", chatty_spec, kind=PRIVATE)}
+        )
+        assert "REPRO-I201" in _rules(lint_interface(iface))
+
+    def test_negative(self, counter_base):
+        assert "REPRO-I201" not in _rules(lint_interface(counter_base))
+
+    def test_silent_private_prim_negative(self):
+        prim = private_prim("inc", lambda ctx, x: x + 1)
+        iface = LayerInterface("L", [1, 2], {"inc": prim})
+        assert "REPRO-I201" not in _rules(lint_interface(iface))
+
+
+class TestI202BufferAccess:
+    def test_positive(self):
+        def raw_spec(ctx):
+            ctx.buffer.append("raw")
+            yield
+            return None
+
+        iface = LayerInterface(
+            "L", [1, 2], {"raw": shared_prim("raw", raw_spec)}
+        )
+        findings = lint_interface(iface)
+        assert "REPRO-I202" in {f.rule_id for f in findings}
+
+    def test_negative(self, counter_base):
+        assert "REPRO-I202" not in _rules(lint_interface(counter_base))
+
+
+class TestI203GuaranteeCoverage:
+    def _iface(self, events):
+        def spec(ctx):
+            yield from ctx.query()
+            ctx.emit("push")
+            return None
+
+        return LayerInterface(
+            "L", [1, 2], {"pub": atomic_prim("pub", spec)},
+            guar=Guarantee(events=events),
+        )
+
+    def test_positive(self):
+        findings = lint_interface(self._iface(["pull"]))
+        assert "REPRO-I203" in _rules(findings)
+
+    def test_negative_covered(self):
+        findings = lint_interface(self._iface(["push", "pull"]))
+        assert "REPRO-I203" not in _rules(findings)
+
+    def test_negative_undeclared(self):
+        findings = lint_interface(self._iface(None))
+        assert "REPRO-I203" not in _rules(findings)
+
+
+class TestN301Nondeterminism:
+    def test_positive(self):
+        import time
+
+        def racy_spec(ctx):
+            ctx.emit("tick", time.time())
+            yield
+            return None
+
+        iface = LayerInterface(
+            "L", [1, 2], {"tick": shared_prim("tick", racy_spec)}
+        )
+        assert "REPRO-N301" in _rules(lint_interface(iface))
+
+    def test_negative(self, counter_base):
+        assert "REPRO-N301" not in _rules(lint_interface(counter_base))
+
+
+class TestN302SetIteration:
+    def test_positive(self):
+        def unordered_spec(ctx, items):
+            for item in set(items):
+                ctx.emit("pick", item)
+            yield
+            return None
+
+        iface = LayerInterface(
+            "L", [1, 2], {"pick": shared_prim("pick", unordered_spec)}
+        )
+        findings = lint_interface(iface)
+        assert "REPRO-N302" in {f.rule_id for f in findings}
+
+    def test_negative(self):
+        def ordered_spec(ctx, items):
+            for item in sorted(set(items)):
+                ctx.emit("pick", item)
+            yield
+            return None
+
+        iface = LayerInterface(
+            "L", [1, 2], {"pick": shared_prim("pick", ordered_spec)}
+        )
+        findings = lint_interface(iface)
+        assert "REPRO-N302" not in {f.rule_id for f in findings}
+
+
+class TestSuppressions:
+    def test_allow_comment_marks_finding_suppressed(
+        self, counter_base, counter_overlay, ret_only_rel
+    ):
+        def reviewed_impl(ctx):
+            # repro: allow(REPRO-L105) — exercised single-threaded only
+            yield from ctx.call("bump")
+            yield from ctx.call("bump")
+            return None
+
+        findings = _app(
+            counter_base, counter_overlay, reviewed_impl,
+            relation=ret_only_rel,
+        )
+        hits = [f for f in findings if f.rule_id == "REPRO-L105"]
+        assert hits and all(f.suppressed for f in hits)
+
+
+class TestHelpers:
+    def test_event_preserving_classification(self, ret_only_rel):
+        assert event_preserving(ID_REL)
+        assert event_preserving(ret_only_rel)
+        assert not event_preserving(EventMapRel("Rm", mapping={"a": "b"}))
+        assert not event_preserving(EventMapRel("Re", erase=("a",)))
+
+    def test_atomic_emit_group_resets_on_query(self):
+        from repro.analysis.effects import analyze_function
+
+        def spaced_spec(ctx):
+            ctx.emit("a")
+            yield from ctx.query()
+            ctx.emit("b")
+            return None
+
+        assert atomic_emit_group(analyze_function(spaced_spec)) == 1
+        assert atomic_emit_group(analyze_function(bump2_spec)) == 2

@@ -1,0 +1,214 @@
+"""The bytecode effect analyzer: ops, emit sets, nondeterminism."""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.effects import (
+    OP_CALL,
+    OP_EMIT,
+    OP_ENTER,
+    OP_EXIT,
+    OP_QUERY,
+    analyze_function,
+    analyze_impl,
+    may_emit,
+)
+from repro.core.events import PUSH
+from repro.core.interface import private_prim, shared_prim, simple_event_prim
+from repro.core.module import FuncImpl
+
+
+class TestOpExtraction:
+    def test_emit_call_query_sequence(self):
+        def player(ctx, cell):
+            yield from ctx.query()
+            yield from ctx.call("fai", cell)
+            ctx.emit("done", ret=1)
+            return 1
+
+        summary = analyze_function(player)
+        kinds = [op[0] for op in summary.ops]
+        assert kinds == [OP_QUERY, OP_CALL, OP_EMIT]
+        assert summary.emits == frozenset({"done"})
+        assert summary.calls[0][1] == "fai"
+
+    def test_call_nargs_counts_prim_args_only(self):
+        def player(ctx, cell):
+            yield from ctx.call("fai", cell)
+            yield from ctx.call("noop")
+            return None
+
+        nargs = [op[2] for op in analyze_function(player).calls]
+        assert nargs == [1, 0]
+
+    def test_critical_brackets(self):
+        def player(ctx):
+            ctx.enter_critical()
+            yield from ctx.call("bump")
+            ctx.exit_critical()
+            return None
+
+        kinds = [op[0] for op in analyze_function(player).ops]
+        assert kinds == [OP_ENTER, OP_CALL, OP_EXIT]
+
+    def test_event_name_from_module_global(self):
+        def player(ctx):
+            ctx.emit(PUSH)
+            yield
+
+        assert analyze_function(player).emits == frozenset({"push"})
+
+    def test_event_name_from_closure(self):
+        prim = simple_event_prim("ping")
+        summary = analyze_function(prim.spec)
+        assert summary.emits == frozenset({"ping"})
+
+    def test_dynamic_emit_degrades_exactness(self):
+        def player(ctx, name):
+            ctx.emit(name)
+            yield
+
+        summary = analyze_function(player)
+        assert summary.dynamic_emit
+        _, exact = may_emit(player)
+        assert not exact
+
+    def test_location_from_code_object(self):
+        def player(ctx):
+            yield
+
+        summary = analyze_function(player)
+        assert summary.file.endswith("test_effects.py")
+        assert summary.line > 0
+
+
+class TestNondeterminism:
+    def test_time_module_flagged(self):
+        def spec(ctx):
+            ctx.emit("tick", time.time())
+            yield
+
+        assert analyze_function(spec).nondet
+
+    def test_id_builtin_flagged(self):
+        def spec(ctx, x):
+            ctx.emit("ref", id(x))
+            yield
+
+        assert analyze_function(spec).nondet
+
+    def test_pure_spec_not_flagged(self):
+        def spec(ctx):
+            yield from ctx.query()
+            ctx.emit("ok", ret=len(ctx.log.events))
+            return None
+
+        summary = analyze_function(spec)
+        assert not summary.nondet
+        assert not summary.set_iterations
+
+    def test_fresh_set_iteration_flagged(self):
+        def spec(ctx):
+            for x in {1, 2, 3}:
+                ctx.emit("pick", x)
+            yield
+
+        assert analyze_function(spec).set_iterations
+
+    def test_tuple_iteration_not_flagged(self):
+        def spec(ctx):
+            for x in (1, 2, 3):
+                ctx.emit("pick", x)
+            yield
+
+        assert not analyze_function(spec).set_iterations
+
+    def test_buffer_access_flagged(self):
+        def spec(ctx):
+            ctx.buffer.append("raw")
+            yield
+
+        assert analyze_function(spec).buffer_access
+
+
+class TestMayEmit:
+    def test_direct_emit_exact(self):
+        def spec(ctx):
+            ctx.emit("push")
+            yield
+
+        names, exact = may_emit(spec)
+        assert names == frozenset({"push"}) and exact
+
+    def test_transitive_through_underlay(self, counter_base):
+        def player(ctx):
+            yield from ctx.call("bump")
+            return None
+
+        impl = FuncImpl("w", player)
+        names, exact = may_emit(impl, prim_lookup=counter_base.prims.get)
+        assert names == frozenset({"bump"}) and exact
+
+    def test_unresolved_call_degrades_exactness(self):
+        def player(ctx):
+            yield from ctx.call("mystery")
+            return None
+
+        names, exact = may_emit(FuncImpl("w", player))
+        assert not exact
+
+    def test_private_prim_unwraps_payload(self):
+        def payload(ctx, x):
+            return x + 1
+
+        prim = private_prim("inc", payload)
+        summary = analyze_function(prim.spec)
+        assert summary.name.endswith("payload")
+        names, exact = may_emit(prim)
+        assert names == frozenset() and exact
+
+    def test_nested_function_ops_collected(self):
+        def player(ctx):
+            def inner():
+                ctx.emit("deep")
+            inner()
+            yield
+
+        assert "deep" in analyze_function(player).emits
+
+
+class TestImplAnalysis:
+    def test_c_impl_calls_extracted(self):
+        from repro.clight.semantics import c_func_impl
+        from repro.objects.ticket_lock import ticket_lock_unit
+
+        impl = c_func_impl(ticket_lock_unit(), "acq")
+        summary = analyze_impl(impl)
+        called = {op[1] for op in summary.calls}
+        assert "fai" in called
+
+    def test_spec_impl_uses_bytecode(self):
+        def player(ctx):
+            ctx.emit("x")
+            yield
+
+        summary = analyze_impl(FuncImpl("x", player))
+        assert summary.emits == frozenset({"x"})
+
+    def test_c_impl_may_emit_through_underlay(self):
+        from repro.clight.semantics import c_func_impl
+        from repro.objects.ticket_lock import (
+            lock_guarantee,
+            lock_rely,
+            lx86_like_interface,
+            ticket_lock_unit,
+        )
+
+        base = lx86_like_interface(
+            [1, 2], 32, lock_rely([1, 2], ["q0"]),
+            lock_guarantee([1, 2], ["q0"]),
+        )
+        impl = c_func_impl(ticket_lock_unit(), "rel")
+        names, _ = may_emit(impl, prim_lookup=base.prims.get)
+        assert "push" in names

@@ -1,0 +1,121 @@
+"""The ``python -m repro.analysis`` CLI: targets, output modes, exit codes."""
+
+from __future__ import annotations
+
+import json
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import (
+    _expand_target,
+    _module_name_for_path,
+    lint_targets,
+    main,
+)
+from repro.analysis.rules import RULES, RULESET_VERSION
+
+
+class TestTargetExpansion:
+    def test_path_to_module_name(self):
+        assert (
+            _module_name_for_path("src/repro/objects/ticket_lock.py")
+            == "repro.objects.ticket_lock"
+        )
+        assert _module_name_for_path("src/repro/objects") == "repro.objects"
+
+    def test_dotted_name_passes_through(self):
+        assert _expand_target("repro.objects.ticket_lock") == [
+            "repro.objects.ticket_lock"
+        ]
+
+    def test_directory_walk(self):
+        names = _expand_target("src/repro/objects")
+        assert "repro.objects.ticket_lock" in names
+        assert "repro.objects.mcs_lock" in names
+        assert all(not n.rsplit(".", 1)[-1].startswith("_") for n in names)
+
+
+class TestShippedTreeIsClean:
+    def test_objects_and_threads_lint_clean(self, capsys):
+        """The acceptance criterion: shipped objects have zero errors."""
+        code = main(["src/repro/objects", "src/repro/threads"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_json_output_schema(self, capsys):
+        code = main(["repro.objects.ticket_lock", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["schema"] == "repro.lint/v1"
+        assert data["ruleset"] == RULESET_VERSION
+        assert data["errors"] == 0
+        assert isinstance(data["findings"], list)
+        # ticket_lock builds interfaces in factories; at module scope the
+        # linter sees player-shaped functions and replay functions.
+        assert data["checked"].get("functions", 0) > 0
+        assert data["checked"].get("replay_functions", 0) > 0
+
+
+class TestDirtyModule:
+    @pytest.fixture()
+    def dirty_module(self, tmp_path, monkeypatch):
+        src = textwrap.dedent(
+            """
+            import time
+
+            def clock_spec(ctx):
+                ctx.emit("tick", time.time())
+                return (None, ())
+            """
+        )
+        (tmp_path / "dirty_layer_mod.py").write_text(src)
+        monkeypatch.syspath_prepend(str(tmp_path))
+        yield "dirty_layer_mod"
+        sys.modules.pop("dirty_layer_mod", None)
+
+    def test_nondet_spec_fails_the_gate(self, dirty_module, capsys):
+        code = main([dirty_module])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REPRO-N301" in out
+
+    def test_lint_targets_report(self, dirty_module):
+        report = lint_targets([dirty_module])
+        assert any(f.rule_id == "REPRO-N301" for f in report.errors)
+
+
+class TestFlags:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert RULESET_VERSION in out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_no_warnings_hides_but_does_not_gate(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        src = textwrap.dedent(
+            """
+            def sweep_spec(ctx):
+                for name in {"a", "b"}:
+                    ctx.emit(name)
+                return (None, ())
+            """
+        )
+        (tmp_path / "warny_layer_mod.py").write_text(src)
+        monkeypatch.syspath_prepend(str(tmp_path))
+        try:
+            code = main(["warny_layer_mod", "--no-warnings"])
+            out = capsys.readouterr().out
+            assert code == 0  # warnings never gate
+            assert "REPRO-N302" not in out
+            assert "1 warning(s)" in out  # counted, just not printed
+        finally:
+            sys.modules.pop("warny_layer_mod", None)
