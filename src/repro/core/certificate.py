@@ -308,6 +308,20 @@ def stamp_provenance(
         )
         if inherited:
             provenance["coverage"] = inherited
+    if "profile" not in provenance:
+        # Same inheritance for the profiling annotation: a re-stamping
+        # wrapper keeps the checker's profile; composition rules inherit
+        # the aggregate redundancy of their premises, so the root of a
+        # derivation states the total measured redundancy backing it.
+        from ..obs.profile import merge_profile_maps
+
+        prior_profile = (cert.provenance or {}).get("profile")
+        inherited_profile = prior_profile or merge_profile_maps(
+            (child.provenance or {}).get("profile")
+            for child in cert.children
+        )
+        if inherited_profile:
+            provenance["profile"] = inherited_profile
     cert.provenance = provenance
     return cert
 

@@ -21,6 +21,13 @@ from ..obs import obs_enabled, span
 from ..obs.coverage import CoverageBuilder, merge_coverage_maps
 from ..obs.forensics import MAX_COUNTEREXAMPLES, build_counterexample
 from ..obs.metrics import MetricsWindow, inc
+from ..obs.profile import (
+    RedundancyBuilder,
+    merge_redundancy,
+    obligation_entry,
+    profile_enabled,
+    profile_span,
+)
 from ..parallel.cache import cached_certificate
 from ..parallel.pool import get_jobs, parallel_map
 from .certificate import Certificate, CertifiedLayer, stamp_provenance
@@ -51,6 +58,7 @@ def behaviors_of(
     max_runs: int = 100_000,
     coverage: Optional[CoverageBuilder] = None,
     jobs: Optional[int] = None,
+    redundancy: Optional[RedundancyBuilder] = None,
 ) -> List[GameResult]:
     """``[[P ⊕ M]]_{L[D]}`` (or ``[[P]]_{L[D]}`` when ``module`` is None).
 
@@ -73,6 +81,7 @@ def behaviors_of(
         results = enumerate_game_logs(
             machine, players, fuel=fuel, max_rounds=max_rounds,
             max_runs=max_runs, coverage=coverage, jobs=jobs,
+            redundancy=redundancy,
         )
     inc("contextual.behaviors_enumerated", len(results))
     return results
@@ -300,7 +309,18 @@ def _check_soundness_uncached(
     def check_client(item) -> Dict[str, Any]:
         index, client = item
         track_cov = obs_enabled()
-        with span("soundness.client", client=index):
+        prof = profile_enabled()
+        t_obligation = time.perf_counter() if prof else 0.0
+        red_low, red_high = (
+            (
+                RedundancyBuilder("machine.schedules"),
+                RedundancyBuilder("machine.schedules"),
+            )
+            if prof else (None, None)
+        )
+        with span("soundness.client", client=index), profile_span(
+            f"obligation[P{index}]"
+        ):
             cov_low, cov_high = (
                 (
                     CoverageBuilder(
@@ -317,12 +337,12 @@ def _check_soundness_uncached(
             low = behaviors_of(
                 layer.underlay, client, layer.module,
                 fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
-                coverage=cov_low, jobs=inner_jobs,
+                coverage=cov_low, jobs=inner_jobs, redundancy=red_low,
             )
             high = behaviors_of(
                 layer.overlay, client, None,
                 fuel=fuel, max_rounds=max_rounds, max_runs=max_runs,
-                coverage=cov_high, jobs=inner_jobs,
+                coverage=cov_high, jobs=inner_jobs, redundancy=red_high,
             )
             maps: List[Dict[str, Any]] = []
             if track_cov:
@@ -340,25 +360,41 @@ def _check_soundness_uncached(
                     fuel=fuel, max_rounds=max_rounds,
                 ),
             )
-        return {
+        output = {
             "obligations": shadow.obligations,
             "low": len(low),
             "high": len(high),
             "logs": tuple(r.log for r in low) + tuple(r.log for r in high),
             "coverage": maps,
         }
+        if prof:
+            output["profile"] = {
+                "obligation": f"P{index}",
+                "wall_us": int((time.perf_counter() - t_obligation) * 1e6),
+                "states": red_low.explored + red_high.explored,
+                "redundancy": merge_redundancy(
+                    [red_low.record(), red_high.record()]
+                ),
+            }
+        return output
 
     with span("check_soundness", module=layer.module.name, clients=len(clients)):
         outputs = parallel_map(
             check_client, list(enumerate(clients)),
             jobs=n_jobs if len(clients) > 1 else 1,
         )
+        profile_entries: List[Dict[str, Any]] = []
+        redundancy_records: List[Dict[str, Any]] = []
         for output in outputs:
             cert.obligations.extend(output["obligations"])
             behaviors["low"] += output["low"]
             behaviors["high"] += output["high"]
             cert.log_universe = cert.log_universe + output["logs"]
             coverage_maps.extend(output["coverage"])
+            client_profile = output.get("profile")
+            if client_profile is not None:
+                redundancy_records.append(client_profile["redundancy"])
+                profile_entries.append(client_profile)
     extra_prov: Dict[str, Any] = dict(
         clients=len(clients),
         low_behaviors=behaviors["low"],
@@ -368,6 +404,11 @@ def _check_soundness_uncached(
     coverage = merge_coverage_maps(coverage_maps)
     if coverage:
         extra_prov["coverage"] = coverage
+    if profile_entries:
+        extra_prov["profile"] = {
+            "redundancy": merge_redundancy(redundancy_records),
+            "obligations": [obligation_entry(e) for e in profile_entries],
+        }
     stamp_provenance(
         cert, time.perf_counter() - started, window, **extra_prov,
     )

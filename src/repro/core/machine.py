@@ -28,7 +28,9 @@ from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Seq
 
 from ..obs import obs_enabled, span
 from ..obs.coverage import SAMPLED, CoverageBuilder
+from ..obs.heartbeat import heartbeat
 from ..obs.metrics import inc
+from ..obs.profile import RedundancyBuilder, profile_enabled, state_fingerprint
 from ..parallel.partition import CHUNKS_PER_WORKER, chunk_evenly
 from ..parallel.pool import get_jobs, parallel_map
 from .context import QUERY, ExecutionContext
@@ -337,6 +339,7 @@ def _explore_prefixes(
     max_runs: int,
     stack: List[Tuple[int, ...]],
     frontier_depth: Optional[int] = None,
+    redundancy: Optional[RedundancyBuilder] = None,
 ) -> Tuple[List[Tuple[Optional[GameResult], Optional[Tuple[int, ...]]]], int, int]:
     """The scheduler-prefix DFS shared by serial and parallel enumeration.
 
@@ -348,6 +351,12 @@ def _explore_prefixes(
     so splicing worker results at those positions reproduces the serial
     result sequence.  Deferred prefixes are neither run nor counted;
     their runs happen (and are counted) in the worker's sub-DFS.
+
+    ``redundancy`` (profiling) accounts the DFS's replay overhead: every
+    run that ends in ``NeedChoice`` re-executed its prefix just to reach
+    a new decision point, and the branch there is one decision point
+    whose width is the ready-set size.  Completed runs are fingerprinted
+    by the caller, which sees the full (spliced) result list.
     """
     plan: List[Tuple[Optional[GameResult], Optional[Tuple[int, ...]]]] = []
     runs = 0
@@ -358,6 +367,7 @@ def _explore_prefixes(
             plan.append((None, prefix))
             continue
         runs += 1
+        heartbeat("machine.schedules", explored=runs, budget=max_runs)
         if runs > max_runs:
             raise OutOfFuel(
                 f"behaviour enumeration exceeded {max_runs} runs "
@@ -366,9 +376,13 @@ def _explore_prefixes(
         try:
             result = run_one(prefix)
         except NeedChoice as need:
+            if redundancy is not None:
+                redundancy.visit(replay=True)
             if len(prefix) >= max_rounds:
                 pruned += 1
                 continue
+            if redundancy is not None:
+                redundancy.branch(len(need.ready))
             for tid in sorted(need.ready, reverse=True):
                 stack.append(prefix + (tid,))
             continue
@@ -386,6 +400,7 @@ def enumerate_game_logs(
     fine_grained: bool = False,
     coverage: Optional[CoverageBuilder] = None,
     jobs: Optional[int] = None,
+    redundancy: Optional[RedundancyBuilder] = None,
 ) -> List[GameResult]:
     """Exhaustively enumerate game outcomes over all schedulers.
 
@@ -414,6 +429,10 @@ def enumerate_game_logs(
         coverage = CoverageBuilder(
             "machine.schedules", budget=max_runs, depth_bound=max_rounds
         )
+    own_redundancy = False
+    if redundancy is None and profile_enabled():
+        redundancy = RedundancyBuilder("machine.schedules")
+        own_redundancy = True
 
     def run_one(prefix: Tuple[int, ...]) -> GameResult:
         return run_game(
@@ -441,7 +460,8 @@ def enumerate_game_logs(
     ):
         try:
             plan, runs, pruned = _explore_prefixes(
-                run_one, max_rounds, max_runs, [()], frontier_depth=split
+                run_one, max_rounds, max_runs, [()], frontier_depth=split,
+                redundancy=redundancy,
             )
             if split is not None:
                 frontier = [prefix for result, prefix in plan if result is None]
@@ -449,11 +469,21 @@ def enumerate_game_logs(
                 def explore_subtrees(prefixes):
                     out = []
                     for prefix in prefixes:
+                        sub_red = (
+                            RedundancyBuilder("machine.schedules")
+                            if profile_enabled() else None
+                        )
                         sub_plan, sub_runs, sub_pruned = _explore_prefixes(
-                            run_one, max_rounds, max_runs, [prefix]
+                            run_one, max_rounds, max_runs, [prefix],
+                            redundancy=sub_red,
                         )
                         out.append(
-                            ([r for r, _ in sub_plan], sub_runs, sub_pruned)
+                            (
+                                [r for r, _ in sub_plan],
+                                sub_runs,
+                                sub_pruned,
+                                sub_red.as_dict() if sub_red else None,
+                            )
                         )
                     return out
 
@@ -470,11 +500,14 @@ def enumerate_game_logs(
                     if result is not None:
                         results.append(result)
                     else:
-                        sub_results, sub_runs, sub_pruned = subtree_outputs[cursor]
+                        (sub_results, sub_runs, sub_pruned,
+                         sub_red_record) = subtree_outputs[cursor]
                         cursor += 1
                         results.extend(sub_results)
                         runs += sub_runs
                         pruned += sub_pruned
+                        if redundancy is not None and sub_red_record:
+                            redundancy.absorb(sub_red_record)
                 if runs > max_runs:
                     raise OutOfFuel(
                         f"behaviour enumeration exceeded {max_runs} runs "
@@ -495,6 +528,22 @@ def enumerate_game_logs(
         coverage.distinct = (coverage.distinct or 0) + len(results)
         if own_coverage:
             coverage.record()
+    if redundancy is not None:
+        # Completed runs are fingerprinted here, over the final (spliced)
+        # result list, so fingerprint universes never cross the process
+        # boundary: replay-equivalence is judged exactly as a serial
+        # enumeration would judge it.
+        for result in results:
+            redundancy.visit(
+                state_fingerprint(
+                    result.log.without_sched(),
+                    repr(sorted(result.rets.items())),
+                    result.finished,
+                    result.stuck,
+                )
+            )
+        if own_redundancy:
+            redundancy.record()
     if obs_enabled():
         inc("machine.schedules_explored", runs)
         inc("machine.interleavings", len(results))

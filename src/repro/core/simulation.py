@@ -35,7 +35,16 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set,
 from ..obs import obs_enabled, span
 from ..obs.coverage import CoverageBuilder, merge_coverage_maps
 from ..obs.forensics import MAX_COUNTEREXAMPLES, build_counterexample
+from ..obs.heartbeat import heartbeat
 from ..obs.metrics import MetricsWindow, inc, observe
+from ..obs.profile import (
+    RedundancyBuilder,
+    merge_redundancy,
+    obligation_entry,
+    profile_enabled,
+    profile_span,
+    state_fingerprint,
+)
 from ..parallel.partition import CHUNKS_PER_WORKER, chunk_evenly
 from ..parallel.pool import get_jobs, parallel_map
 from .certificate import Certificate, stamp_provenance
@@ -127,6 +136,7 @@ def enumerate_local_runs(
     config: SimConfig,
     rely: Optional[Rely] = None,
     coverage: Optional[CoverageBuilder] = None,
+    redundancy: Optional[RedundancyBuilder] = None,
 ) -> List[RunRecord]:
     """All runs of ``player`` under environment behaviours to the bound.
 
@@ -138,7 +148,9 @@ def enumerate_local_runs(
 
     ``coverage`` (optional) accumulates explored-vs-budget counts and a
     depth histogram over the choice prefixes; checkers stamp it into
-    certificate provenance.
+    certificate provenance.  While profiling, ``redundancy`` (created
+    here if not supplied) hash-conses each run's outcome fingerprint to
+    count replay-equivalent duplicates and branching factors.
     """
     rely = rely if rely is not None else interface.rely
     env_tids = {e.tid for batch in config.env_alphabet for e in batch}
@@ -147,46 +159,62 @@ def enumerate_local_runs(
     runs = 0
     seen: Set[Tuple[Any, ...]] = set()
     tracking = obs_enabled()
-    while stack:
-        choices = stack.pop()
-        runs += 1
-        if runs > config.max_runs:
-            if coverage is not None:
-                coverage.exhausted = False
-            raise OutOfFuel(
-                f"simulation enumeration exceeded {config.max_runs} runs"
+    own_redundancy = False
+    if redundancy is None and profile_enabled():
+        redundancy = RedundancyBuilder("env_contexts")
+        own_redundancy = True
+    with profile_span("enumerate_local_runs"):
+        while stack:
+            choices = stack.pop()
+            runs += 1
+            heartbeat("sim.env_contexts", explored=runs, budget=config.max_runs)
+            if runs > config.max_runs:
+                if coverage is not None:
+                    coverage.exhausted = False
+                raise OutOfFuel(
+                    f"simulation enumeration exceeded {config.max_runs} runs"
+                )
+            env = RecordingEnv(ChoiceEnv(config.env_alphabet, choices))
+            run = run_local(
+                interface, tid, player, args, env=env, fuel=config.fuel
             )
-        env = RecordingEnv(ChoiceEnv(config.env_alphabet, choices))
-        run = run_local(
-            interface, tid, player, args, env=env, fuel=config.fuel
-        )
-        if run.queries < len(choices):
-            # This prefix is longer than the player's query sequence under
-            # it; it denotes no new behaviour (already covered by the
-            # shorter prefix).  Skip without branching.
-            continue
-        if coverage is not None:
-            coverage.visit(depth=len(choices))
-        if config.check_rely and not env_events_valid(run.log, rely, env_tids):
-            if tracking:
-                inc("sim.env_contexts_rely_pruned")
+            if run.queries < len(choices):
+                # This prefix is longer than the player's query sequence
+                # under it; it denotes no new behaviour (already covered by
+                # the shorter prefix).  Skip without branching.
+                if redundancy is not None:
+                    redundancy.visit(replay=True)
+                continue
             if coverage is not None:
-                coverage.prune()
-            continue
-        key = (run.log, repr(run.ret), run.finished, run.stuck)
-        if key not in seen:
-            seen.add(key)
-            results.append(
-                RunRecord(choices, tuple(env.batches), run)
-            )
-        if run.queries > len(choices) and len(choices) < config.env_depth:
-            for index in range(len(config.env_alphabet)):
-                stack.append(choices + (index,))
+                coverage.visit(depth=len(choices))
+            key = (run.log, repr(run.ret), run.finished, run.stuck)
+            if redundancy is not None:
+                redundancy.visit(state_fingerprint(*key))
+            if config.check_rely and not env_events_valid(
+                run.log, rely, env_tids
+            ):
+                if tracking:
+                    inc("sim.env_contexts_rely_pruned")
+                if coverage is not None:
+                    coverage.prune()
+                continue
+            if key not in seen:
+                seen.add(key)
+                results.append(
+                    RunRecord(choices, tuple(env.batches), run)
+                )
+            if run.queries > len(choices) and len(choices) < config.env_depth:
+                if redundancy is not None:
+                    redundancy.branch(len(config.env_alphabet))
+                for index in range(len(config.env_alphabet)):
+                    stack.append(choices + (index,))
     if tracking:
         inc("sim.runs_enumerated", runs)
         inc("sim.env_contexts", len(results))
     if coverage is not None:
         coverage.distinct = (coverage.distinct or 0) + len(results)
+    if own_redundancy:
+        redundancy.record()
     return results
 
 
@@ -387,7 +415,9 @@ def _discharge_sim_records(
 ) -> None:
     """Discharge the per-environment-context obligations of one argument
     vector (the inner loop of :func:`check_sim`)."""
-    for record in records:
+    budget = len(records)
+    for explored, record in enumerate(records):
+        heartbeat("sim.discharge", explored=explored, budget=budget)
         label = f"args={args} env={record.choices}"
         logs.append(record.run.log)
         if not record.run.ok:
@@ -502,6 +532,9 @@ def check_sim(
 
     def check_args_vector(args: Tuple[Any, ...]) -> Dict[str, Any]:
         """One argument vector: enumerate env contexts, discharge each."""
+        prof = profile_enabled()
+        t_obligation = time.perf_counter() if prof else 0.0
+        env_red = RedundancyBuilder("env_contexts") if prof else None
         env_cov = (
             CoverageBuilder(
                 "env_contexts",
@@ -510,44 +543,58 @@ def check_sim(
             )
             if obs_enabled() else None
         )
-        records = enumerate_local_runs(
-            high_iface, tid, high_player, args, config, coverage=env_cov,
-        )
-        scratch = Certificate(judgment=judgment, rule=rule)
-        task_logs: List[Log] = []
-        if n_jobs > 1 and len(config.args_list) == 1 and len(records) > 1:
-            # Single argument vector: the parallelism is per environment
-            # context.  Records hold live execution contexts and reach
-            # workers via fork inheritance, never the pickle pipe.
-            def discharge_chunk(chunk: List[RunRecord]) -> Dict[str, Any]:
-                chunk_cert = Certificate(judgment=judgment, rule=rule)
-                chunk_logs: List[Log] = []
-                _discharge_sim_records(
-                    chunk, args, low_iface, low_player, relation, tid,
-                    config, chunk_cert, chunk_logs, make_forensics(),
-                )
-                return {
-                    "obligations": chunk_cert.obligations,
-                    "logs": chunk_logs,
-                }
-
-            chunks = chunk_evenly(records, n_jobs * CHUNKS_PER_WORKER)
-            for chunk_output in parallel_map(
-                discharge_chunk, chunks, jobs=n_jobs
-            ):
-                scratch.obligations.extend(chunk_output["obligations"])
-                task_logs.extend(chunk_output["logs"])
-        else:
-            _discharge_sim_records(
-                records, args, low_iface, low_player, relation, tid,
-                config, scratch, task_logs, make_forensics(),
+        with profile_span(f"obligation[args={args}]"):
+            records = enumerate_local_runs(
+                high_iface, tid, high_player, args, config,
+                coverage=env_cov, redundancy=env_red,
             )
-        return {
+            scratch = Certificate(judgment=judgment, rule=rule)
+            task_logs: List[Log] = []
+            if n_jobs > 1 and len(config.args_list) == 1 and len(records) > 1:
+                # Single argument vector: the parallelism is per environment
+                # context.  Records hold live execution contexts and reach
+                # workers via fork inheritance, never the pickle pipe.
+                def discharge_chunk(chunk: List[RunRecord]) -> Dict[str, Any]:
+                    chunk_cert = Certificate(judgment=judgment, rule=rule)
+                    chunk_logs: List[Log] = []
+                    _discharge_sim_records(
+                        chunk, args, low_iface, low_player, relation, tid,
+                        config, chunk_cert, chunk_logs, make_forensics(),
+                    )
+                    return {
+                        "obligations": chunk_cert.obligations,
+                        "logs": chunk_logs,
+                    }
+
+                chunks = chunk_evenly(records, n_jobs * CHUNKS_PER_WORKER)
+                for chunk_output in parallel_map(
+                    discharge_chunk, chunks, jobs=n_jobs
+                ):
+                    scratch.obligations.extend(chunk_output["obligations"])
+                    task_logs.extend(chunk_output["logs"])
+            else:
+                _discharge_sim_records(
+                    records, args, low_iface, low_player, relation, tid,
+                    config, scratch, task_logs, make_forensics(),
+                )
+        output = {
             "obligations": scratch.obligations,
             "logs": task_logs,
             "env_contexts": len(records),
             "coverage": env_cov.record() if env_cov is not None else None,
         }
+        if prof:
+            # The discharge loop appends one log per spec run plus one per
+            # executed implementation run, so low-run count falls out of
+            # the ledger without extra plumbing.
+            low_runs = len(task_logs) - len(records)
+            output["profile"] = {
+                "obligation": f"args={args}",
+                "wall_us": int((time.perf_counter() - t_obligation) * 1e6),
+                "states": env_red.explored + low_runs,
+                "redundancy": env_red.record(),
+            }
+        return output
 
     with span("check_sim", judgment=judgment, rule=rule):
         init_ok = relation.relate_logs(
@@ -560,6 +607,8 @@ def check_sim(
             check_args_vector, args_vectors,
             jobs=n_jobs if len(args_vectors) > 1 else 1,
         )
+        profile_entries: List[Dict[str, Any]] = []
+        redundancy_records: List[Dict[str, Any]] = []
         for output in outputs:
             if args_cov is not None:
                 args_cov.visit()
@@ -568,6 +617,10 @@ def check_sim(
             env_contexts += output["env_contexts"]
             cert.obligations.extend(output["obligations"])
             logs.extend(output["logs"])
+            task_profile = output.get("profile")
+            if task_profile is not None:
+                redundancy_records.append(task_profile["redundancy"])
+                profile_entries.append(task_profile)
         _trim_counterexamples(cert.obligations)
     cert.log_universe = tuple(logs)
     elapsed = time.perf_counter() - started
@@ -585,6 +638,11 @@ def check_sim(
     coverage = merge_coverage_maps(coverage_maps)
     if coverage:
         extra["coverage"] = coverage
+    if profile_entries:
+        extra["profile"] = {
+            "redundancy": merge_redundancy(redundancy_records),
+            "obligations": [obligation_entry(e) for e in profile_entries],
+        }
     stamp_provenance(cert, elapsed, window, **extra)
     return cert
 
@@ -759,6 +817,9 @@ def check_scenario_sim(
             relation,
         )
 
+    prof = profile_enabled()
+    t_obligation = time.perf_counter() if prof else 0.0
+    env_red = RedundancyBuilder("env_contexts") if prof else None
     env_cov = (
         CoverageBuilder(
             "env_contexts",
@@ -769,14 +830,15 @@ def check_scenario_sim(
     )
     with span(
         "check_scenario_sim", scenario=scenario.label, judgment=judgment
-    ):
+    ), profile_span(f"obligation[{scenario.label}]"):
         init_ok = relation.relate_logs(
             Log(low_iface.init_log), Log(high_iface.init_log)
         )
         cert.add("initial logs related", init_ok)
         spec_player = scenario_spec_player(scenario)
         records = enumerate_local_runs(
-            high_iface, tid, spec_player, (), config, coverage=env_cov
+            high_iface, tid, spec_player, (), config,
+            coverage=env_cov, redundancy=env_red,
         )
         if n_jobs > 1 and len(records) > 1:
             def discharge_chunk(chunk) -> Dict[str, Any]:
@@ -817,6 +879,24 @@ def check_scenario_sim(
         extra["coverage"] = merge_coverage_maps(
             [{"env_contexts": env_cov.record()}]
         )
+    if env_red is not None:
+        redundancy = env_red.record()
+        low_runs = len(logs) - len(records)
+        extra["profile"] = {
+            "redundancy": merge_redundancy([redundancy]),
+            "obligations": [
+                obligation_entry(
+                    {
+                        "obligation": scenario.label,
+                        "wall_us": int(
+                            (time.perf_counter() - t_obligation) * 1e6
+                        ),
+                        "states": env_red.explored + low_runs,
+                        "redundancy": redundancy,
+                    }
+                )
+            ],
+        }
     stamp_provenance(cert, elapsed, window, **extra)
     return cert
 
@@ -828,7 +908,9 @@ def _check_scenario_records(
     """Discharge one scenario's per-environment-context obligations."""
     from .environment import CallScriptedEnv
 
-    for record in records:
+    budget = len(records)
+    for explored, record in enumerate(records):
+        heartbeat("sim.discharge", explored=explored, budget=budget)
         label = f"{scenario.label} env={record.choices}"
         logs.append(record.run.log)
         if not record.run.ok:

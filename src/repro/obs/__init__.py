@@ -16,8 +16,16 @@ stack.  Three pieces:
 - :mod:`repro.obs.coverage` — exploration-coverage accounting for every
   bounded enumeration, rolled into certificate provenance and the run
   report's coverage map;
+- :mod:`repro.obs.profile` — deep state-space profiling (a second
+  opt-in tier): redundancy accounting over hash-consed state
+  fingerprints, per-obligation wall/state attribution, pool & cache
+  timelines;
+- :mod:`repro.obs.flamegraph` — collapsed-stack and speedscope export
+  of the span tree;
+- :mod:`repro.obs.heartbeat` — live JSONL progress streaming for
+  long-running derivations;
 - :mod:`repro.obs.cli` — ``python -m repro.obs`` with ``report`` /
-  ``explain`` / ``compare`` subcommands.
+  ``explain`` / ``compare`` / ``watch`` subcommands.
 
 Off by default: instrumented hot paths pay only a flag test until
 :func:`enable` (or the :func:`observing` context manager) turns
@@ -90,6 +98,35 @@ from .report import (
     span_rollup,
     write_jsonl,
 )
+from .profile import (
+    PROFILER,
+    ProfileCollector,
+    RedundancyBuilder,
+    disable_profiling,
+    enable_profiling,
+    merge_profile_maps,
+    merge_redundancy,
+    obligation_entry,
+    profile_enabled,
+    profile_span,
+    profiler,
+    profiling,
+    state_fingerprint,
+)
+from .heartbeat import (
+    HEARTBEAT_SCHEMA,
+    HeartbeatWriter,
+    heartbeat,
+    heartbeat_writer,
+    start_heartbeat,
+    stop_heartbeat,
+)
+from .flamegraph import (
+    collapsed_stacks,
+    speedscope,
+    write_collapsed,
+    write_speedscope,
+)
 
 __all__ = [
     "COVERAGE",
@@ -139,4 +176,27 @@ __all__ = [
     "render_report",
     "report_json",
     "span_rollup",
+    "PROFILER",
+    "ProfileCollector",
+    "RedundancyBuilder",
+    "disable_profiling",
+    "enable_profiling",
+    "merge_profile_maps",
+    "merge_redundancy",
+    "obligation_entry",
+    "profile_enabled",
+    "profile_span",
+    "profiler",
+    "profiling",
+    "state_fingerprint",
+    "HEARTBEAT_SCHEMA",
+    "HeartbeatWriter",
+    "heartbeat",
+    "heartbeat_writer",
+    "start_heartbeat",
+    "stop_heartbeat",
+    "collapsed_stacks",
+    "speedscope",
+    "write_collapsed",
+    "write_speedscope",
 ]

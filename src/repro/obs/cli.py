@@ -1,6 +1,6 @@
 """``python -m repro.obs`` — render, explain, and compare run artifacts.
 
-Three subcommands over the files the toolkit already writes:
+Four subcommands over the files the toolkit already writes:
 
 * ``report <events.jsonl>`` — render a run's JSONL event stream
   (:func:`repro.obs.write_jsonl`) as the text report: span rollup,
@@ -13,6 +13,9 @@ Three subcommands over the files the toolkit already writes:
   files (``repro.bench/v1``, written by ``benchmarks/conftest.py``);
   warns past ``--threshold`` and exits non-zero past
   ``--fail-threshold`` (the CI regression gate).
+* ``watch <heartbeat.jsonl>`` — follow a live heartbeat stream
+  (:mod:`repro.obs.heartbeat`) and render progress lines with explored
+  counts, rates and ETA; exits when the run writes its ``end`` record.
 
 Everything here reads files; nothing imports :mod:`repro.core`, so the
 CLI stays usable on exported artifacts without the checker stack.
@@ -23,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 from .coverage import CoverageRegistry
@@ -59,6 +63,48 @@ def _counterexample_of(evidence: Optional[Dict[str, Any]]) -> Optional[Counterex
     ):
         return Counterexample.from_dict(data)
     return None
+
+
+def _render_profile(profile: Dict[str, Any]) -> List[str]:
+    """Render a certificate's ``profile`` provenance annotation.
+
+    One line for the judgment-level redundancy rollup (the measured
+    DPOR / hash-consing headroom), then a table of per-obligation
+    explored-state and wall-time attribution.
+    """
+    lines: List[str] = []
+    redundancy = profile.get("redundancy") or {}
+    if redundancy:
+        branching = redundancy.get("branching")
+        branch_note = (
+            " branching=" + ",".join(
+                f"{factor}x{count}" for factor, count in branching.items()
+            )
+            if branching else ""
+        )
+        lines.append(
+            f"redundancy[{redundancy.get('axis', '?')}]: "
+            f"ratio={redundancy.get('ratio', 0.0):.1%} "
+            f"({redundancy.get('explored', 0)} explored, "
+            f"{redundancy.get('distinct', 0)} distinct, "
+            f"{redundancy.get('duplicates', 0)} duplicate(s), "
+            f"{redundancy.get('replayed', 0)} replayed)"
+            f"{branch_note}"
+        )
+    obligations = profile.get("obligations") or []
+    if obligations:
+        lines.append("obligation profile:")
+        for entry in obligations:
+            wall_us = entry.get("wall_us")
+            wall = f"{wall_us / 1e6:.3f}s" if wall_us is not None else "-"
+            ratio = entry.get("ratio")
+            ratio_txt = f"{ratio:.1%}" if ratio is not None else "-"
+            lines.append(
+                f"  {entry.get('obligation')}: "
+                f"{entry.get('states', 0)} state(s) explored, "
+                f"wall {wall}, redundancy {ratio_txt}"
+            )
+    return lines
 
 
 def _explain_cert(cert: Dict[str, Any], indent: int = 0,
@@ -106,6 +152,9 @@ def _explain_cert(cert: Dict[str, Any], indent: int = 0,
                     f"{f.get('rule')}: {mark}{f.get('message')} "
                     f"[{f.get('location')}]"
                 )
+        profile = provenance.get("profile")
+        if profile:
+            lines.extend(f"{pad}  {line}" for line in _render_profile(profile))
     for obligation in cert.get("obligations") or []:
         ok = obligation.get("ok")
         if ok and not show_ok:
@@ -164,15 +213,138 @@ def _count_counterexamples(cert: Dict[str, Any]) -> int:
     )
 
 
+def _render_heartbeat_line(record: Dict[str, Any]) -> Optional[str]:
+    """One display line per heartbeat record; ``None`` for unknown types.
+
+    Unknown record types are skipped silently — the wire format is
+    shared with future producers (``repro.serve``) and the convention
+    (as with the events file) is that consumers ignore what they do not
+    know.
+    """
+    kind = record.get("type")
+    if kind == "start":
+        return f"-- stream started (pid {record.get('pid', '?')})"
+    if kind == "end":
+        return (
+            f"-- finished: {record.get('status', '?')} "
+            f"after {record.get('t_s', 0.0):.1f}s"
+        )
+    if kind != "heartbeat":
+        return None
+    parts = [f"[{record.get('t_s', 0.0):8.1f}s]", str(record.get("phase", "?"))]
+    explored = record.get("explored")
+    if explored is not None:
+        budget = record.get("budget")
+        parts.append(
+            f"{explored}/{budget}" if budget is not None else str(explored)
+        )
+    rate = record.get("rate_per_s")
+    if rate is not None:
+        parts.append(f"{rate}/s")
+    eta = record.get("eta_s")
+    if eta is not None:
+        parts.append(f"eta {eta}s")
+    pid = record.get("pid")
+    if pid is not None:
+        parts.append(f"(pid {pid})")
+    return "  ".join(parts)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Follow a heartbeat stream and render progress lines.
+
+    Follows by default (like ``tail -f``), waiting for the stream file
+    to appear if the run has not started yet, and exits when the run
+    appends its ``end`` record.  ``--no-follow`` renders whatever is
+    already in the file and exits — the mode tests and scripts use.
+    """
+    deadline = (
+        time.monotonic() + args.timeout if args.timeout is not None else None
+    )
+    while not args.no_follow:
+        try:
+            with open(args.stream, "r", encoding="utf-8"):
+                pass
+            break
+        except OSError:
+            if deadline is not None and time.monotonic() >= deadline:
+                print(
+                    f"error: heartbeat stream {args.stream!r} did not appear",
+                    file=sys.stderr,
+                )
+                return 2
+            time.sleep(args.interval)
+    try:
+        handle = open(args.stream, "r", encoding="utf-8")
+    except OSError as err:
+        print(f"error: cannot read heartbeat stream {args.stream!r}: {err}",
+              file=sys.stderr)
+        return 2
+    with handle:
+        buffered = ""
+        while True:
+            chunk = handle.readline()
+            if not chunk:
+                if args.no_follow:
+                    return 0
+                if deadline is not None and time.monotonic() >= deadline:
+                    print("watch: timed out waiting for heartbeats",
+                          file=sys.stderr)
+                    return 3
+                time.sleep(args.interval)
+                continue
+            buffered += chunk
+            if not buffered.endswith("\n"):
+                continue  # a producer is mid-append; wait for the rest
+            line, buffered = buffered.strip(), ""
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn or foreign line: skip, keep following
+            rendered = _render_heartbeat_line(record)
+            if rendered is not None:
+                print(rendered, flush=True)
+            if record.get("type") == "end":
+                return 0
+
+
 def _load_bench(path: str) -> Dict[str, Dict[str, Any]]:
+    """Load one ``repro.bench/v1`` file as a nodeid → record map.
+
+    Raises ``ValueError`` with a one-line, path-prefixed diagnostic for
+    every malformation (wrong top-level type, wrong schema, non-list
+    ``tests``, non-dict entries, entries without a ``nodeid``), so
+    ``compare`` can turn any bad input into a clean usage error instead
+    of a traceback.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path!r} is not a repro.bench/v1 result file "
+            f"(top-level JSON is {type(payload).__name__}, expected object)"
+        )
     if payload.get("schema") != "repro.bench/v1":
         raise ValueError(
             f"{path!r} is not a repro.bench/v1 result file "
             f"(schema={payload.get('schema')!r})"
         )
-    return {t["nodeid"]: t for t in payload.get("tests", [])}
+    tests = payload.get("tests", [])
+    if not isinstance(tests, list):
+        raise ValueError(
+            f"{path!r} is malformed: 'tests' is "
+            f"{type(tests).__name__}, expected a list"
+        )
+    out: Dict[str, Dict[str, Any]] = {}
+    for index, entry in enumerate(tests):
+        if not isinstance(entry, dict) or "nodeid" not in entry:
+            raise ValueError(
+                f"{path!r} is malformed: tests[{index}] has no 'nodeid'"
+            )
+        out[entry["nodeid"]] = entry
+    return out
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -185,12 +357,21 @@ def cmd_compare(args: argparse.Namespace) -> int:
     noise-dominated.  With ``--json`` the comparison is emitted as one
     machine-readable document instead of the table.
     """
-    try:
-        baseline = _load_bench(args.baseline)
-        candidate = _load_bench(args.candidate)
-    except (OSError, json.JSONDecodeError, ValueError, KeyError) as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 2
+    loaded: List[Dict[str, Dict[str, Any]]] = []
+    for path in (args.baseline, args.candidate):
+        try:
+            loaded.append(_load_bench(path))
+        except OSError as err:
+            print(f"error: cannot read benchmark file {path!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as err:
+            print(f"error: {path!r} is not valid JSON: {err}", file=sys.stderr)
+            return 2
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+    baseline, candidate = loaded
 
     records: List[Dict[str, Any]] = []
     warnings: List[str] = []
@@ -333,12 +514,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the comparison as machine-readable JSON instead of a table",
     )
     p_compare.set_defaults(func=cmd_compare)
+
+    p_watch = sub.add_parser(
+        "watch", help="follow a live heartbeat stream (heartbeat.jsonl)"
+    )
+    p_watch.add_argument("stream", help="path to a repro.obs/heartbeat/v1 JSONL stream")
+    p_watch.add_argument(
+        "--no-follow", action="store_true",
+        help="render the current stream contents and exit",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=0.2,
+        help="poll interval while following, in seconds (default 0.2)",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up following after this many seconds (default: never)",
+    )
+    p_watch.set_defaults(func=cmd_watch)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (``... | head``): exit quietly, like tail/cat.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

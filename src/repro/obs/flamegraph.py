@@ -1,0 +1,138 @@
+"""Flamegraph export: collapsed stacks and speedscope JSON.
+
+The span tree already attributes wall time rule → obligation →
+enumeration stage (profiling adds the obligation/stage resolution via
+:func:`repro.obs.profile.profile_span`); this module folds it into the
+two interchange formats flamegraph tooling expects:
+
+* **collapsed stacks** (:func:`collapsed_stacks` /
+  :func:`write_collapsed`) — one ``root;child;leaf <µs>`` line per
+  unique stack, the input format of Brendan Gregg's ``flamegraph.pl``
+  and importable by speedscope;
+* **speedscope JSON** (:func:`speedscope` / :func:`write_speedscope`) —
+  a ``sampled``-type profile where each unique stack is one sample
+  weighted by its self-time in microseconds, loadable directly at
+  https://www.speedscope.app (File → Import, no network needed).
+
+Weights are **self-times**: each span contributes its duration minus
+the duration of its direct children, so the flamegraph's widths sum to
+total traced wall time without double counting.  Spans adopted from
+fork-pool workers are re-parented under the span that was open at the
+fan-out point (see ``TraceCollector.adopt``), so parallel runs keep the
+same rule → obligation nesting as serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .trace import SpanRecord, TraceCollector, collector as _default_collector
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def _stack_of(
+    record: SpanRecord, by_sid: Dict[int, SpanRecord]
+) -> Tuple[str, ...]:
+    """The root→leaf name path of one span (cycle-guarded)."""
+    names: List[str] = []
+    seen = set()
+    node: Optional[SpanRecord] = record
+    while node is not None and node.sid not in seen:
+        seen.add(node.sid)
+        names.append(node.name)
+        node = by_sid.get(node.parent) if node.parent is not None else None
+    return tuple(reversed(names))
+
+
+def collapsed_stacks(
+    trace_collector: Optional[TraceCollector] = None,
+) -> Dict[Tuple[str, ...], float]:
+    """Self-time in microseconds per unique root→leaf stack."""
+    trace_collector = trace_collector or _default_collector()
+    spans = trace_collector.spans
+    by_sid = {record.sid: record for record in spans}
+    child_us: Dict[int, float] = {}
+    for record in spans:
+        if record.parent is not None and record.parent in by_sid:
+            child_us[record.parent] = (
+                child_us.get(record.parent, 0.0) + record.dur_us
+            )
+    stacks: Dict[Tuple[str, ...], float] = {}
+    for record in spans:
+        self_us = max(0.0, record.dur_us - child_us.get(record.sid, 0.0))
+        if self_us <= 0.0:
+            continue
+        stack = _stack_of(record, by_sid)
+        stacks[stack] = stacks.get(stack, 0.0) + self_us
+    return stacks
+
+
+def write_collapsed(
+    path: str, trace_collector: Optional[TraceCollector] = None
+) -> str:
+    """Write ``flamegraph.pl``-format collapsed stacks; returns the path.
+
+    One line per unique stack: semicolon-joined frame names, a space,
+    and the integer self-time in microseconds.
+    """
+    stacks = collapsed_stacks(trace_collector)
+    with open(path, "w", encoding="utf-8") as handle:
+        for stack in sorted(stacks):
+            weight = int(round(stacks[stack]))
+            if weight > 0:
+                handle.write(";".join(stack) + f" {weight}\n")
+    return path
+
+
+def speedscope(
+    name: str = "repro verification run",
+    trace_collector: Optional[TraceCollector] = None,
+) -> Dict[str, Any]:
+    """The collected spans as a speedscope ``sampled`` profile object."""
+    stacks = collapsed_stacks(trace_collector)
+    frame_index: Dict[str, int] = {}
+    frames: List[Dict[str, str]] = []
+    samples: List[List[int]] = []
+    weights: List[float] = []
+    for stack in sorted(stacks):
+        weight = round(stacks[stack], 1)
+        if weight <= 0:
+            continue
+        sample = []
+        for frame_name in stack:
+            if frame_name not in frame_index:
+                frame_index[frame_name] = len(frames)
+                frames.append({"name": frame_name})
+            sample.append(frame_index[frame_name])
+        samples.append(sample)
+        weights.append(weight)
+    total = round(sum(weights), 1)
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "microseconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+    }
+
+
+def write_speedscope(
+    path: str,
+    name: str = "repro verification run",
+    trace_collector: Optional[TraceCollector] = None,
+) -> str:
+    """Serialize :func:`speedscope` to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(speedscope(name, trace_collector), handle, indent=1)
+    return path

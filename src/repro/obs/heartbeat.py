@@ -1,0 +1,174 @@
+"""Live progress streaming for long-running derivations.
+
+A heartbeat is one JSON line appended to a stream file: elapsed time,
+the phase the enumeration core is in, explored/budget counters, the
+observed exploration rate and the ETA it implies, plus a snapshot of
+the metric counters.  The enumeration loops call :func:`heartbeat` at
+their natural progress points; the writer rate-limits to a few lines
+per second so the hooks cost nothing measurable.
+
+``python -m repro.obs watch`` renders the stream live; the line format
+(``repro.obs/heartbeat/v1``) is the wire format the future
+``repro.serve`` daemon will reuse, so consumers must ignore record
+types they do not know (mirroring the events-file convention).
+
+Concurrency: the stream is opened in append mode for every record and
+each record is a single ``write`` of one line.  POSIX ``O_APPEND``
+makes those writes atomic, so fork-pool workers (which inherit the
+writer) can beat into the same stream; consumers interleave by ``t_s``
+and distinguish processes by ``pid``.
+
+Off by default.  Enable with :func:`start_heartbeat` or by setting
+``REPRO_HEARTBEAT=/path/to/stream.jsonl`` in the environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+HEARTBEAT_SCHEMA = "repro.obs/heartbeat/v1"
+
+#: Environment switch: a path enables heartbeat streaming at import time.
+HEARTBEAT_ENV = "REPRO_HEARTBEAT"
+
+
+class HeartbeatWriter:
+    """Appends heartbeat records to one JSONL stream file."""
+
+    def __init__(self, path: str, interval_s: float = 0.25):
+        self.path = path
+        self.interval_s = interval_s
+        self._start = time.monotonic()
+        self._last_beat = -interval_s  # first beat always passes
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._append(
+            {
+                "type": "start",
+                "schema": HEARTBEAT_SCHEMA,
+                "t_s": 0.0,
+                "pid": os.getpid(),
+            }
+        )
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        except OSError:  # streaming is best-effort: never fail the run
+            pass
+
+    def beat(
+        self,
+        phase: str,
+        explored: Optional[int] = None,
+        budget: Optional[int] = None,
+        force: bool = False,
+        **extra: Any,
+    ) -> bool:
+        """Append one heartbeat; rate-limited unless ``force``.
+
+        Returns whether a record was written, so hot loops can cheaply
+        interleave calls without tracking the rate limit themselves.
+        """
+        now = time.monotonic()
+        if not force and now - self._last_beat < self.interval_s:
+            return False
+        self._last_beat = now
+        elapsed = now - self._start
+        record: Dict[str, Any] = {
+            "type": "heartbeat",
+            "t_s": round(elapsed, 3),
+            "pid": os.getpid(),
+            "phase": phase,
+        }
+        if explored is not None:
+            record["explored"] = explored
+            if elapsed > 0:
+                rate = explored / elapsed
+                record["rate_per_s"] = round(rate, 1)
+                if budget is not None and rate > 0:
+                    record["eta_s"] = round(max(0, budget - explored) / rate, 1)
+        if budget is not None:
+            record["budget"] = budget
+        counters = _counter_snapshot()
+        if counters:
+            record["counters"] = counters
+        record.update(extra)
+        self._append(record)
+        return True
+
+    def end(self, status: str = "done", **extra: Any) -> None:
+        """Append the terminal record; ``watch`` stops on it."""
+        record: Dict[str, Any] = {
+            "type": "end",
+            "t_s": round(time.monotonic() - self._start, 3),
+            "pid": os.getpid(),
+            "status": status,
+        }
+        counters = _counter_snapshot()
+        if counters:
+            record["counters"] = counters
+        record.update(extra)
+        self._append(record)
+
+
+def _counter_snapshot() -> Dict[str, int]:
+    """Current metric counters (empty when obs is off)."""
+    from .metrics import REGISTRY
+    from .trace import obs_enabled
+
+    if not obs_enabled():
+        return {}
+    return REGISTRY.counter_values()
+
+
+_WRITER: Optional[HeartbeatWriter] = None
+
+
+def heartbeat_writer() -> Optional[HeartbeatWriter]:
+    """The active stream writer, if any."""
+    return _WRITER
+
+
+def start_heartbeat(path: str, interval_s: float = 0.25) -> HeartbeatWriter:
+    """Begin streaming heartbeats to ``path`` (truncates the stream)."""
+    global _WRITER
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+    _WRITER = HeartbeatWriter(path, interval_s=interval_s)
+    return _WRITER
+
+
+def stop_heartbeat(status: str = "done", **extra: Any) -> None:
+    """Append the terminal record and detach the writer."""
+    global _WRITER
+    if _WRITER is not None:
+        _WRITER.end(status=status, **extra)
+        _WRITER = None
+
+
+def heartbeat(
+    phase: str,
+    explored: Optional[int] = None,
+    budget: Optional[int] = None,
+    force: bool = False,
+    **extra: Any,
+) -> bool:
+    """Module-level beat hook: a no-op unless a stream is active."""
+    if _WRITER is None:
+        return False
+    return _WRITER.beat(
+        phase, explored=explored, budget=budget, force=force, **extra
+    )
+
+
+_env_path = os.environ.get(HEARTBEAT_ENV, "").strip()
+if _env_path:
+    start_heartbeat(_env_path)

@@ -11,6 +11,7 @@ observability is disabled, mirroring :mod:`repro.obs.trace`.
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import Any, Dict, List, Optional
 
@@ -61,12 +62,15 @@ class Histogram:
     """A distribution of observations (wall times, spin counts, ...).
 
     Keeps exact count/total/min/max always; raw samples are retained up
-    to ``max_samples`` so reports can show percentiles without unbounded
-    memory growth on long runs.
+    to ``max_samples`` by **reservoir sampling** (Vitter's Algorithm R),
+    so percentile estimates stay unbiased over the whole run instead of
+    freezing on the first ``max_samples`` observations.  The reservoir's
+    RNG is seeded from the histogram name, so a given observation
+    sequence keeps identical percentiles across runs and processes.
     """
 
     __slots__ = ("name", "count", "total", "_min", "_max", "_samples",
-                 "max_samples", "_lock")
+                 "max_samples", "_rng", "_lock")
 
     def __init__(self, name: str, max_samples: int = 10_000):
         self.name = name
@@ -76,6 +80,7 @@ class Histogram:
         self._max: Optional[float] = None
         self._samples: List[float] = []
         self.max_samples = max_samples
+        self._rng = random.Random(name)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -88,6 +93,10 @@ class Histogram:
                 self._max = value
             if len(self._samples) < self.max_samples:
                 self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.max_samples:
+                    self._samples[slot] = value
 
     def summary(self) -> Dict[str, Any]:
         with self._lock:
@@ -100,6 +109,8 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
                 "mean": self.total / self.count,
+                "samples_seen": self.count,
+                "samples_kept": len(samples),
             }
             if samples:
                 out["p50"] = samples[len(samples) // 2]

@@ -144,24 +144,44 @@ class TraceCollector:
         with self._lock:
             self._spans.append(record)
 
-    def adopt(self, records: List[SpanRecord]) -> None:
+    def adopt(
+        self,
+        records: List[SpanRecord],
+        parent_sid: Optional[int] = None,
+        parent_depth: int = -1,
+    ) -> None:
         """Splice spans recorded in a worker process into this collector.
 
         Worker span ids were allocated by the worker's (forked) collector
         and would collide with the parent's; each adopted record gets a
-        fresh sid, parent links are remapped within the batch, and links
-        to spans outside the batch are dropped (the worker's enclosing
-        spans were inherited parent state, not part of this trace).
+        fresh sid and parent links are remapped within the batch.  Links
+        to spans outside the batch (the worker's enclosing spans were
+        inherited parent state, not part of this trace) are re-attached
+        to ``parent_sid`` — the pool passes the span that was open at
+        the fan-out point, so adopted subtrees keep their rule →
+        obligation nesting; with no ``parent_sid`` they become roots.
         """
         with self._lock:
             mapping = {}
             for record in records:
                 mapping[record.sid] = self._next_sid
                 self._next_sid += 1
+            offset = parent_depth + 1
             for record in records:
                 record.sid = mapping[record.sid]
-                record.parent = mapping.get(record.parent)
+                remapped = mapping.get(record.parent)
+                if remapped is None:
+                    record.parent = parent_sid
+                    record.depth = offset
+                else:
+                    record.parent = remapped
+                    record.depth += offset
                 self._spans.append(record)
+
+    def current_span(self) -> Optional["Span"]:
+        """The innermost span open on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     # -- read side ---------------------------------------------------------
 

@@ -28,10 +28,12 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from typing import Any, Callable, Optional, Tuple
 
 from ..analysis.rules import RULESET_VERSION
-from ..obs.metrics import inc
+from ..obs.metrics import inc, observe
+from ..obs.profile import profile_enabled
 from .canonical import canonical_fingerprint
 from .pool import get_jobs
 
@@ -165,12 +167,26 @@ def cached_certificate(
 
     if not cache_enabled():
         return compute()
+    prof = profile_enabled()
     key = cache_key(kind, parts)
+    t_lookup = time.perf_counter() if prof else 0.0
     cert = _load(key)
     if cert is not None:
         inc("cache.hits")
+        if prof:
+            observe("cache.hit_latency_s", time.perf_counter() - t_lookup)
         return stamp_cache_status(cert, "hit", key=key, workers=get_jobs(jobs))
     inc("cache.misses")
+    t_missed = time.perf_counter() if prof else 0.0
     cert = compute()
+    t_store = time.perf_counter() if prof else 0.0
     _store(key, _strip_provenance(cert))
+    if prof:
+        # Miss latency is the cache's own overhead on the miss path —
+        # the failed lookup plus the store — not the recompute between
+        # them, which belongs to the rule's own spans.
+        observe(
+            "cache.miss_latency_s",
+            (t_missed - t_lookup) + (time.perf_counter() - t_store),
+        )
     return stamp_cache_status(cert, "miss", key=key, workers=get_jobs(jobs))

@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import obs_enabled
 from ..obs.coverage import COVERAGE
 from ..obs.metrics import MetricsWindow, inc
+from ..obs.profile import PROFILER, profile_enabled
 from ..obs.trace import collector
 
 #: Set in worker processes by the pool initializer (inherited state plus
@@ -91,17 +93,35 @@ def _run_task(index: int) -> Tuple[Any, Optional[dict]]:
     col = collector()
     span_mark = len(col)
     cov_mark = len(COVERAGE.records)
+    prof = profile_enabled()
+    red_mark = PROFILER.redundancy_count() if prof else 0
+    start_s = time.perf_counter()
     result = fn(item)
+    end_s = time.perf_counter()
     payload = {
         "metrics": window.delta(),
         "spans": col.spans[span_mark:],
         "coverage": COVERAGE.records[cov_mark:],
     }
+    if prof:
+        # perf_counter is CLOCK_MONOTONIC, shared with the parent across
+        # the fork, so these timestamps compare directly with the
+        # parent's submit/receive times.
+        payload["profile"] = {
+            "pid": os.getpid(),
+            "start_s": start_s,
+            "end_s": end_s,
+            "redundancy": PROFILER.redundancy_since(red_mark),
+        }
     return result, payload
 
 
 def _absorb(payload: Optional[dict]) -> None:
-    """Replay a worker's observability output into the parent."""
+    """Replay a worker's observability output into the parent.
+
+    Worker spans are re-attached under the span open at the fan-out
+    point so parallel traces keep serial nesting.
+    """
     if not payload:
         return
     for name, delta in payload.get("metrics", {}).items():
@@ -109,9 +129,19 @@ def _absorb(payload: Optional[dict]) -> None:
             inc(name, delta)
     spans = payload.get("spans")
     if spans:
-        collector().adopt(spans)
+        col = collector()
+        open_span = col.current_span()
+        col.adopt(
+            spans,
+            parent_sid=open_span.sid if open_span is not None else None,
+            parent_depth=open_span.depth if open_span is not None else -1,
+        )
     for record in payload.get("coverage", ()):
         COVERAGE.record(record)
+    profile = payload.get("profile")
+    if profile:
+        for record in profile.get("redundancy", ()):
+            PROFILER.record_redundancy(record)
 
 
 def parallel_map(
@@ -141,15 +171,31 @@ def parallel_map(
     except ValueError:  # pragma: no cover - non-fork platforms
         return [fn(item) for item in items]
 
+    prof = profile_enabled()
     _TASK = (fn, items)
     outcomes: List[Tuple[str, Any]] = []
+    submit_s: List[float] = []
+    done_s: Dict[int, float] = {}
+    setup_s = 0.0
     try:
+        t_setup = time.perf_counter()
         with ProcessPoolExecutor(
             max_workers=min(n, len(items)),
             mp_context=ctx,
             initializer=_worker_init,
         ) as pool:
-            futures = [pool.submit(_run_task, i) for i in range(len(items))]
+            setup_s = time.perf_counter() - t_setup
+            futures = []
+            for i in range(len(items)):
+                submit_s.append(time.perf_counter())
+                future = pool.submit(_run_task, i)
+                if prof:
+                    future.add_done_callback(
+                        lambda _f, i=i: done_s.__setitem__(
+                            i, time.perf_counter()
+                        )
+                    )
+                futures.append(future)
             for future in futures:
                 try:
                     outcomes.append(("ok", future.result()))
@@ -158,11 +204,35 @@ def parallel_map(
     finally:
         _TASK = None
 
+    if prof:
+        PROFILER.record_pool_batch(
+            {
+                "items": len(items),
+                "jobs": min(n, len(items)),
+                "setup_s": setup_s,
+            }
+        )
     results: List[Any] = []
-    for kind, value in outcomes:
+    for index, (kind, value) in enumerate(outcomes):
         if kind == "err":
             raise value
         result, payload = value
         _absorb(payload)
+        if prof and payload and "profile" in payload:
+            task = payload["profile"]
+            received = done_s.get(index, task["end_s"])
+            PROFILER.record_pool_task(
+                {
+                    "task": index,
+                    "pid": task["pid"],
+                    "submit_s": submit_s[index],
+                    "start_s": task["start_s"],
+                    "end_s": task["end_s"],
+                    "received_s": received,
+                    "queue_s": max(0.0, task["start_s"] - submit_s[index]),
+                    "exec_s": max(0.0, task["end_s"] - task["start_s"]),
+                    "ship_s": max(0.0, received - task["end_s"]),
+                }
+            )
         results.append(result)
     return results

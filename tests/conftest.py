@@ -44,6 +44,10 @@ def pytest_sessionfinish(session, exitstatus):
     os.makedirs(capture_dir, exist_ok=True)
     obs.write_jsonl(os.path.join(capture_dir, "events.jsonl"))
     obs.write_chrome_trace(os.path.join(capture_dir, "trace.json"))
+    obs.write_collapsed(os.path.join(capture_dir, "session.collapsed"))
+    obs.write_speedscope(
+        os.path.join(capture_dir, "session.speedscope.json"), "pytest session"
+    )
 
 
 @pytest.fixture

@@ -13,14 +13,20 @@ from repro import obs
 def obs_isolation():
     """Leave the process-global collector/registry clean around each test."""
     obs.disable()
+    obs.disable_profiling()
+    obs.stop_heartbeat()
     obs.collector().reset()
     obs.REGISTRY.reset()
     obs.COVERAGE.reset()
+    obs.profiler().reset()
     yield
     obs.disable()
+    obs.disable_profiling()
+    obs.stop_heartbeat()
     obs.collector().reset()
     obs.REGISTRY.reset()
     obs.COVERAGE.reset()
+    obs.profiler().reset()
     if os.environ.get("REPRO_OBS_CAPTURE"):
         # Session-wide capture (CI artifacts): keep observing the rest of
         # the suite; these tests already wiped the shared state above.

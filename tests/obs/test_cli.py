@@ -112,6 +112,62 @@ class TestCompare:
         assert payload["failures"]
 
 
+class TestCompareRobustness:
+    """Malformed inputs exit 2 (usage) with a one-line diagnostic —
+    never a traceback, and never the regression exit code 1."""
+
+    def _diagnostic(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+        return err
+
+    def test_missing_baseline_names_the_file(self, tmp_path, capsys):
+        good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        missing = str(tmp_path / "nope.json")
+        assert cli.main(["compare", missing, good]) == 2
+        assert "nope.json" in self._diagnostic(capsys)
+
+    def test_invalid_json_names_the_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        assert cli.main(["compare", str(bad), good]) == 2
+        err = self._diagnostic(capsys)
+        assert "bad.json" in err and "not valid JSON" in err
+
+    def test_non_object_payload(self, tmp_path, capsys):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        assert cli.main(["compare", str(bad), good]) == 2
+        assert "expected object" in self._diagnostic(capsys)
+
+    def test_non_list_tests(self, tmp_path, capsys):
+        bad = tmp_path / "tests.json"
+        bad.write_text(json.dumps({"schema": "repro.bench/v1", "tests": {}}))
+        good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        assert cli.main(["compare", str(bad), good]) == 2
+        assert "'tests'" in self._diagnostic(capsys)
+
+    def test_entry_without_nodeid_is_located(self, tmp_path, capsys):
+        bad = tmp_path / "noid.json"
+        bad.write_text(json.dumps({
+            "schema": "repro.bench/v1",
+            "tests": [{"nodeid": "ok", "duration_s": 1}, {"duration_s": 2}],
+        }))
+        good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        assert cli.main(["compare", str(bad), good]) == 2
+        assert "tests[1]" in self._diagnostic(capsys)
+
+    def test_malformed_candidate_also_exits_2(self, tmp_path, capsys):
+        good = write_bench(tmp_path / "a.json", {"test_x": 0.4})
+        bad = tmp_path / "bad.json"
+        bad.write_text("null")
+        assert cli.main(["compare", good, str(bad)]) == 2
+        assert "bad.json" in self._diagnostic(capsys)
+
+
 class TestReport:
     def test_renders_loaded_event_stream(self, tmp_path, capsys):
         obs.enable()
@@ -177,3 +233,114 @@ class TestExplain:
         path.write_text(json.dumps({"schema": "other", "ok": True}))
         assert cli.main(["explain", str(path)]) == 2
         assert "repro.cert/v1" in capsys.readouterr().err
+
+    def test_renders_profile_provenance(self, tmp_path, capsys):
+        cert = Certificate(judgment="L ⊢ M : L'", rule="Fun")
+        cert.add("spec total", True)
+        cert.provenance = {
+            "wall_time_s": 1.25,
+            "profile": {
+                "redundancy": {
+                    "axis": "machine.schedules", "explored": 10634,
+                    "distinct": 1670, "duplicates": 3648, "replayed": 5316,
+                    "ratio": 0.843, "branching": {"2": 5316},
+                },
+                "obligations": [
+                    {"obligation": "P0", "wall_us": 5_502_000,
+                     "states": 10634, "ratio": 0.843},
+                ],
+            },
+        }
+        path = tmp_path / "cert.json"
+        path.write_text(json.dumps(cert.to_json()))
+        assert cli.main(["explain", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "redundancy[machine.schedules]: ratio=84.3%" in out
+        assert "10634 explored" in out
+        assert "branching=2x5316" in out
+        assert "P0: 10634 state(s) explored" in out
+        assert "wall 5.502s" in out
+
+
+def heartbeat_stream(path, records):
+    path.write_text(
+        "".join(json.dumps(record) + "\n" for record in records)
+    )
+    return str(path)
+
+
+class TestWatch:
+    RECORDS = [
+        {"type": "start", "schema": "repro.obs/heartbeat/v1", "t_s": 0.0,
+         "pid": 41},
+        {"type": "heartbeat", "t_s": 0.4, "pid": 41,
+         "phase": "sim.env_contexts", "explored": 120, "budget": 20000,
+         "rate_per_s": 300.0, "eta_s": 66.3},
+        {"type": "heartbeat", "t_s": 0.9, "pid": 41,
+         "phase": "machine.schedules", "explored": 800},
+        {"type": "end", "t_s": 2.2, "pid": 41, "status": "done"},
+    ]
+
+    def test_no_follow_renders_stream(self, tmp_path, capsys):
+        stream = heartbeat_stream(tmp_path / "hb.jsonl", self.RECORDS)
+        assert cli.main(["watch", "--no-follow", stream]) == 0
+        out = capsys.readouterr().out
+        assert "stream started (pid 41)" in out
+        assert "sim.env_contexts" in out
+        assert "120/20000" in out
+        assert "300.0/s" in out
+        assert "eta 66.3s" in out
+        assert "machine.schedules" in out
+        assert "finished: done after 2.2s" in out
+
+    def test_follow_stops_on_end_record(self, tmp_path, capsys):
+        stream = heartbeat_stream(tmp_path / "hb.jsonl", self.RECORDS)
+        # Follow mode on a complete stream must terminate via the end
+        # record, not hang; the timeout is a safety net only.
+        assert cli.main([
+            "watch", stream, "--interval", "0.01", "--timeout", "5",
+        ]) == 0
+        assert "finished: done" in capsys.readouterr().out
+
+    def test_unknown_record_types_are_skipped(self, tmp_path, capsys):
+        records = list(self.RECORDS)
+        records.insert(2, {"type": "future.extension", "payload": 1})
+        stream = heartbeat_stream(tmp_path / "hb.jsonl", records)
+        assert cli.main(["watch", "--no-follow", stream]) == 0
+        assert "future.extension" not in capsys.readouterr().out
+
+    def test_torn_lines_are_skipped(self, tmp_path, capsys):
+        stream = tmp_path / "hb.jsonl"
+        stream.write_text(
+            json.dumps(self.RECORDS[0]) + "\n"
+            + '{"type": "heartbeat", "t_s"\n'  # torn mid-record
+            + json.dumps(self.RECORDS[-1]) + "\n"
+        )
+        assert cli.main(["watch", "--no-follow", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "stream started" in out
+        assert "finished: done" in out
+
+    def test_missing_stream_no_follow_is_usage_error(self, tmp_path, capsys):
+        assert cli.main([
+            "watch", "--no-follow", str(tmp_path / "nope.jsonl")
+        ]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_follow_times_out_waiting_for_stream(self, tmp_path, capsys):
+        assert cli.main([
+            "watch", str(tmp_path / "nope.jsonl"),
+            "--interval", "0.01", "--timeout", "0.05",
+        ]) == 2
+        assert "did not appear" in capsys.readouterr().err
+
+    def test_live_writer_to_watch_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "hb.jsonl"
+        obs.start_heartbeat(str(path), interval_s=0.0)
+        obs.heartbeat("sim.discharge", explored=3, budget=9, force=True)
+        obs.stop_heartbeat()
+        assert cli.main(["watch", "--no-follow", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.discharge" in out
+        assert "3/9" in out
+        assert "finished: done" in out

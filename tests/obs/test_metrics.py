@@ -42,6 +42,44 @@ class TestPrimitives:
         summary = h.summary()
         assert summary["count"] == 100
         assert summary["max"] == 99.0
+        assert summary["samples_seen"] == 100
+        assert summary["samples_kept"] == 10
+
+    def test_histogram_reservoir_is_unbiased_over_whole_run(self):
+        # Pre-reservoir, the sample buffer froze on the first
+        # ``max_samples`` observations: a stream whose values grow over
+        # time reported a p50 stuck near the start of the run.  The
+        # reservoir keeps a uniform sample of *all* observations, so the
+        # p50 of 0..9999 must land near 5000, not near 50.
+        h = Histogram("h", max_samples=100)
+        for v in range(10_000):
+            h.observe(float(v))
+        summary = h.summary()
+        assert summary["samples_kept"] == 100
+        assert 3_000 <= summary["p50"] <= 7_000
+        assert summary["p95"] >= 8_000
+
+    def test_histogram_reservoir_deterministic_by_name(self):
+        def fill(name):
+            h = Histogram(name, max_samples=25)
+            for v in range(1_000):
+                h.observe(float(v))
+            return h.summary()
+
+        assert fill("same") == fill("same")
+        # Exact stats never depend on the reservoir.
+        a, b = fill("same"), fill("other")
+        for key in ("count", "total", "min", "max", "mean",
+                    "samples_seen", "samples_kept"):
+            assert a[key] == b[key]
+
+    def test_histogram_below_cap_keeps_every_sample(self):
+        h = Histogram("h", max_samples=100)
+        for v in range(50):
+            h.observe(float(v))
+        summary = h.summary()
+        assert summary["samples_kept"] == 50
+        assert summary["p50"] == 25.0
 
     def test_counter_thread_safety(self):
         c = Counter("c")
