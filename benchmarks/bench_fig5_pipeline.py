@@ -100,12 +100,20 @@ def test_fig5_full_pipeline(benchmark):
         total_obligations += count
         rows.append([label, f"{seconds * 1000:.1f} ms", count])
     rows.append(["TOTAL", "", total_obligations])
+    from repro.obs.store import certificate_digest
+
     record_bench(
         stages=[
             {"stage": label, "seconds": round(seconds, 6)}
             for label, seconds, _ in stages
         ],
         total_obligations=total_obligations,
+        # Content digests name *what was proved*, so the run ledger can
+        # correlate bench timings with certificate identity across runs.
+        certificates={
+            "lock_stack": certificate_digest(stack.composed.certificate),
+            "soundness": certificate_digest(soundness),
+        },
     )
     print_table(
         "Fig. 5 — the layer-verification pipeline",

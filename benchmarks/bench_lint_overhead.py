@@ -59,6 +59,7 @@ def test_lint_overhead(benchmark):
         lint_record_s=round(record, 6),
         lint_strict_s=round(strict, 6),
         record_overhead=round(overhead, 4),
+        budget=OVERHEAD_BUDGET,
     )
     print_table(
         "Lint pre-pass overhead — cold ticket-lock derivation "

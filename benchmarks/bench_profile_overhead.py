@@ -15,15 +15,16 @@ machine drift cancels instead of landing on one mode:
   spans, heartbeat streaming to disk.  Gated at <10% over ``off``.
 
 The last profiled round also leaves its artifacts in
-``benchmarks/results/`` (heartbeat stream, collapsed stacks, speedscope
-JSON), which CI uploads from bench jobs.
+``benchmarks/results/scratch/`` (heartbeat stream, collapsed stacks,
+speedscope JSON — via :func:`conftest.scratch_path`, so they stay out
+of the committed tree), which CI uploads from bench jobs.
 """
 
 from __future__ import annotations
 
 import time
 
-from conftest import RESULTS_DIR, print_table, record_bench
+from conftest import print_table, record_bench, scratch_path
 from repro import obs
 from repro.objects.ticket_lock import certify_ticket_lock
 
@@ -41,7 +42,7 @@ def _derive() -> float:
 
 def test_profile_overhead(benchmark):
     best = {"off": float("inf"), "obs": float("inf"), "profile": float("inf")}
-    heartbeat_path = RESULTS_DIR / "profile_ticket_lock.heartbeat.jsonl"
+    heartbeat_path = scratch_path("profile_ticket_lock.heartbeat.jsonl")
 
     def one_pass():
         obs.disable()
@@ -58,9 +59,9 @@ def test_profile_overhead(benchmark):
 
     # The collector still holds the last profiled pass: export the
     # flamegraph artifacts CI uploads alongside the bench JSON.
-    obs.write_collapsed(str(RESULTS_DIR / "profile_ticket_lock.collapsed"))
+    obs.write_collapsed(str(scratch_path("profile_ticket_lock.collapsed")))
     obs.write_speedscope(
-        str(RESULTS_DIR / "profile_ticket_lock.speedscope.json"),
+        str(scratch_path("profile_ticket_lock.speedscope.json")),
         "ticket-lock derivation",
         obs.collector(),
     )

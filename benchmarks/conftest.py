@@ -11,17 +11,39 @@ file per ``bench_<name>.py`` module) holding each test's outcome, its
 call-phase wall time, and every table it printed through
 :func:`print_table`.  Downstream tooling (CI trend lines, EXPERIMENTS.md
 regeneration) reads these instead of scraping stdout.
+
+Layout discipline: only ``results/baseline/`` is committed.  The
+``BENCH_*.json`` records land in ``results/`` (ignored), and every
+other artifact a benchmark generates — heartbeat streams, flamegraph
+exports, trace dumps — must go through :func:`scratch_path`, which
+resolves into the ignored ``results/scratch/`` directory.  When a run
+ledger is armed (``REPRO_LEDGER``), the session's bench records are
+also ingested as ledger runs, feeding the cross-run ``trends`` /
+``regress`` machinery.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, List
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+SCRATCH_DIR = RESULTS_DIR / "scratch"
+
+
+def scratch_path(name: str) -> Path:
+    """A path under the ignored scratch dir for generated artifacts.
+
+    All benchmark side-artifacts (heartbeat streams, collapsed stacks,
+    speedscope profiles) write through this helper so nothing but
+    ``BENCH_*.json`` ever lands at the top of ``results/``.
+    """
+    SCRATCH_DIR.mkdir(parents=True, exist_ok=True)
+    return SCRATCH_DIR / name
 
 #: nodeid → record; populated by the hooks below, flushed at session end.
 _RECORDS: Dict[str, Dict[str, Any]] = {}
@@ -86,6 +108,20 @@ def _module_key(nodeid: str) -> str:
     return stem[len("bench_"):] if stem.startswith("bench_") else stem
 
 
+def pytest_configure(config):
+    # With REPRO_LEDGER set, repro.obs.store arms an automatic whole-
+    # process capture at import.  For a bench session the per-module
+    # records ingested at sessionfinish are the right granularity, so
+    # the blanket capture is disarmed (without writing anything).
+    if os.environ.get("REPRO_LEDGER", "").strip():
+        try:
+            from repro.obs.store import disable_ledger
+
+            disable_ledger(flush=False)
+        except ImportError:
+            pass
+
+
 def pytest_runtest_setup(item):
     _CURRENT["nodeid"] = item.nodeid
     _record_for(item.nodeid)
@@ -119,6 +155,7 @@ def pytest_sessionfinish(session):
     for nodeid, rec in ran.items():
         by_module.setdefault(_module_key(nodeid), []).append(rec)
     RESULTS_DIR.mkdir(exist_ok=True)
+    payloads = []
     for name, records in sorted(by_module.items()):
         payload = {
             "schema": "repro.bench/v1",
@@ -127,3 +164,25 @@ def pytest_sessionfinish(session):
         }
         path = RESULTS_DIR / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, ensure_ascii=False))
+        payloads.append(payload)
+    _ingest_into_ledger(payloads)
+
+
+def _ingest_into_ledger(payloads: List[Dict[str, Any]]) -> None:
+    """Append this session's bench records to the armed run ledger.
+
+    A no-op without ``REPRO_LEDGER``; best-effort with it (a broken
+    ledger must never fail a benchmark session).
+    """
+    ledger_dir = os.environ.get("REPRO_LEDGER", "").strip()
+    if not ledger_dir:
+        return
+    try:
+        from repro.obs.store import ingest_bench
+    except ImportError:
+        return
+    for payload in payloads:
+        try:
+            ingest_bench(ledger_dir, payload)
+        except (OSError, ValueError):
+            pass

@@ -24,6 +24,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 from ..obs import obs_enabled
 from ..obs.coverage import merge_coverage_maps
 from ..obs.metrics import MetricsWindow, inc
+from ..obs.store import note_certificate
 from .errors import VerificationError
 from .interface import LayerInterface
 from .log import Log
@@ -273,7 +274,13 @@ def stamp_provenance(
     counter deltas accumulated while the judgment was being checked;
     ``extra`` carries checker-specific fields (environment-context
     counts, generator coverage, scheduler families, ...).
+
+    When a run ledger is armed (:mod:`repro.obs.store`) the certificate
+    is additionally noted for the run record — *before* the obs gate
+    and without touching the certificate, so ledger capture works with
+    obs off and never perturbs certificate bytes.
     """
+    note_certificate(cert, wall_time_s)
     if not obs_enabled():
         return cert
     provenance: Dict[str, Any] = {
@@ -339,8 +346,11 @@ def stamp_cache_status(
     hit the loaded certificate is provenance-free (cached certificates
     are stored stripped) and gains a minimal record, since the
     enumeration the original provenance described did not happen in
-    this run.
+    this run.  Cache hits skip the checker's :func:`stamp_provenance`
+    call entirely, so the ledger note happens here too (obs-off safe,
+    never mutating).
     """
+    note_certificate(cert)
     if not obs_enabled():
         return cert
     provenance = dict(cert.provenance or {"rule": cert.rule, "judgment": cert.judgment})

@@ -24,8 +24,16 @@ stack.  Three pieces:
   of the span tree;
 - :mod:`repro.obs.heartbeat` — live JSONL progress streaming for
   long-running derivations;
+- :mod:`repro.obs.store` — the persistent run ledger: one
+  content-addressed record per verification run (``repro.obs/run/v1``),
+  appended automatically when ``REPRO_LEDGER`` / :func:`ledger` is set,
+  with cross-run statistics (median/MAD trends, regression detection)
+  and a certificate differ on top;
+- :mod:`repro.obs.dashboard` — a self-contained HTML dashboard
+  rendered from the ledger;
 - :mod:`repro.obs.cli` — ``python -m repro.obs`` with ``report`` /
-  ``explain`` / ``compare`` / ``watch`` subcommands.
+  ``explain`` / ``compare`` / ``watch`` / ``history`` / ``trends`` /
+  ``regress`` / ``diff`` / ``record`` / ``dashboard`` subcommands.
 
 Off by default: instrumented hot paths pay only a flag test until
 :func:`enable` (or the :func:`observing` context manager) turns
@@ -120,7 +128,26 @@ from .heartbeat import (
     heartbeat_writer,
     start_heartbeat,
     stop_heartbeat,
+    stream_path,
 )
+from .store import (
+    LEDGER_ENV,
+    LedgerRun,
+    RUN_SCHEMA,
+    RunLedger,
+    certificate_digest,
+    certificate_fingerprint,
+    detect_regressions,
+    diff_certificates,
+    disable_ledger,
+    enable_ledger,
+    ingest_bench,
+    ledger,
+    ledger_armed,
+    run_metrics,
+    series_stats,
+)
+from .dashboard import render_dashboard, write_dashboard
 from .flamegraph import (
     collapsed_stacks,
     speedscope,
@@ -195,6 +222,24 @@ __all__ = [
     "heartbeat_writer",
     "start_heartbeat",
     "stop_heartbeat",
+    "stream_path",
+    "LEDGER_ENV",
+    "LedgerRun",
+    "RUN_SCHEMA",
+    "RunLedger",
+    "certificate_digest",
+    "certificate_fingerprint",
+    "detect_regressions",
+    "diff_certificates",
+    "disable_ledger",
+    "enable_ledger",
+    "ingest_bench",
+    "ledger",
+    "ledger_armed",
+    "run_metrics",
+    "series_stats",
+    "render_dashboard",
+    "write_dashboard",
     "collapsed_stacks",
     "speedscope",
     "write_collapsed",

@@ -1,21 +1,40 @@
-"""``python -m repro.obs`` — render, explain, and compare run artifacts.
+"""``python -m repro.obs`` — render, explain, compare, and track run artifacts.
 
-Four subcommands over the files the toolkit already writes:
+Single-run subcommands over the files the toolkit already writes:
 
 * ``report <events.jsonl>`` — render a run's JSONL event stream
   (:func:`repro.obs.write_jsonl`) as the text report: span rollup,
-  metrics, coverage map.
+  metrics, coverage map (``--json`` for the machine-readable form).
 * ``explain <cert.json>`` — pretty-print an exported certificate
   (:meth:`repro.core.Certificate.to_json`): the judgment tree with
   bounds, provenance (including per-axis coverage), and every captured
-  counterexample rendered as its interleaving diagram.
+  counterexample rendered as its interleaving diagram (``--json`` for
+  a structured summary).
 * ``compare BENCH_a.json BENCH_b.json`` — diff two benchmark result
   files (``repro.bench/v1``, written by ``benchmarks/conftest.py``);
   warns past ``--threshold`` and exits non-zero past
-  ``--fail-threshold`` (the CI regression gate).
+  ``--fail-threshold`` (the one-off ratio gate; ``regress`` is the
+  statistical, history-backed one).
 * ``watch <heartbeat.jsonl>`` — follow a live heartbeat stream
   (:mod:`repro.obs.heartbeat`) and render progress lines with explored
   counts, rates and ETA; exits when the run writes its ``end`` record.
+* ``diff cert_a.json cert_b.json`` — provenance-level diff of two
+  exported certificates: obligations added/removed/flipped, coverage
+  and redundancy deltas.
+
+Cross-run subcommands over a run ledger (:mod:`repro.obs.store`,
+schema ``repro.obs/run/v1``):
+
+* ``history --ledger DIR`` — list runs, filterable by object, rule and
+  certificate fingerprint.
+* ``trends --ledger DIR`` — per-metric time series with median/MAD.
+* ``regress --ledger DIR`` — statistical regression gate over the last
+  N runs (robust z-score on 1.4826·MAD), with the committed bench
+  baselines as the cold-start fallback.
+* ``record BENCH.json --ledger DIR`` — ingest bench results as runs.
+* ``compact --ledger DIR`` — apply the retention policy offline.
+* ``dashboard --ledger DIR -o out.html`` — render the self-contained
+  HTML dashboard.
 
 Everything here reads files; nothing imports :mod:`repro.core`, so the
 CLI stays usable on exported artifacts without the checker stack.
@@ -25,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -32,6 +52,15 @@ from typing import Any, Dict, List, Optional
 from .coverage import CoverageRegistry
 from .forensics import Counterexample
 from .report import read_jsonl, render_coverage_map, render_report
+from .store import (
+    RunLedger,
+    certificate_digest,
+    detect_regressions,
+    diff_certificates,
+    ingest_bench,
+    run_metrics,
+    series_stats,
+)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -45,6 +74,22 @@ def cmd_report(args: argparse.Namespace) -> int:
     registry = CoverageRegistry()
     for record in loaded["coverage"]:
         registry.record(record)
+    if args.json:
+        from .report import span_rollup
+
+        print(json.dumps(
+            {
+                "schema": "repro.obs/report/v1",
+                "source": args.events,
+                "span_count": len(loaded["spans"].spans),
+                "spans": span_rollup(loaded["spans"]),
+                "metrics": loaded["metrics"] or {},
+                "coverage": registry.coverage_map(),
+            },
+            indent=2,
+            ensure_ascii=False,
+        ))
+        return 0
     print(
         render_report(
             loaded["spans"],
@@ -191,6 +236,20 @@ def cmd_explain(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.json:
+        print(json.dumps(
+            {
+                "schema": "repro.obs/explain/v1",
+                "source": args.certificate,
+                "ok": cert.get("ok"),
+                "digest": certificate_digest(cert),
+                "counterexamples": _count_counterexamples(cert),
+                "certificate": _explain_json(cert, show_ok=args.all),
+            },
+            indent=2,
+            ensure_ascii=False,
+        ))
+        return 0
     lines = _explain_cert(cert, show_ok=args.all)
     counterexamples = _count_counterexamples(cert)
     lines.append("")
@@ -200,6 +259,39 @@ def cmd_explain(args: argparse.Namespace) -> int:
     )
     print("\n".join(lines))
     return 0
+
+
+def _explain_json(cert: Dict[str, Any], show_ok: bool = False) -> Dict[str, Any]:
+    """The structured form of the ``explain`` rendering for one node."""
+    obligations = []
+    for obligation in cert.get("obligations") or []:
+        if obligation.get("ok") and not show_ok:
+            continue
+        entry = {
+            "description": obligation.get("description"),
+            "ok": obligation.get("ok"),
+        }
+        if obligation.get("details"):
+            entry["details"] = obligation["details"]
+        counterexample = _counterexample_of(obligation.get("evidence"))
+        if counterexample is not None:
+            entry["counterexample"] = counterexample.digest()
+        obligations.append(entry)
+    out: Dict[str, Any] = {
+        "judgment": cert.get("judgment"),
+        "rule": cert.get("rule"),
+        "ok": cert.get("ok"),
+        "obligations": obligations,
+    }
+    if cert.get("bounds"):
+        out["bounds"] = cert["bounds"]
+    if cert.get("provenance"):
+        out["provenance"] = cert["provenance"]
+    out["children"] = [
+        _explain_json(child, show_ok=show_ok)
+        for child in cert.get("children") or []
+    ]
+    return out
 
 
 def _count_counterexamples(cert: Dict[str, Any]) -> int:
@@ -282,10 +374,21 @@ def cmd_watch(args: argparse.Namespace) -> int:
         return 2
     with handle:
         buffered = ""
+        records_seen = 0
         while True:
             chunk = handle.readline()
             if not chunk:
                 if args.no_follow:
+                    if records_seen == 0:
+                        # An empty (or all-torn) stream in one-shot mode
+                        # is a usage error, like a missing file: the run
+                        # being asked about never wrote anything.
+                        print(
+                            f"error: heartbeat stream {args.stream!r} "
+                            "is empty (no records)",
+                            file=sys.stderr,
+                        )
+                        return 2
                     return 0
                 if deadline is not None and time.monotonic() >= deadline:
                     print("watch: timed out waiting for heartbeats",
@@ -303,6 +406,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn or foreign line: skip, keep following
+            records_seen += 1
             rendered = _render_heartbeat_line(record)
             if rendered is not None:
                 print(rendered, flush=True)
@@ -469,6 +573,381 @@ def _fmt_seconds(duration: Optional[float]) -> str:
     return f"{duration:.3f}s" if duration is not None else "-"
 
 
+# ---------------------------------------------------------------------------
+# Ledger subcommands (cross-run: history / trends / regress / record /
+# compact / dashboard) and the certificate differ
+# ---------------------------------------------------------------------------
+
+def _print_table(headers: List[str], rows: List[List[str]]) -> None:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _open_ledger(args: argparse.Namespace) -> Optional[RunLedger]:
+    if not os.path.isdir(args.ledger):
+        print(f"error: ledger directory {args.ledger!r} does not exist",
+              file=sys.stderr)
+        return None
+    return RunLedger(args.ledger)
+
+
+def _fmt_ts(ts: Optional[float]) -> str:
+    if not ts:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(ts))
+
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _ascii_spark(values: List[float]) -> str:
+    if len(values) < 2:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        _SPARK_BLOCKS[
+            min(len(_SPARK_BLOCKS) - 1,
+                int((value - lo) / span * (len(_SPARK_BLOCKS) - 1)))
+        ]
+        for value in values
+    )
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """List ledger runs, filterable by object / rule / fingerprint."""
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    if args.reindex:
+        count = ledger.reindex()
+        print(f"history: reindexed {count} record(s)")
+    runs = ledger.runs(
+        object=args.object,
+        rule=args.rule,
+        fingerprint=args.fingerprint,
+        last=args.last,
+    )
+    if args.json:
+        print(json.dumps(
+            {"schema": "repro.obs/history/v1", "ledger": args.ledger,
+             "runs": runs},
+            indent=2, ensure_ascii=False,
+        ))
+        return 0
+    rows = []
+    for record in runs:
+        cache = record.get("cache") or {}
+        lookups = (cache.get("hits") or 0) + (cache.get("misses") or 0)
+        obligations = (record.get("obligations") or {}).get("total")
+        rows.append([
+            _fmt_ts(record.get("ts")),
+            str(record.get("object") or "?"),
+            "ok" if record.get("ok") else "FAIL",
+            _fmt_seconds(record.get("wall_s")),
+            str(obligations) if obligations is not None else "-",
+            f"{cache.get('hits', 0)}/{lookups}" if lookups else "-",
+            str((record.get("env") or {}).get("jobs") or "-"),
+            (record.get("digest") or "")[:12],
+        ])
+    _print_table(
+        ["when (UTC)", "object", "status", "wall", "obl", "cache h/l",
+         "jobs", "record"],
+        rows,
+    )
+    print(f"history: {len(rows)} run(s) on {args.ledger}")
+    return 0
+
+
+def cmd_trends(args: argparse.Namespace) -> int:
+    """Per-metric median/MAD time series over the ledger."""
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    runs = ledger.runs(object=args.object, last=args.last)
+    if not runs:
+        print(f"error: no matching runs on ledger {args.ledger!r}",
+              file=sys.stderr)
+        return 2
+    names = args.metric or sorted(
+        {name for record in runs for name in run_metrics(record)}
+    )
+    series: Dict[str, List[float]] = {}
+    for name in names:
+        values = [
+            metrics[name]
+            for record in runs
+            if (metrics := run_metrics(record)).get(name) is not None
+        ]
+        if values:
+            series[name] = values
+    if args.json:
+        print(json.dumps(
+            {
+                "schema": "repro.obs/trends/v1",
+                "ledger": args.ledger,
+                "object": args.object,
+                "runs": len(runs),
+                "metrics": {
+                    name: dict(series_stats(values), values=values)
+                    for name, values in series.items()
+                },
+            },
+            indent=2, ensure_ascii=False,
+        ))
+        return 0
+    rows = []
+    for name, values in series.items():
+        stats = series_stats(values)
+        rows.append([
+            name,
+            str(stats["n"]),
+            f"{stats['median']:.4g}",
+            f"{stats['mad']:.4g}",
+            f"{stats['min']:.4g}",
+            f"{stats['max']:.4g}",
+            f"{stats['latest']:.4g}",
+            _ascii_spark(values),
+        ])
+    _print_table(
+        ["metric", "n", "median", "MAD", "min", "max", "latest", "trend"],
+        rows,
+    )
+    return 0
+
+
+def _fallback_compare(
+    record: Dict[str, Any],
+    baseline_path: str,
+    warn: float,
+    fail: float,
+    min_seconds: float,
+) -> Dict[str, Any]:
+    """Cold-start gate: the newest run against a committed bench baseline.
+
+    The statistical gate needs history; on a fresh ledger (first CI run,
+    evicted cache) the candidate's per-test times are ratio-compared
+    against the committed ``repro.bench/v1`` baseline with the classic
+    ``compare`` thresholds instead.
+    """
+    baseline = _load_bench(baseline_path)
+    metrics = run_metrics(record)
+    findings = []
+    status = "ok"
+    for nodeid in sorted(baseline):
+        base_s = baseline[nodeid].get("duration_s") or 0.0
+        candidate = metrics.get(nodeid)
+        if candidate is None or base_s < min_seconds:
+            continue
+        ratio = candidate / base_s if base_s else float("inf")
+        finding = {
+            "metric": nodeid,
+            "candidate": round(candidate, 6),
+            "median": round(base_s, 6),
+            "ratio": round(ratio, 3),
+        }
+        if ratio >= fail:
+            finding["verdict"] = "fail"
+            status = "fail"
+        elif ratio >= warn:
+            finding["verdict"] = "warn"
+            if status == "ok":
+                status = "warn"
+        else:
+            finding["verdict"] = "ok"
+        findings.append(finding)
+    return {"status": status, "mode": "fallback-baseline",
+            "baseline": baseline_path, "findings": findings}
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    """Statistical regression gate over the last N ledger runs.
+
+    Supersedes the single-baseline 1.5×/2× ``compare`` heuristic: the
+    candidate (newest run per object) is judged against the median and
+    MAD of its own history, so the gate adapts to each metric's real
+    noise floor.  ``--fallback-baseline`` keeps the committed-baseline
+    ratio gate for cold-start ledgers with too little history.
+    """
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    objects = [args.object] if args.object else ledger.objects()
+    if not objects:
+        print(f"error: no runs on ledger {args.ledger!r}", file=sys.stderr)
+        return 2
+    results: Dict[str, Dict[str, Any]] = {}
+    overall = "ok"
+    for name in objects:
+        runs = ledger.runs(object=name, last=args.last)
+        if not runs:
+            print(f"error: no runs for object {name!r} on {args.ledger!r}",
+                  file=sys.stderr)
+            return 2
+        result = detect_regressions(
+            runs,
+            metrics=args.metric or None,
+            warn_z=args.warn_z,
+            fail_z=args.fail_z,
+            warn_ratio=args.warn_ratio,
+            fail_ratio=args.fail_ratio,
+            min_history=args.min_history,
+            min_seconds=args.min_seconds,
+        )
+        if (
+            result["status"] == "insufficient-history"
+            and args.fallback_baseline
+        ):
+            try:
+                result = _fallback_compare(
+                    runs[-1], args.fallback_baseline,
+                    warn=args.fallback_warn, fail=args.fallback_fail,
+                    min_seconds=args.min_seconds,
+                )
+            except (OSError, json.JSONDecodeError, ValueError) as err:
+                print(f"error: cannot read fallback baseline: {err}",
+                      file=sys.stderr)
+                return 2
+        results[name] = result
+        if result["status"] == "fail":
+            overall = "fail"
+        elif result["status"] == "warn" and overall == "ok":
+            overall = "warn"
+    if args.json:
+        print(json.dumps(
+            {"schema": "repro.obs/regress/v1", "ledger": args.ledger,
+             "status": overall, "objects": results},
+            indent=2, ensure_ascii=False,
+        ))
+        return 1 if overall == "fail" else 0
+    for name, result in results.items():
+        mode = result.get("mode", "ledger")
+        if result["status"] == "insufficient-history":
+            print(
+                f"{name}: insufficient history "
+                f"({result['runs']} run(s), need "
+                f"{result['min_history'] + 1}) — not gated"
+            )
+            continue
+        print(f"{name} [{mode}]: {result['status']}")
+        for finding in result["findings"]:
+            verdict = finding.get("verdict", "?")
+            if verdict in ("ok",) and not args.verbose:
+                continue
+            z = finding.get("z")
+            z_txt = f" z={z:+.1f}" if z is not None else ""
+            ratio = finding.get("ratio")
+            ratio_txt = f" {ratio:.2f}x" if ratio is not None else ""
+            print(
+                f"  {verdict.upper():5s} {finding['metric']}: "
+                f"candidate {finding.get('candidate', '-')} vs median "
+                f"{finding.get('median', '-')}{ratio_txt}{z_txt}"
+            )
+    if overall == "fail":
+        print("regress: FAIL — candidate is significantly slower than "
+              "its ledger history")
+        return 1
+    print(f"regress: {overall} over {len(results)} object(s)")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Provenance-level diff of two exported certificates."""
+    certs = []
+    for path in (args.cert_a, args.cert_b):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                cert = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot read certificate {path!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(cert, dict) or cert.get("schema") != "repro.cert/v1":
+            schema = cert.get("schema") if isinstance(cert, dict) else None
+            print(
+                f"error: {path!r} is not a repro.cert/v1 export "
+                f"(schema={schema!r})",
+                file=sys.stderr,
+            )
+            return 2
+        certs.append(cert)
+    diff = diff_certificates(certs[0], certs[1])
+    if args.json:
+        print(json.dumps(diff, indent=2, ensure_ascii=False))
+        return 0
+    a, b = diff["a"], diff["b"]
+    print(f"a: {a['judgment']} ({a['rule']}) "
+          f"{'OK' if a['ok'] else 'FAILED'} digest {a['digest'][:12]}")
+    print(f"b: {b['judgment']} ({b['rule']}) "
+          f"{'OK' if b['ok'] else 'FAILED'} digest {b['digest'][:12]}")
+    if diff["identical"]:
+        print("certificates are identical (modulo provenance)")
+    obligations = diff["obligations"]
+    for label in ("added", "removed", "flipped"):
+        for key in obligations[label]:
+            print(f"  {label}: {key}")
+    if not any(obligations.values()):
+        print("  obligations: no differences")
+    for axis, delta in (diff.get("coverage") or {}).items():
+        print(f"  coverage[{axis}]: explored "
+              f"{delta['explored_a']} -> {delta['explored_b']}")
+    redundancy = diff.get("redundancy")
+    if redundancy:
+        print(f"  redundancy ratio: {redundancy['ratio_a']} -> "
+              f"{redundancy['ratio_b']}")
+    wall = diff.get("wall_s")
+    if wall:
+        print(f"  wall time: {wall['a']} -> {wall['b']}")
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    """Ingest ``repro.bench/v1`` result files as ledger run records."""
+    os.makedirs(args.ledger, exist_ok=True)
+    for path in args.bench:
+        try:
+            digest = ingest_bench(args.ledger, path, object=args.object)
+        except (OSError, json.JSONDecodeError, ValueError) as err:
+            print(f"error: cannot ingest {path!r}: {err}", file=sys.stderr)
+            return 2
+        print(f"record: {path} -> {digest[:12]}")
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Apply the retention policy: keep-last per object, max age."""
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    kept = ledger.compact(
+        keep_last=args.keep_last,
+        max_age_s=args.max_age_days * 86400 if args.max_age_days else None,
+    )
+    print(f"compact: {kept} run(s) retained on {args.ledger}")
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the ledger as one self-contained HTML dashboard."""
+    from .dashboard import write_dashboard
+
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    runs = ledger.runs(object=args.object, last=args.last)
+    write_dashboard(
+        runs, args.output, title=args.title, source=args.ledger
+    )
+    print(f"dashboard: {len(runs)} run(s) -> {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -480,6 +959,10 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a JSONL event stream as a text report"
     )
     p_report.add_argument("events", help="path to events.jsonl")
+    p_report.add_argument(
+        "--json", action="store_true",
+        help="emit the report as machine-readable JSON (repro.obs/report/v1)",
+    )
     p_report.set_defaults(func=cmd_report)
 
     p_explain = sub.add_parser(
@@ -489,6 +972,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "--all", action="store_true",
         help="also list passed obligations (default: failures only)",
+    )
+    p_explain.add_argument(
+        "--json", action="store_true",
+        help="emit a structured summary (repro.obs/explain/v1) instead of text",
     )
     p_explain.set_defaults(func=cmd_explain)
 
@@ -532,6 +1019,168 @@ def build_parser() -> argparse.ArgumentParser:
         help="give up following after this many seconds (default: never)",
     )
     p_watch.set_defaults(func=cmd_watch)
+
+    def add_ledger_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger", required=True,
+            help="path to a run-ledger directory (repro.obs/run/v1)",
+        )
+
+    p_history = sub.add_parser(
+        "history", help="list the runs recorded on a ledger"
+    )
+    add_ledger_arg(p_history)
+    p_history.add_argument("--object", help="only runs of this object label")
+    p_history.add_argument("--rule", help="only runs that applied this rule")
+    p_history.add_argument(
+        "--fingerprint",
+        help="only runs whose root certificate fingerprint/digest starts here",
+    )
+    p_history.add_argument(
+        "--last", type=int, default=None, help="only the newest N runs"
+    )
+    p_history.add_argument(
+        "--reindex", action="store_true",
+        help="rebuild index.jsonl from the segments first",
+    )
+    p_history.add_argument(
+        "--json", action="store_true",
+        help="emit runs as machine-readable JSON (repro.obs/history/v1)",
+    )
+    p_history.set_defaults(func=cmd_history)
+
+    p_trends = sub.add_parser(
+        "trends", help="per-metric median/MAD time series over a ledger"
+    )
+    add_ledger_arg(p_trends)
+    p_trends.add_argument("--object", help="only runs of this object label")
+    p_trends.add_argument(
+        "--metric", action="append",
+        help="metric name(s) to include (default: all observed)",
+    )
+    p_trends.add_argument(
+        "--last", type=int, default=None, help="only the newest N runs"
+    )
+    p_trends.add_argument(
+        "--json", action="store_true",
+        help="emit the series as machine-readable JSON (repro.obs/trends/v1)",
+    )
+    p_trends.set_defaults(func=cmd_trends)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="statistical regression gate over the last N ledger runs",
+    )
+    add_ledger_arg(p_regress)
+    p_regress.add_argument("--object", help="gate only this object label")
+    p_regress.add_argument(
+        "--metric", action="append",
+        help="metric name(s) to gate (default: wall times)",
+    )
+    p_regress.add_argument(
+        "--last", type=int, default=10,
+        help="history window: newest N runs per object (default 10)",
+    )
+    p_regress.add_argument(
+        "--min-history", type=int, default=4,
+        help="baseline runs required before gating statistically (default 4)",
+    )
+    p_regress.add_argument(
+        "--warn-z", type=float, default=4.0,
+        help="warn at this robust z-score (default 4.0)",
+    )
+    p_regress.add_argument(
+        "--fail-z", type=float, default=6.0,
+        help="fail at this robust z-score (default 6.0)",
+    )
+    p_regress.add_argument(
+        "--warn-ratio", type=float, default=1.10,
+        help="warnings also need this candidate/median ratio (default 1.10)",
+    )
+    p_regress.add_argument(
+        "--fail-ratio", type=float, default=1.25,
+        help="failures also need this candidate/median ratio (default 1.25)",
+    )
+    p_regress.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="never gate metrics with a median below this (default 0.05)",
+    )
+    p_regress.add_argument(
+        "--fallback-baseline",
+        help="repro.bench/v1 file to ratio-compare against when the ledger "
+             "has too little history (cold start)",
+    )
+    p_regress.add_argument(
+        "--fallback-warn", type=float, default=1.5,
+        help="fallback-mode warn ratio (default 1.5, as compare)",
+    )
+    p_regress.add_argument(
+        "--fallback-fail", type=float, default=2.0,
+        help="fallback-mode fail ratio (default 2.0, as compare)",
+    )
+    p_regress.add_argument(
+        "--verbose", action="store_true", help="also print passing metrics"
+    )
+    p_regress.add_argument(
+        "--json", action="store_true",
+        help="emit findings as machine-readable JSON (repro.obs/regress/v1)",
+    )
+    p_regress.set_defaults(func=cmd_regress)
+
+    p_diff = sub.add_parser(
+        "diff", help="provenance-level diff of two exported certificates"
+    )
+    p_diff.add_argument("cert_a", help="old repro.cert/v1 JSON file")
+    p_diff.add_argument("cert_b", help="new repro.cert/v1 JSON file")
+    p_diff.add_argument(
+        "--json", action="store_true",
+        help="emit the diff as machine-readable JSON (repro.obs/certdiff/v1)",
+    )
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_record = sub.add_parser(
+        "record", help="ingest repro.bench/v1 results as ledger runs"
+    )
+    p_record.add_argument(
+        "bench", nargs="+", help="BENCH_*.json file(s) to ingest"
+    )
+    add_ledger_arg(p_record)
+    p_record.add_argument(
+        "--object", help="override the run object label (default: bench name)"
+    )
+    p_record.set_defaults(func=cmd_record)
+
+    p_compact = sub.add_parser(
+        "compact", help="apply the ledger retention policy (offline)"
+    )
+    add_ledger_arg(p_compact)
+    p_compact.add_argument(
+        "--keep-last", type=int, default=None,
+        help="keep only the newest N runs per object",
+    )
+    p_compact.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="drop runs older than this many days",
+    )
+    p_compact.set_defaults(func=cmd_compact)
+
+    p_dash = sub.add_parser(
+        "dashboard", help="render a ledger as one self-contained HTML file"
+    )
+    add_ledger_arg(p_dash)
+    p_dash.add_argument(
+        "-o", "--output", default="dashboard.html",
+        help="output HTML path (default dashboard.html)",
+    )
+    p_dash.add_argument("--object", help="only runs of this object label")
+    p_dash.add_argument(
+        "--last", type=int, default=None, help="only the newest N runs"
+    )
+    p_dash.add_argument(
+        "--title", default="repro verification runs",
+        help="page title",
+    )
+    p_dash.set_defaults(func=cmd_dashboard)
     return parser
 
 

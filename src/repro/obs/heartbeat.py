@@ -135,6 +135,15 @@ def heartbeat_writer() -> Optional[HeartbeatWriter]:
     return _WRITER
 
 
+def stream_path() -> Optional[str]:
+    """The active stream's file path, if a writer is attached.
+
+    The run ledger records it under ``artifacts["heartbeat"]`` so the
+    dashboard can link a run to its progress stream.
+    """
+    return _WRITER.path if _WRITER is not None else None
+
+
 def start_heartbeat(path: str, interval_s: float = 0.25) -> HeartbeatWriter:
     """Begin streaming heartbeats to ``path`` (truncates the stream)."""
     global _WRITER

@@ -189,6 +189,19 @@ class ProfileCollector:
             )
         return out
 
+    def run_summary(self) -> Dict[str, Any]:
+        """The profile rollup a run-ledger record embeds: redundancy by
+        axis plus pool utilization, omitting empty sections.
+        """
+        out: Dict[str, Any] = {}
+        redundancy = self.redundancy_map()
+        if redundancy:
+            out["redundancy_by_axis"] = redundancy
+        pool = self.pool_utilization()
+        if pool:
+            out["pool"] = pool
+        return out
+
 
 PROFILER = ProfileCollector()
 

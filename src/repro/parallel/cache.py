@@ -164,29 +164,34 @@ def cached_certificate(
     ``cache`` field (``"hit"`` or ``"miss"``) and the (truncated) key.
     """
     from ..core.certificate import stamp_cache_status
+    from ..obs.store import ledger_armed, note_cache_event
 
     if not cache_enabled():
         return compute()
     prof = profile_enabled()
+    timed = prof or ledger_armed()
     key = cache_key(kind, parts)
-    t_lookup = time.perf_counter() if prof else 0.0
+    t_lookup = time.perf_counter() if timed else 0.0
     cert = _load(key)
     if cert is not None:
         inc("cache.hits")
+        hit_latency = (time.perf_counter() - t_lookup) if timed else 0.0
         if prof:
-            observe("cache.hit_latency_s", time.perf_counter() - t_lookup)
+            observe("cache.hit_latency_s", hit_latency)
+        note_cache_event("hit", hit_latency)
         return stamp_cache_status(cert, "hit", key=key, workers=get_jobs(jobs))
     inc("cache.misses")
-    t_missed = time.perf_counter() if prof else 0.0
+    t_missed = time.perf_counter() if timed else 0.0
     cert = compute()
-    t_store = time.perf_counter() if prof else 0.0
+    t_store = time.perf_counter() if timed else 0.0
     _store(key, _strip_provenance(cert))
+    # Miss latency is the cache's own overhead on the miss path — the
+    # failed lookup plus the store — not the recompute between them,
+    # which belongs to the rule's own spans.
+    miss_latency = (
+        (t_missed - t_lookup) + (time.perf_counter() - t_store) if timed else 0.0
+    )
     if prof:
-        # Miss latency is the cache's own overhead on the miss path —
-        # the failed lookup plus the store — not the recompute between
-        # them, which belongs to the rule's own spans.
-        observe(
-            "cache.miss_latency_s",
-            (t_missed - t_lookup) + (time.perf_counter() - t_store),
-        )
+        observe("cache.miss_latency_s", miss_latency)
+    note_cache_event("miss", miss_latency)
     return stamp_cache_status(cert, "miss", key=key, workers=get_jobs(jobs))

@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import obs_enabled
+from ..obs import store as obs_store
 from ..obs.coverage import COVERAGE
 from ..obs.metrics import MetricsWindow, inc
 from ..obs.profile import PROFILER, profile_enabled
@@ -84,11 +85,22 @@ def _worker_init() -> None:
 
 
 def _run_task(index: int) -> Tuple[Any, Optional[dict]]:
-    """Run one task in a worker and bundle its observability output."""
+    """Run one task in a worker and bundle its observability output.
+
+    When a run ledger is armed (independent of obs), the worker also
+    ships its ledger counter deltas — cache hits/misses seen while
+    running the task — so the parent's run record accounts for work
+    done in workers.  Deltas merge in serial plan order via
+    :func:`_absorb` (the PR 3 contract).
+    """
     fn, items = _TASK  # type: ignore[misc]
     item = items[index]
     if not obs_enabled():
-        return fn(item), None
+        ledger_mark = obs_store.worker_notes_mark()
+        result = fn(item)
+        notes = obs_store.worker_notes_since(ledger_mark)
+        return result, ({"ledger": notes} if notes else None)
+    ledger_mark = obs_store.worker_notes_mark()
     window = MetricsWindow()
     col = collector()
     span_mark = len(col)
@@ -103,6 +115,9 @@ def _run_task(index: int) -> Tuple[Any, Optional[dict]]:
         "spans": col.spans[span_mark:],
         "coverage": COVERAGE.records[cov_mark:],
     }
+    notes = obs_store.worker_notes_since(ledger_mark)
+    if notes:
+        payload["ledger"] = notes
     if prof:
         # perf_counter is CLOCK_MONOTONIC, shared with the parent across
         # the fork, so these timestamps compare directly with the
@@ -124,6 +139,7 @@ def _absorb(payload: Optional[dict]) -> None:
     """
     if not payload:
         return
+    obs_store.absorb_worker_notes(payload.get("ledger"))
     for name, delta in payload.get("metrics", {}).items():
         if delta:
             inc(name, delta)

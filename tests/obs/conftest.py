@@ -15,6 +15,7 @@ def obs_isolation():
     obs.disable()
     obs.disable_profiling()
     obs.stop_heartbeat()
+    obs.disable_ledger(flush=False)
     obs.collector().reset()
     obs.REGISTRY.reset()
     obs.COVERAGE.reset()
@@ -23,6 +24,7 @@ def obs_isolation():
     obs.disable()
     obs.disable_profiling()
     obs.stop_heartbeat()
+    obs.disable_ledger(flush=False)
     obs.collector().reset()
     obs.REGISTRY.reset()
     obs.COVERAGE.reset()
