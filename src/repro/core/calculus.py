@@ -18,13 +18,14 @@ fails its check, so an ill-formed judgment can never be produced:
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs import obs_enabled, span
 from ..obs.coverage import CoverageBuilder
 from ..obs.metrics import MetricsWindow, inc, observe
 from ..parallel.cache import cached_certificate
 from ..parallel.pool import get_jobs
+from ..reduce import reduce_active, reduction_collector, resolve_reduce
 from .certificate import (
     Certificate,
     CertifiedLayer,
@@ -131,6 +132,7 @@ def module_rule(
     scenarios: Sequence[Scenario],
     jobs: Optional[int] = None,
     lint: Optional[str] = None,
+    reduce: Optional[Any] = None,
 ) -> CertifiedLayer:
     """``Fun`` generalized to a whole module via protocol scenarios.
 
@@ -165,19 +167,21 @@ def module_rule(
             underlay=underlay, module=module, overlay=overlay,
             relation=relation, interfaces=(underlay, overlay),
         )
+        axes = resolve_reduce(reduce)
 
         def compute() -> Certificate:
-            cert = check_scenarios(
-                underlay,
-                lambda scenario: scenario_impl_player(module, scenario),
-                overlay,
-                relation,
-                tid,
-                scenarios,
-                judgment=judgment,
-                rule="Fun*",
-                jobs=jobs,
-            )
+            with reduce_active(axes):
+                cert = check_scenarios(
+                    underlay,
+                    lambda scenario: scenario_impl_player(module, scenario),
+                    overlay,
+                    relation,
+                    tid,
+                    scenarios,
+                    judgment=judgment,
+                    rule="Fun*",
+                    jobs=jobs,
+                )
             _stamp_rule(
                 cert, "Fun*", started, window,
                 module=module.name,
@@ -189,7 +193,8 @@ def module_rule(
 
         cert = cached_certificate(
             "Fun*",
-            (underlay, module, overlay, relation, tid, tuple(scenarios)),
+            (underlay, module, overlay, relation, tid, tuple(scenarios),
+             ("reduce", tuple(sorted(axes)))),
             compute,
             jobs=jobs,
         )
@@ -206,6 +211,7 @@ def interface_sim_rule(
     scenarios: Sequence[Scenario],
     jobs: Optional[int] = None,
     lint: Optional[str] = None,
+    reduce: Optional[Any] = None,
 ) -> InterfaceSim:
     """Establish ``L ≤_R L'`` via protocol scenarios (a ``Wk`` premise).
 
@@ -228,19 +234,21 @@ def interface_sim_rule(
             relation=relation,
             interfaces=(low, high),
         )
+        axes = resolve_reduce(reduce)
 
         def compute() -> Certificate:
-            cert = check_scenarios(
-                low,
-                scenario_spec_player,  # low side also just calls its primitives
-                high,
-                relation,
-                tid,
-                scenarios,
-                judgment=f"{low.name} ≤_{relation.name} {high.name}",
-                rule="interface-sim",
-                jobs=jobs,
-            )
+            with reduce_active(axes):
+                cert = check_scenarios(
+                    low,
+                    scenario_spec_player,  # low side also just calls its primitives
+                    high,
+                    relation,
+                    tid,
+                    scenarios,
+                    judgment=f"{low.name} ≤_{relation.name} {high.name}",
+                    rule="interface-sim",
+                    jobs=jobs,
+                )
             _stamp_rule(
                 cert, "interface-sim", started, window,
                 scenarios=len(scenarios),
@@ -250,7 +258,8 @@ def interface_sim_rule(
 
         cert = cached_certificate(
             "interface-sim",
-            (low, high, relation, tid, tuple(scenarios)),
+            (low, high, relation, tid, tuple(scenarios),
+             ("reduce", tuple(sorted(axes)))),
             compute,
             jobs=jobs,
         )
@@ -285,6 +294,7 @@ def fun_rule(
     config: SimConfig,
     jobs: Optional[int] = None,
     lint: Optional[str] = None,
+    reduce: Optional[Any] = None,
 ) -> CertifiedLayer:
     """``Fun``: certify one function against its overlay specification.
 
@@ -312,20 +322,22 @@ def fun_rule(
             underlay=underlay, module=Module.single(impl), overlay=overlay,
             relation=relation, interfaces=(underlay, overlay),
         )
+        axes = resolve_reduce(reduce)
 
         def compute() -> Certificate:
-            cert = check_sim(
-                underlay,
-                impl.player,
-                overlay,
-                prim_player(impl.name),
-                relation,
-                tid,
-                config,
-                judgment=judgment,
-                rule="Fun",
-                jobs=jobs,
-            )
+            with reduce_active(axes):
+                cert = check_sim(
+                    underlay,
+                    impl.player,
+                    overlay,
+                    prim_player(impl.name),
+                    relation,
+                    tid,
+                    config,
+                    judgment=judgment,
+                    rule="Fun",
+                    jobs=jobs,
+                )
             _stamp_rule(
                 cert, "Fun", started, window,
                 function=impl.name, lang=impl.lang, workers=get_jobs(jobs),
@@ -334,7 +346,8 @@ def fun_rule(
 
         cert = cached_certificate(
             "Fun",
-            (underlay, impl, overlay, relation, tid, config),
+            (underlay, impl, overlay, relation, tid, config,
+             ("reduce", tuple(sorted(axes)))),
             compute,
             jobs=jobs,
         )
@@ -505,6 +518,7 @@ def check_compat_interfaces(
     tids_a: Iterable[int],
     tids_b: Iterable[int],
     universe: Iterable[Log],
+    reduce: Optional[Any] = None,
 ) -> Certificate:
     """``Compat``: check ``compat(L[A], L[B], L[A∪B])`` over a log universe.
 
@@ -518,6 +532,7 @@ def check_compat_interfaces(
     tids_a = sorted(set(tids_a))
     tids_b = sorted(set(tids_b))
     universe = list(universe)
+    axes = resolve_reduce(reduce)
 
     def compute() -> Certificate:
         cert = Certificate(
@@ -527,7 +542,7 @@ def check_compat_interfaces(
         )
         with _rule_span(
             "Compat", interface=iface.name, universe=len(universe)
-        ):
+        ), reduce_active(axes), reduction_collector(axes) as red_stats:
             if set(tids_a) & set(tids_b):
                 cert.add("A ⊥ B", False, f"overlap: {set(tids_a) & set(tids_b)}")
                 return cert
@@ -543,6 +558,9 @@ def check_compat_interfaces(
             else:
                 cert.add("G ⊇ R implications on universe", True)
         extra = dict(universe_size=len(universe), tids_a=tids_a, tids_b=tids_b)
+        compat_reduction = red_stats.as_dict()
+        if compat_reduction:
+            extra["reduction"] = compat_reduction
         if obs_enabled():
             # The Compat rule's enumeration axis is the log universe itself:
             # the rely/guarantee cross-implication is only checked on logs
@@ -557,7 +575,8 @@ def check_compat_interfaces(
 
     return cached_certificate(
         "Compat",
-        (iface, tuple(tids_a), tuple(tids_b), tuple(universe)),
+        (iface, tuple(tids_a), tuple(tids_b), tuple(universe),
+         ("reduce", tuple(sorted(axes)))),
         compute,
     )
 

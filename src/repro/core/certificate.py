@@ -329,6 +329,19 @@ def stamp_provenance(
         )
         if inherited_profile:
             provenance["profile"] = inherited_profile
+    if "reduction" not in provenance:
+        # And for the state-space-reduction accounting: wrappers keep the
+        # checker's tally of pruned classes / law applications;
+        # composition rules inherit the merged tallies of their premises.
+        from ..reduce.stats import merge_reduction_maps
+
+        prior_reduction = (cert.provenance or {}).get("reduction")
+        inherited_reduction = prior_reduction or merge_reduction_maps(
+            (child.provenance or {}).get("reduction")
+            for child in cert.children
+        )
+        if inherited_reduction:
+            provenance["reduction"] = inherited_reduction
     cert.provenance = provenance
     return cert
 

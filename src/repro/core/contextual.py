@@ -30,6 +30,15 @@ from ..obs.profile import (
 )
 from ..parallel.cache import cached_certificate
 from ..parallel.pool import get_jobs, parallel_map
+from ..reduce import (
+    RG_SIMPLIFY,
+    current_axes,
+    reduce_active,
+    reduction_collector,
+    resolve_reduce,
+)
+from ..reduce.laws import MERGE_COMPATIBLE
+from ..reduce.stats import merge_reduction_maps, tally_law
 from .certificate import Certificate, CertifiedLayer, stamp_provenance
 from .errors import ComposeError
 from .interface import LayerInterface
@@ -140,11 +149,21 @@ def check_refinement(
     obligations get a delta-debugged :class:`Counterexample` whose
     scheduler-decision script is minimized while the same failure —
     no-progress, or no R-related high log — keeps reproducing.
+
+    With ``rg-simplify`` active, witness searches are shared between low
+    runs whose sched-erased logs are identical (the
+    *merge-compatible-obligations* law): the relation is a function of
+    the erased log, so the first search's verdict stands for all of
+    them.  Obligations and counters are unchanged — only the repeated
+    ``relate_logs`` scans are skipped.
     """
     low_results = list(low_results)
     high_logs = [r.log.without_sched() for r in high_results if r.ok]
     matched = 0
     captured = 0
+    memo_witnesses = RG_SIMPLIFY in current_axes()
+    witness_memo: Dict[Log, Optional[Log]] = {}
+    _MISS = object()
 
     def capture(failure, obligation, status, result):
         nonlocal captured
@@ -206,10 +225,16 @@ def check_refinement(
                 )
             continue
         low_log = result.log.without_sched()
-        witness = next(
-            (hl for hl in high_logs if relation.relate_logs(low_log, hl)),
-            None,
-        )
+        witness = witness_memo.get(low_log, _MISS) if memo_witnesses else _MISS
+        if witness is not _MISS:
+            tally_law(MERGE_COMPATIBLE)
+        else:
+            witness = next(
+                (hl for hl in high_logs if relation.relate_logs(low_log, hl)),
+                None,
+            )
+            if memo_witnesses:
+                witness_memo[low_log] = witness
         if witness is None:
             inc("contextual.low_logs_unmatched")
             desc = f"low log has high witness {label}[sched={result.schedule}]"
@@ -236,6 +261,7 @@ def check_soundness(
     max_runs: int = 100_000,
     require_progress: bool = True,
     jobs: Optional[int] = None,
+    reduce: Optional[Any] = None,
 ) -> Certificate:
     """Thm 2.2: contextual refinement for a family of client programs.
 
@@ -250,9 +276,15 @@ def check_soundness(
     a single client the workers split the scheduler tree instead.  The
     whole judgment is memoized in the content-addressed certificate
     cache when enabled — keyed by the layer's interfaces, module,
-    relation, premise certificate, the clients and the bounds.
+    relation, premise certificate, the clients, the bounds and the
+    active reduction axes.
+
+    ``reduce`` selects the state-space reduction axes (see
+    :mod:`repro.reduce`): ``None`` defers to ``REPRO_REDUCE`` (default
+    all on), ``"off"`` restores the seed's exhaustive exploration.
     """
     n_jobs = get_jobs(jobs)
+    axes = resolve_reduce(reduce)
     for index, client in enumerate(clients):
         extra = set(client) - set(layer.focused)
         if extra:
@@ -261,10 +293,11 @@ def check_soundness(
             )
 
     def compute() -> Certificate:
-        return _check_soundness_uncached(
-            layer, clients, fuel, max_rounds, max_runs, require_progress,
-            n_jobs,
-        )
+        with reduce_active(axes):
+            return _check_soundness_uncached(
+                layer, clients, fuel, max_rounds, max_runs, require_progress,
+                n_jobs,
+            )
 
     return cached_certificate(
         "Soundness",
@@ -272,6 +305,7 @@ def check_soundness(
             layer.underlay, layer.module, layer.overlay, layer.relation,
             tuple(sorted(layer.focused)), layer.certificate,
             tuple(clients), fuel, max_rounds, max_runs, require_progress,
+            ("reduce", tuple(sorted(axes))),
         ),
         compute,
         jobs=n_jobs,
@@ -318,9 +352,9 @@ def _check_soundness_uncached(
             )
             if prof else (None, None)
         )
-        with span("soundness.client", client=index), profile_span(
-            f"obligation[P{index}]"
-        ):
+        with span("soundness.client", client=index), \
+                reduction_collector(current_axes()) as red_stats, \
+                profile_span(f"obligation[P{index}]"):
             cov_low, cov_high = (
                 (
                     CoverageBuilder(
@@ -366,6 +400,7 @@ def _check_soundness_uncached(
             "high": len(high),
             "logs": tuple(r.log for r in low) + tuple(r.log for r in high),
             "coverage": maps,
+            "reduction": red_stats.as_dict() or None,
         }
         if prof:
             output["profile"] = {
@@ -385,7 +420,9 @@ def _check_soundness_uncached(
         )
         profile_entries: List[Dict[str, Any]] = []
         redundancy_records: List[Dict[str, Any]] = []
+        reduction_records: List[Optional[Dict[str, Any]]] = []
         for output in outputs:
+            reduction_records.append(output.get("reduction"))
             cert.obligations.extend(output["obligations"])
             behaviors["low"] += output["low"]
             behaviors["high"] += output["high"]
@@ -404,6 +441,9 @@ def _check_soundness_uncached(
     coverage = merge_coverage_maps(coverage_maps)
     if coverage:
         extra_prov["coverage"] = coverage
+    reduction = merge_reduction_maps(reduction_records)
+    if reduction:
+        extra_prov["reduction"] = reduction
     if profile_entries:
         extra_prov["profile"] = {
             "redundancy": merge_redundancy(redundancy_records),

@@ -33,6 +33,10 @@ from ..obs.metrics import inc
 from ..obs.profile import RedundancyBuilder, profile_enabled, state_fingerprint
 from ..parallel.partition import CHUNKS_PER_WORKER, chunk_evenly
 from ..parallel.pool import get_jobs, parallel_map
+from ..reduce import MACHINE_AXES, RG_SIMPLIFY, ReductionStats, contribute, current_axes
+from ..reduce.dpor import DeferRun, PruneRun, ReducingScheduler, TranspositionTable
+from ..reduce.laws import FRAME, STRENGTHEN_GUARANTEE, frame_allows_skip
+from ..reduce.stats import tally_law
 from .context import QUERY, ExecutionContext
 from .environment import EnvContext, NullEnv
 from .errors import OutOfFuel, Stuck
@@ -125,6 +129,22 @@ def run_local(
 
     queries = 0
     guar_ok = True
+    # rg-simplify laws: a prefix-closed guarantee invariant is checked
+    # once on the last snapshot instead of at every query point
+    # (strengthen-guarantee — a violation of any earlier prefix
+    # persists into the last snapshot, so the verdict is identical);
+    # an invariant with a declared footprint is re-checked only when
+    # the log delta since the last check touches it (frame).
+    guar_inv = interface.guar.condition(tid) if check_guar else None
+    rg_active = check_guar and RG_SIMPLIFY in current_axes()
+    guar_once = rg_active and getattr(guar_inv, "prefix_closed", False)
+    guar_frame = (
+        rg_active and not guar_once
+        and getattr(guar_inv, "footprint", None) is not None
+    )
+    stepwise_skipped = 0
+    last_query_len = 0
+    last_checked_len = len(buffer)
     ret: Any = None
     finished = False
     stuck: Optional[str] = None
@@ -138,15 +158,43 @@ def run_local(
                 break
             if marker is not QUERY:  # pragma: no cover - protocol violation
                 raise Stuck(f"player yielded non-query value {marker!r}")
-            if check_guar and not interface.guar.holds(buffer.snapshot(), tid):
-                guar_ok = False
+            if guar_once:
+                stepwise_skipped += 1
+                last_query_len = len(buffer)
+            elif check_guar:
+                snapshot = buffer.snapshot()
+                if guar_frame and frame_allows_skip(
+                    guar_inv, snapshot.events[last_checked_len:]
+                ):
+                    stepwise_skipped += 1
+                    tally_law(FRAME)
+                else:
+                    last_checked_len = len(snapshot)
+                    if not interface.guar.holds(snapshot, tid):
+                        guar_ok = False
             queries += 1
             ctx.queries = queries
             ctx.consume_fuel()
             env.advance(buffer, tid, ctx)
     except Stuck as err:
         stuck = err.reason
-    if check_guar and finished and not interface.guar.holds(buffer.snapshot(), tid):
+    if guar_once:
+        # The last checked snapshot of the stepwise scheme: the final
+        # log when the run finished, else the snapshot at the last
+        # query point (the seed checks nothing after a stuck segment).
+        if finished:
+            if not interface.guar.holds(buffer.snapshot(), tid):
+                guar_ok = False
+        elif queries:
+            stepwise_skipped -= 1
+            prefix = Log(buffer.snapshot().events[:last_query_len])
+            if not interface.guar.holds(prefix, tid):
+                guar_ok = False
+        if stepwise_skipped > 0:
+            tally_law(STRENGTHEN_GUARANTEE, stepwise_skipped)
+    elif check_guar and finished and not interface.guar.holds(
+        buffer.snapshot(), tid
+    ):
         guar_ok = False
     if obs_enabled():
         inc("machine.local_runs")
@@ -334,7 +382,7 @@ _FRONTIER_DEPTH = 2
 
 
 def _explore_prefixes(
-    run_one: Callable[[Tuple[int, ...]], GameResult],
+    run_one: Callable[[GameScheduler], GameResult],
     max_rounds: int,
     max_runs: int,
     stack: List[Tuple[int, ...]],
@@ -374,7 +422,7 @@ def _explore_prefixes(
                 f"(max_rounds={max_rounds})"
             )
         try:
-            result = run_one(prefix)
+            result = run_one(ScriptScheduler(prefix))
         except NeedChoice as need:
             if redundancy is not None:
                 redundancy.visit(replay=True)
@@ -387,6 +435,74 @@ def _explore_prefixes(
                 stack.append(prefix + (tid,))
             continue
         plan.append((result, None))
+    return plan, runs, pruned
+
+
+def _explore_reduced(
+    run_one: Callable[[ReducingScheduler], GameResult],
+    axes: FrozenSet[str],
+    max_rounds: int,
+    max_runs: int,
+    stack: List[Tuple[int, ...]],
+    stats: ReductionStats,
+    frontier_depth: Optional[int] = None,
+    redundancy: Optional[RedundancyBuilder] = None,
+) -> Tuple[List[Tuple[Optional[GameResult], Optional[Tuple[int, ...]]]], int, int]:
+    """The reduced DFS: path extension + sleep-set dominance + transposition.
+
+    The :class:`~repro.reduce.dpor.ReducingScheduler` extends each run
+    past its decision script instead of raising :class:`NeedChoice`, so
+    no prefix is ever replayed; the sibling branches it records are
+    pushed shallowest-group-first with each group reverse-sorted, which
+    makes the stack pop the deepest node's smallest sibling next —
+    depth-first order, every subtree contiguous in ``plan`` (the same
+    splice discipline as :func:`_explore_prefixes`).  A run cut by the
+    transposition table or by an all-asleep sleep set counts as
+    ``pruned`` (its continuation was already explored); a run cut at
+    the frontier defers its current decision path as a ``(None,
+    prefix)`` plan entry for a worker.
+
+    The transposition table is scoped to this call — one table per
+    explored subtree, serial and parallel alike, which is what keeps
+    reduced enumeration independent of the worker count.  Cut runs are
+    *not* reported to ``redundancy`` as replays: the redundancy ratio
+    deliberately keeps measuring the residual duplicates among the
+    completed runs (the headroom reduction has not yet removed), while
+    the cuts land in ``stats`` (see DESIGN.md).
+    """
+    plan: List[Tuple[Optional[GameResult], Optional[Tuple[int, ...]]]] = []
+    runs = 0
+    pruned = 0
+    table = TranspositionTable(stats) if "transpo" in axes else None
+    while stack:
+        prefix = stack.pop()
+        runs += 1
+        heartbeat("machine.schedules", explored=runs, budget=max_runs)
+        if runs > max_runs:
+            raise OutOfFuel(
+                f"behaviour enumeration exceeded {max_runs} runs "
+                f"(max_rounds={max_rounds})"
+            )
+        scheduler = ReducingScheduler(
+            prefix, axes, stats, table=table,
+            frontier_depth=frontier_depth, redundancy=redundancy,
+        )
+        try:
+            result = run_one(scheduler)
+        except PruneRun:
+            # The scheduler already tallied the cut under its axis
+            # (transposition hit or all-asleep sleep-set cut).
+            pruned += 1
+        except DeferRun:
+            plan.append((None, tuple(scheduler.picks)))
+        else:
+            plan.append((result, None))
+        scheduler.finalize()
+        base = tuple(scheduler.picks)
+        for depth, siblings in scheduler.branches:
+            stem = base[:depth]
+            for tid in sorted(siblings, reverse=True):
+                stack.append(stem + (tid,))
     return plan, runs, pruned
 
 
@@ -434,11 +550,11 @@ def enumerate_game_logs(
         redundancy = RedundancyBuilder("machine.schedules")
         own_redundancy = True
 
-    def run_one(prefix: Tuple[int, ...]) -> GameResult:
+    def run_one(scheduler: GameScheduler) -> GameResult:
         return run_game(
             interface,
             players,
-            ScriptScheduler(prefix),
+            scheduler,
             fuel=fuel,
             max_rounds=max_rounds,
             init_log=init_log,
@@ -446,9 +562,19 @@ def enumerate_game_logs(
         )
 
     n_jobs = get_jobs(jobs)
+    axes = frozenset(current_axes())
+    # dpor/transpo switch the exploration to the reducing scheduler;
+    # with both off the seed DFS runs bit-for-bit unchanged.
+    reducing = bool(axes & MACHINE_AXES)
+    stats = ReductionStats(axes) if reducing else None
+    # Reduced enumeration always routes through the frontier-split code
+    # path (a 1-job parallel_map is a plain inline loop), so the
+    # subtree partitioning — and with it the transposition table scope —
+    # is identical serially and under REPRO_JOBS.
     split = (
         _FRONTIER_DEPTH
-        if n_jobs > 1 and len(players) > 1 and max_rounds > _FRONTIER_DEPTH
+        if (reducing or n_jobs > 1)
+        and len(players) > 1 and max_rounds > _FRONTIER_DEPTH
         else None
     )
     results: List[GameResult] = []
@@ -459,10 +585,16 @@ def enumerate_game_logs(
         fine_grained=fine_grained,
     ):
         try:
-            plan, runs, pruned = _explore_prefixes(
-                run_one, max_rounds, max_runs, [()], frontier_depth=split,
-                redundancy=redundancy,
-            )
+            if reducing:
+                plan, runs, pruned = _explore_reduced(
+                    run_one, axes, max_rounds, max_runs, [()], stats,
+                    frontier_depth=split, redundancy=redundancy,
+                )
+            else:
+                plan, runs, pruned = _explore_prefixes(
+                    run_one, max_rounds, max_runs, [()], frontier_depth=split,
+                    redundancy=redundancy,
+                )
             if split is not None:
                 frontier = [prefix for result, prefix in plan if result is None]
 
@@ -473,16 +605,25 @@ def enumerate_game_logs(
                             RedundancyBuilder("machine.schedules")
                             if profile_enabled() else None
                         )
-                        sub_plan, sub_runs, sub_pruned = _explore_prefixes(
-                            run_one, max_rounds, max_runs, [prefix],
-                            redundancy=sub_red,
-                        )
+                        if reducing:
+                            sub_stats = ReductionStats(axes)
+                            sub_plan, sub_runs, sub_pruned = _explore_reduced(
+                                run_one, axes, max_rounds, max_runs, [prefix],
+                                sub_stats, redundancy=sub_red,
+                            )
+                        else:
+                            sub_stats = None
+                            sub_plan, sub_runs, sub_pruned = _explore_prefixes(
+                                run_one, max_rounds, max_runs, [prefix],
+                                redundancy=sub_red,
+                            )
                         out.append(
                             (
                                 [r for r, _ in sub_plan],
                                 sub_runs,
                                 sub_pruned,
                                 sub_red.as_dict() if sub_red else None,
+                                sub_stats.as_dict() if sub_stats else None,
                             )
                         )
                     return out
@@ -501,13 +642,15 @@ def enumerate_game_logs(
                         results.append(result)
                     else:
                         (sub_results, sub_runs, sub_pruned,
-                         sub_red_record) = subtree_outputs[cursor]
+                         sub_red_record, sub_stats_record) = subtree_outputs[cursor]
                         cursor += 1
-                        results.extend(sub_results)
+                        results.extend(r for r in sub_results if r is not None)
                         runs += sub_runs
                         pruned += sub_pruned
                         if redundancy is not None and sub_red_record:
                             redundancy.absorb(sub_red_record)
+                        if stats is not None and sub_stats_record:
+                            stats.absorb(sub_stats_record)
                 if runs > max_runs:
                     raise OutOfFuel(
                         f"behaviour enumeration exceeded {max_runs} runs "
@@ -544,6 +687,11 @@ def enumerate_game_logs(
             )
         if own_redundancy:
             redundancy.record()
+    if stats is not None and stats.any:
+        # Surface the tallies to whichever checker opened a collector
+        # (check_sim / check_soundness attach them to certificate
+        # provenance as the ``reduction`` block).
+        contribute(stats)
     if obs_enabled():
         inc("machine.schedules_explored", runs)
         inc("machine.interleavings", len(results))

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..reduce import RG_SIMPLIFY, current_axes
+from ..reduce.laws import MERGE_COMPATIBLE, structurally_implies
+from ..reduce.stats import tally_law
 from .log import Log
 
 
@@ -40,12 +43,43 @@ class LogInvariant:
     of sibling runs.  Memoization is opt-in because hashing a log costs
     more than evaluating a trivial predicate (e.g. ``TRUE_INV``); the
     builders below enable it for the O(n) protocol walks where it pays.
+
+    Two optional *structural declarations* feed the rely-guarantee
+    pre-simplifier (:mod:`repro.reduce.laws`); both are trusted, and
+    both default to the conservative "no claim":
+
+    * ``prefix_closed`` — violations are permanent: ``holds(l·e) ⇒
+      holds(l)``.  Lets checkers collapse a chain of prefix checks into
+      one check of the longest prefix.  The builders below are
+      prefix-closed by violation monotonicity (each walks the log and
+      fails at the first offending position; later events cannot erase
+      it), and the ``&``/``|`` combinators preserve the property.
+    * ``footprint`` — an event-name set outside which the predicate is
+      constant: ``holds(l·e) = holds(l)`` when ``e.name ∉ footprint``.
+      Lets ``run_local`` skip re-checks whose log delta misses the
+      footprint (the *frame* law).
     """
 
-    def __init__(self, name: str, check: Callable[[Log], bool], memo: bool = False):
+    def __init__(
+        self,
+        name: str,
+        check: Callable[[Log], bool],
+        memo: bool = False,
+        prefix_closed: bool = False,
+        footprint: Optional[Iterable[str]] = None,
+    ):
         self.name = name
         self._check = check
         self._memo: Optional[Dict[Log, bool]] = {} if memo else None
+        self.prefix_closed = prefix_closed
+        self.footprint: Optional[frozenset] = (
+            None if footprint is None else frozenset(footprint)
+        )
+        self._conjuncts: Optional[Tuple["LogInvariant", ...]] = None
+
+    def conjuncts(self) -> Tuple["LogInvariant", ...]:
+        """The invariant's top-level ∧-parts (itself when atomic)."""
+        return self._conjuncts if self._conjuncts is not None else (self,)
 
     def holds(self, log: Log) -> bool:
         memo = self._memo
@@ -60,15 +94,21 @@ class LogInvariant:
         return verdict
 
     def __and__(self, other: "LogInvariant") -> "LogInvariant":
-        return LogInvariant(
+        combined = LogInvariant(
             f"({self.name} ∧ {other.name})",
             lambda log: self.holds(log) and other.holds(log),
+            prefix_closed=self.prefix_closed and other.prefix_closed,
+            footprint=_union_footprints(self.footprint, other.footprint),
         )
+        combined._conjuncts = self.conjuncts() + other.conjuncts()
+        return combined
 
     def __or__(self, other: "LogInvariant") -> "LogInvariant":
         return LogInvariant(
             f"({self.name} ∨ {other.name})",
             lambda log: self.holds(log) or other.holds(log),
+            prefix_closed=self.prefix_closed and other.prefix_closed,
+            footprint=_union_footprints(self.footprint, other.footprint),
         )
 
     def implies_on(self, other: "LogInvariant", universe: Iterable[Log]) -> Tuple[bool, Optional[Log]]:
@@ -86,8 +126,18 @@ class LogInvariant:
         return f"Inv({self.name})"
 
 
-TRUE_INV = LogInvariant("true", lambda log: True)
-FALSE_INV = LogInvariant("false", lambda log: False)
+def _union_footprints(
+    a: Optional[frozenset], b: Optional[frozenset]
+) -> Optional[frozenset]:
+    """Footprint of a pointwise combination: union, if both declared."""
+    if a is None or b is None:
+        return None
+    return a | b
+
+
+TRUE_INV = LogInvariant("true", lambda log: True, prefix_closed=True, footprint=())
+TRUE_INV.always_true = True  # weaken-rely: no prefix walk needed at all
+FALSE_INV = LogInvariant("false", lambda log: False, prefix_closed=True, footprint=())
 
 
 class Rely:
@@ -215,17 +265,31 @@ def check_compat(
 
     ``∀i ∈ A, L[B].R(i) ⊆ L[A].G(i)`` and symmetrically.  Returns a list
     of failure descriptions (empty = compatible on the universe).
+
+    With ``rg-simplify`` active, implications that hold *structurally*
+    (the guarantee is trivially true, is the rely itself, or is one of
+    its conjuncts — :func:`repro.reduce.laws.structurally_implies`) are
+    discharged without scanning the universe; a structural implication
+    holds on every universe, so the result is identical.
     """
     universe = list(universe)
+    structural = RG_SIMPLIFY in current_axes()
     failures: List[str] = []
+
+    def implies(antecedent: LogInvariant, consequent: LogInvariant):
+        if structural and structurally_implies(antecedent, consequent):
+            tally_law(MERGE_COMPATIBLE)
+            return True, None
+        return antecedent.implies_on(consequent, universe)
+
     for i in tids_a:
-        ok, witness = rely_b.condition(i).implies_on(guar_a.condition(i), universe)
+        ok, witness = implies(rely_b.condition(i), guar_a.condition(i))
         if not ok:
             failures.append(
                 f"L[B].R({i}) ⊄ L[A].G({i}); counterexample log: {witness!r}"
             )
     for i in tids_b:
-        ok, witness = rely_a.condition(i).implies_on(guar_b.condition(i), universe)
+        ok, witness = implies(rely_a.condition(i), guar_b.condition(i))
         if not ok:
             failures.append(
                 f"L[A].R({i}) ⊄ L[B].G({i}); counterexample log: {witness!r}"
@@ -255,7 +319,7 @@ def events_follow_protocol(
             prefix.append(event)
         return True
 
-    return LogInvariant(f"{name}[{tid}]", check, memo=True)
+    return LogInvariant(f"{name}[{tid}]", check, memo=True, prefix_closed=True)
 
 
 def release_within(tid: int, acquire: str, release: str, bound: int) -> LogInvariant:
@@ -285,7 +349,12 @@ def release_within(tid: int, acquire: str, release: str, bound: int) -> LogInvar
                 return False
         return True
 
-    return LogInvariant(f"release_within[{tid},{acquire}->{release}≤{bound}]", check, memo=True)
+    return LogInvariant(
+        f"release_within[{tid},{acquire}->{release}≤{bound}]",
+        check,
+        memo=True,
+        prefix_closed=True,
+    )
 
 
 def scheduled_within(tid: int, bound: int) -> LogInvariant:
@@ -303,4 +372,4 @@ def scheduled_within(tid: int, bound: int) -> LogInvariant:
                     return False
         return True
 
-    return LogInvariant(f"fair[{tid}≤{bound}]", check, memo=True)
+    return LogInvariant(f"fair[{tid}≤{bound}]", check, memo=True, prefix_closed=True)

@@ -47,6 +47,9 @@ from ..obs.profile import (
 )
 from ..parallel.partition import CHUNKS_PER_WORKER, chunk_evenly
 from ..parallel.pool import get_jobs, parallel_map
+from ..reduce import RG_SIMPLIFY, current_axes, reduction_collector
+from ..reduce.laws import WEAKEN_RELY
+from ..reduce.stats import merge_reduction_maps, tally_law
 from .certificate import Certificate, stamp_provenance
 from .environment import Batch, ChoiceEnv, RecordingEnv, ScriptedEnv
 from .errors import OutOfFuel
@@ -118,8 +121,37 @@ class RunRecord:
 
 
 def env_events_valid(log: Log, rely: Rely, env_tids: Set[int]) -> bool:
-    """Every environment event satisfies its rely invariant on its prefix."""
+    """Every environment event satisfies its rely invariant on its prefix.
+
+    With ``rg-simplify`` active the per-event prefix walk is simplified
+    per participant by the *weaken-rely* law: an unconstrained rely
+    (``always_true``) needs no check at all, and a prefix-closed rely
+    (violations permanent) holds of every prefix iff it holds of the
+    longest one — both boolean-equivalent to the exhaustive walk.
+    Participants whose rely declares neither keep the exact walk.
+    """
     events = log.events
+    if RG_SIMPLIFY in current_axes():
+        last_idx: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
+        for idx, event in enumerate(events):
+            if event.tid in env_tids:
+                last_idx[event.tid] = idx
+                counts[event.tid] = counts.get(event.tid, 0) + 1
+        exact_tids: Set[int] = set()
+        for tid, idx in last_idx.items():
+            inv = rely.condition(tid)
+            if getattr(inv, "always_true", False):
+                tally_law(WEAKEN_RELY, counts[tid])
+            elif getattr(inv, "prefix_closed", False):
+                tally_law(WEAKEN_RELY, counts[tid] - 1)
+                if not inv.holds(Log(events[: idx + 1])):
+                    return False
+            else:
+                exact_tids.add(tid)
+        if not exact_tids:
+            return True
+        env_tids = exact_tids
     for idx, event in enumerate(events):
         if event.tid in env_tids:
             prefix = Log(events[: idx + 1])
@@ -543,7 +575,8 @@ def check_sim(
             )
             if obs_enabled() else None
         )
-        with profile_span(f"obligation[args={args}]"):
+        with reduction_collector(current_axes()) as red_stats, \
+                profile_span(f"obligation[args={args}]"):
             records = enumerate_local_runs(
                 high_iface, tid, high_player, args, config,
                 coverage=env_cov, redundancy=env_red,
@@ -557,13 +590,15 @@ def check_sim(
                 def discharge_chunk(chunk: List[RunRecord]) -> Dict[str, Any]:
                     chunk_cert = Certificate(judgment=judgment, rule=rule)
                     chunk_logs: List[Log] = []
-                    _discharge_sim_records(
-                        chunk, args, low_iface, low_player, relation, tid,
-                        config, chunk_cert, chunk_logs, make_forensics(),
-                    )
+                    with reduction_collector(current_axes()) as chunk_red:
+                        _discharge_sim_records(
+                            chunk, args, low_iface, low_player, relation, tid,
+                            config, chunk_cert, chunk_logs, make_forensics(),
+                        )
                     return {
                         "obligations": chunk_cert.obligations,
                         "logs": chunk_logs,
+                        "reduction": chunk_red.as_dict() or None,
                     }
 
                 chunks = chunk_evenly(records, n_jobs * CHUNKS_PER_WORKER)
@@ -572,6 +607,7 @@ def check_sim(
                 ):
                     scratch.obligations.extend(chunk_output["obligations"])
                     task_logs.extend(chunk_output["logs"])
+                    red_stats.absorb(chunk_output["reduction"])
             else:
                 _discharge_sim_records(
                     records, args, low_iface, low_player, relation, tid,
@@ -582,6 +618,7 @@ def check_sim(
             "logs": task_logs,
             "env_contexts": len(records),
             "coverage": env_cov.record() if env_cov is not None else None,
+            "reduction": red_stats.as_dict() or None,
         }
         if prof:
             # The discharge loop appends one log per spec run plus one per
@@ -609,11 +646,13 @@ def check_sim(
         )
         profile_entries: List[Dict[str, Any]] = []
         redundancy_records: List[Dict[str, Any]] = []
+        reduction_records: List[Optional[Dict[str, Any]]] = []
         for output in outputs:
             if args_cov is not None:
                 args_cov.visit()
             if output["coverage"] is not None:
                 coverage_maps.append({"env_contexts": output["coverage"]})
+            reduction_records.append(output.get("reduction"))
             env_contexts += output["env_contexts"]
             cert.obligations.extend(output["obligations"])
             logs.extend(output["logs"])
@@ -638,6 +677,9 @@ def check_sim(
     coverage = merge_coverage_maps(coverage_maps)
     if coverage:
         extra["coverage"] = coverage
+    reduction = merge_reduction_maps(reduction_records)
+    if reduction:
+        extra["reduction"] = reduction
     if profile_entries:
         extra["profile"] = {
             "redundancy": merge_redundancy(redundancy_records),
@@ -830,7 +872,8 @@ def check_scenario_sim(
     )
     with span(
         "check_scenario_sim", scenario=scenario.label, judgment=judgment
-    ), profile_span(f"obligation[{scenario.label}]"):
+    ), reduction_collector(current_axes()) as red_stats, \
+            profile_span(f"obligation[{scenario.label}]"):
         init_ok = relation.relate_logs(
             Log(low_iface.init_log), Log(high_iface.init_log)
         )
@@ -844,13 +887,15 @@ def check_scenario_sim(
             def discharge_chunk(chunk) -> Dict[str, Any]:
                 chunk_cert = Certificate(judgment=judgment, rule=rule)
                 chunk_logs: List[Log] = []
-                _check_scenario_records(
-                    chunk, scenario, low_iface, impl_player, relation, tid,
-                    config, chunk_cert, chunk_logs, make_forensics(),
-                )
+                with reduction_collector(current_axes()) as chunk_red:
+                    _check_scenario_records(
+                        chunk, scenario, low_iface, impl_player, relation,
+                        tid, config, chunk_cert, chunk_logs, make_forensics(),
+                    )
                 return {
                     "obligations": chunk_cert.obligations,
                     "logs": chunk_logs,
+                    "reduction": chunk_red.as_dict() or None,
                 }
 
             chunks = chunk_evenly(records, n_jobs * CHUNKS_PER_WORKER)
@@ -859,6 +904,7 @@ def check_scenario_sim(
             ):
                 cert.obligations.extend(chunk_output["obligations"])
                 logs.extend(chunk_output["logs"])
+                red_stats.absorb(chunk_output["reduction"])
             _trim_counterexamples(cert.obligations)
         else:
             _check_scenario_records(
@@ -879,6 +925,9 @@ def check_scenario_sim(
         extra["coverage"] = merge_coverage_maps(
             [{"env_contexts": env_cov.record()}]
         )
+    scenario_reduction = red_stats.as_dict()
+    if scenario_reduction:
+        extra["reduction"] = scenario_reduction
     if env_red is not None:
         redundancy = env_red.record()
         low_runs = len(logs) - len(records)

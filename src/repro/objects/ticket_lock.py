@@ -371,7 +371,11 @@ def replay_consistent_inv(locks: Sequence[Any], width_bits: int = 32) -> LogInva
                 return False
         return True
 
-    return LogInvariant(f"replay_consistent{list(locks)}", check)
+    # Prefix-closed: replay processes events in order and raises Stuck at
+    # the first offending one, which any extension still contains.
+    return LogInvariant(
+        f"replay_consistent{list(locks)}", check, prefix_closed=True
+    )
 
 
 def ticket_protocol_inv(locks: Sequence[Any]) -> LogInvariant:
@@ -404,7 +408,11 @@ def ticket_protocol_inv(locks: Sequence[Any]) -> LogInvariant:
                         return False
         return True
 
-    return LogInvariant(f"ticket_protocol{list(locks)}", check)
+    # Prefix-closed: the fold fails at the first out-of-order ticket
+    # event, and later events never legalize an earlier violation.
+    return LogInvariant(
+        f"ticket_protocol{list(locks)}", check, prefix_closed=True
+    )
 
 
 def lock_rely(

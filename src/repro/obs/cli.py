@@ -152,6 +152,39 @@ def _render_profile(profile: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _render_reduction(reduction: Dict[str, Any]) -> List[str]:
+    """Render a certificate's ``reduction`` provenance annotation.
+
+    One line summarizing the active axes and pruned equivalence
+    classes, one for the transposition table, one for the law tally.
+    """
+    lines: List[str] = []
+    axes = reduction.get("axes") or []
+    pruned = reduction.get("pruned") or {}
+    pruned_note = (
+        " pruned=" + ",".join(
+            f"{axis}:{count}" for axis, count in sorted(pruned.items())
+        )
+        if pruned else ""
+    )
+    lines.append(f"reduction[{','.join(axes) or '?'}]:{pruned_note or ' (no prunes)'}")
+    table = reduction.get("table")
+    if table:
+        lines.append(
+            f"  transposition table: {table.get('hits', 0)} hit(s), "
+            f"{table.get('misses', 0)} miss(es), "
+            f"hit rate {table.get('hit_rate', 0.0):.1%}"
+        )
+    laws = reduction.get("laws") or {}
+    if laws:
+        lines.append(
+            "  laws applied: " + ", ".join(
+                f"{name}×{count}" for name, count in sorted(laws.items())
+            )
+        )
+    return lines
+
+
 def _explain_cert(cert: Dict[str, Any], indent: int = 0,
                   show_ok: bool = False) -> List[str]:
     pad = "  " * indent
@@ -200,6 +233,11 @@ def _explain_cert(cert: Dict[str, Any], indent: int = 0,
         profile = provenance.get("profile")
         if profile:
             lines.extend(f"{pad}  {line}" for line in _render_profile(profile))
+        reduction = provenance.get("reduction")
+        if reduction:
+            lines.extend(
+                f"{pad}  {line}" for line in _render_reduction(reduction)
+            )
     for obligation in cert.get("obligations") or []:
         ok = obligation.get("ok")
         if ok and not show_ok:

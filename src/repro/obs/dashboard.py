@@ -348,6 +348,49 @@ def _redundancy_panel(runs: List[Dict[str, Any]]) -> str:
     )
 
 
+def _reduction_panel(runs: List[Dict[str, Any]]) -> str:
+    latest = _latest_with(runs, "reduction")
+    if not latest:
+        return ""
+    pruned = latest.get("pruned") or {}
+    laws = latest.get("laws") or {}
+    total_cut = sum(pruned.values()) + sum(laws.values())
+    rows = []
+    for name, count in sorted(
+        list(pruned.items()) + list(laws.items()), key=lambda kv: -kv[1]
+    )[:10]:
+        share = count / total_cut if total_cut else 0.0
+        rows.append(
+            '<div class="barrow">'
+            f'<div class="name">{_esc(name)}</div>'
+            f'<div class="track"><div class="fill" '
+            f'style="width:{max(share * 100, 1):.1f}%"></div></div>'
+            f'<div class="val">{count}</div>'
+            "</div>"
+        )
+    caption = f"axes {_esc(','.join(latest.get('axes') or []))}"
+    table = latest.get("table") or {}
+    if table:
+        caption += (
+            f" · transposition {table.get('hits', 0)}/"
+            f"{table.get('hits', 0) + table.get('misses', 0)} hits "
+            f"({(table.get('hit_rate') or 0.0) * 100:.1f}%)"
+        )
+    hit_rates = [v for _, v in _series(runs, "reduction_table_hit_rate")]
+    spark = (
+        sparkline_svg(
+            hit_rates, title=f"transposition hit rate, {len(hit_rates)} runs"
+        )
+        if len(hit_rates) >= 2 else ""
+    )
+    return (
+        "<h2>State-space reduction</h2>"
+        f'<div class="panel">{spark}{"".join(rows)}'
+        f'<div class="spark-caption">schedules pruned and obligations '
+        f"discharged per law, latest run · {caption}</div></div>"
+    )
+
+
 def render_dashboard(
     runs: List[Dict[str, Any]],
     title: str = "repro verification runs",
@@ -372,6 +415,7 @@ def render_dashboard(
             body.append(_object_section(name, by_object[name]))
         body.append(_cache_panel(runs))
         body.append(_redundancy_panel(runs))
+        body.append(_reduction_panel(runs))
     body.append(
         '<div class="footer">schema repro.obs/run/v1 · generated by '
         "python -m repro.obs dashboard</div>"

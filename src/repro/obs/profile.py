@@ -255,15 +255,14 @@ def profile_span(name: str, **args: Any):
     return span(name, category="profile", **args)
 
 
-def state_fingerprint(*parts: Any) -> int:
-    """A hash-consed fingerprint of one explored state's outcome.
-
-    Plain ``hash`` over the outcome tuple: cheap, and stable across the
-    fork boundary (workers inherit the parent's hash seed), which is
-    all the redundancy accounting needs — fingerprints are only ever
-    compared within one run.
-    """
-    return hash(parts)
+# One shared hash-consing helper serves the redundancy accounting here
+# and the transposition table in :mod:`repro.reduce.dpor`, so profiler
+# redundancy numbers and table hits are computed from the same
+# fingerprints.  Plain ``hash`` over the part tuple: cheap, and stable
+# across the fork boundary (workers inherit the parent's hash seed),
+# which is all either use needs — fingerprints are only ever compared
+# within one run.
+from ..reduce.fingerprint import state_fingerprint  # noqa: E402,F401
 
 
 class RedundancyBuilder:

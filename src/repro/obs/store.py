@@ -460,6 +460,7 @@ class LedgerRun:
         obligations_total = obligations_failed = 0
         coverage_maps: List[Optional[Dict[str, Any]]] = []
         profile_maps: List[Optional[Dict[str, Any]]] = []
+        reduction_maps: List[Optional[Dict[str, Any]]] = []
         obligation_profile: List[Dict[str, Any]] = []
         for cert, wall in roots:
             exported = _cert_json(cert)
@@ -491,6 +492,7 @@ class LedgerRun:
             provenance = exported.get("provenance") or {}
             coverage_maps.append(provenance.get("coverage"))
             profile_maps.append(provenance.get("profile"))
+            reduction_maps.append(provenance.get("reduction"))
 
         record: Dict[str, Any] = {
             "schema": RUN_SCHEMA,
@@ -520,6 +522,11 @@ class LedgerRun:
         redundancy = (merge_profile_maps(profile_maps) or {}).get("redundancy")
         if redundancy:
             record["redundancy"] = redundancy
+        from ..reduce.stats import merge_reduction_maps
+
+        reduction = merge_reduction_maps(reduction_maps)
+        if reduction:
+            record["reduction"] = reduction
         if obligation_profile:
             record["obligation_profile"] = obligation_profile
         if profile_enabled():
@@ -792,6 +799,13 @@ def run_metrics(record: Dict[str, Any]) -> Dict[str, float]:
     redundancy = record.get("redundancy") or {}
     if "ratio" in redundancy:
         out["redundancy_ratio"] = float(redundancy["ratio"])
+    reduction = record.get("reduction") or {}
+    pruned = reduction.get("pruned") or {}
+    if pruned:
+        out["reduction_pruned"] = float(sum(pruned.values()))
+    table = reduction.get("table") or {}
+    if "hit_rate" in table:
+        out["reduction_table_hit_rate"] = float(table["hit_rate"])
     cache = record.get("cache") or {}
     lookups = (cache.get("hits") or 0) + (cache.get("misses") or 0)
     if lookups:
@@ -846,10 +860,30 @@ def series_stats(values: List[float]) -> Dict[str, float]:
     }
 
 
-#: Metrics where *larger is worse* — the ones ``regress`` gates on.
-#: Everything else (obligation counts, hit rates) is informational.
-def _gateable(metric: str) -> bool:
+#: Reduction-effectiveness metrics gate in the *opposite* direction: a
+#: drop in pruned classes or transposition hit rate means the state-space
+#: reduction engine stopped earning its keep, so *smaller is worse*.
+_LOWER_IS_WORSE = frozenset({"reduction_pruned", "reduction_table_hit_rate"})
+
+#: Per-metric noise floors (fraction of the baseline median).  Reduction
+#: counters are step functions of the checked workload, so they get wider
+#: floors than wall times; everything else uses the ``noise_floor``
+#: argument.
+_NOISE_FLOORS = {
+    "reduction_pruned": 0.10,
+    "reduction_table_hit_rate": 0.05,
+}
+
+
+def _timing(metric: str) -> bool:
     return metric == "wall_s" or "::" in metric
+
+
+#: Metrics the ``regress`` gate inspects.  Larger-is-worse timings, plus
+#: the smaller-is-worse reduction metrics.  Everything else (obligation
+#: counts, cache hit rates) is informational.
+def _gateable(metric: str) -> bool:
+    return _timing(metric) or metric in _LOWER_IS_WORSE
 
 
 def detect_regressions(
@@ -872,8 +906,15 @@ def detect_regressions(
     fails when its robust z-score clears ``fail_z`` *and* its ratio to
     the median clears ``fail_ratio`` (both conditions, so neither tiny
     absolute changes nor tiny-MAD flukes alarm); ``warn_*`` likewise.
-    Metrics whose baseline median is under ``min_seconds`` never gate —
-    their timings are noise-dominated, mirroring ``compare``.
+    Timing metrics whose baseline median is under ``min_seconds`` never
+    gate — they are noise-dominated, mirroring ``compare``.
+
+    Reduction metrics (``reduction_pruned``,
+    ``reduction_table_hit_rate``) gate *downward*: the z-score and ratio
+    measure how far the candidate fell below the baseline median, and
+    each carries its own noise floor (:data:`_NOISE_FLOORS`) since
+    pruning counts step with the workload rather than jitter like
+    timers.
     """
     findings: List[Dict[str, Any]] = []
     status = "ok"
@@ -905,13 +946,18 @@ def detect_regressions(
             "mad": round(mad(history, med), 6),
             "n": len(history),
         }
-        if med < min_seconds and _gateable(name):
+        if med < min_seconds and _timing(name):
             finding["verdict"] = "below min-seconds"
             findings.append(finding)
             continue
-        sigma = max(spread, noise_floor * abs(med), 1e-9)
-        z = (candidate - med) / sigma
-        ratio = candidate / med if med else float("inf")
+        floor = _NOISE_FLOORS.get(name, noise_floor)
+        sigma = max(spread, floor * abs(med), 1e-9)
+        if name in _LOWER_IS_WORSE:
+            z = (med - candidate) / sigma
+            ratio = med / candidate if candidate else float("inf")
+        else:
+            z = (candidate - med) / sigma
+            ratio = candidate / med if med else float("inf")
         finding["z"] = round(z, 2)
         finding["ratio"] = round(ratio, 3)
         if z >= fail_z and ratio >= fail_ratio:

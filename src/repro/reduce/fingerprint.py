@@ -1,0 +1,37 @@
+"""The shared state-fingerprint (hash-consing) helper.
+
+One definition serves both the profiler's redundancy accounting
+(:mod:`repro.obs.profile`) and the transposition table
+(:mod:`repro.reduce.dpor`), so "replay-equivalent" means exactly the
+same thing to the instrument that measures redundancy and to the engine
+that removes it.
+
+Fingerprints are Python hashes of immutable part tuples.  They are used
+as identities (hash-consing), never dereferenced back to states; the
+negligible collision probability is the same one the profiler has
+always accepted for its distinct-state counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def state_fingerprint(*parts: Any) -> int:
+    """A hash-consed fingerprint of an enumeration state.
+
+    Parts must be hashable (logs, tuples, frozensets, scalars).  Equal
+    part tuples always produce equal fingerprints; distinct tuples
+    collide only with ordinary ``hash`` probability.
+    """
+    return hash(parts)
+
+
+def extend_chain(chain: int, part: Any) -> int:
+    """Extend an incremental fingerprint chain by one part.
+
+    ``extend_chain`` lets hot loops fingerprint a growing sequence in
+    O(1) per element instead of re-hashing the whole prefix: two equal
+    sequences fold to equal chains.  Seed with any constant (0).
+    """
+    return hash((chain, part))

@@ -1,0 +1,73 @@
+"""Gating: REPRO_REDUCE parsing and axis resolution."""
+
+import pytest
+
+from repro.reduce import (
+    ALL_AXES,
+    DPOR,
+    REDUCE_ENV,
+    RG_SIMPLIFY,
+    TRANSPO,
+    axes_from_env,
+    current_axes,
+    parse_axes,
+    reduce_active,
+    resolve_reduce,
+)
+
+
+class TestParseAxes:
+    def test_default_is_all(self):
+        assert parse_axes(None) == ALL_AXES
+
+    @pytest.mark.parametrize("text", ["", "on", "all", "1", "true", "yes"])
+    def test_all_spellings(self, text):
+        assert parse_axes(text) == ALL_AXES
+
+    @pytest.mark.parametrize("text", ["off", "none", "0", "false", "no"])
+    def test_off_spellings(self, text):
+        assert parse_axes(text) == frozenset()
+
+    def test_single_axis(self):
+        assert parse_axes("dpor") == {DPOR}
+
+    def test_csv_subset(self):
+        assert parse_axes("dpor,transpo") == {DPOR, TRANSPO}
+
+    def test_whitespace_and_case(self):
+        assert parse_axes(" DPOR , Transpo ") == {DPOR, TRANSPO}
+
+    def test_underscore_normalisation(self):
+        assert parse_axes("rg_simplify") == {RG_SIMPLIFY}
+
+    def test_iterable_input(self):
+        assert parse_axes(["dpor", "rg-simplify"]) == {DPOR, RG_SIMPLIFY}
+
+    def test_unknown_axis_raises(self):
+        with pytest.raises(ValueError, match="unknown reduction axes"):
+            parse_axes("dpor,typo")
+
+
+class TestResolution:
+    def test_env_selects_axes(self, monkeypatch):
+        monkeypatch.setenv(REDUCE_ENV, "transpo")
+        assert axes_from_env() == {TRANSPO}
+        assert resolve_reduce(None) == {TRANSPO}
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(REDUCE_ENV, "off")
+        assert resolve_reduce("dpor") == {DPOR}
+
+    def test_unset_env_means_all(self, monkeypatch):
+        monkeypatch.delenv(REDUCE_ENV, raising=False)
+        assert resolve_reduce(None) == ALL_AXES
+
+    def test_current_axes_tracks_active_stack(self, monkeypatch):
+        monkeypatch.setenv(REDUCE_ENV, "off")
+        assert current_axes() == frozenset()
+        with reduce_active({DPOR}):
+            assert current_axes() == {DPOR}
+            with reduce_active(ALL_AXES):
+                assert current_axes() == ALL_AXES
+            assert current_axes() == {DPOR}
+        assert current_axes() == frozenset()

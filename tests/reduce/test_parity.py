@@ -1,0 +1,247 @@
+"""Reduction must never change a verdict, a behavior, or a byte.
+
+Three contracts:
+
+* every ``REPRO_REDUCE`` subset produces the same verdicts and the same
+  failing behaviors (counterexample logs) as reduction off, on both
+  forensics fixtures (the broken ticket lock and the non-atomic bump2);
+* with reduction on, serial / ``jobs=2`` / warm-cache certificates are
+  byte-identical;
+* with reduction off the checkers take the seed code paths: no
+  ``reduction`` provenance block appears anywhere in the tree.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    EventMapRel,
+    FuncImpl,
+    LayerInterface,
+    SimConfig,
+    check_soundness,
+    fun_rule,
+    pcomp,
+    shared_prim,
+)
+from repro.core.calculus import module_rule
+from repro.core.errors import VerificationError
+from repro.core.events import ACQ, REL
+from repro.core.module import Module
+from repro.core.relation import ID_REL
+from repro.machine.atomics import FAI
+from repro.objects.ticket_lock import (
+    acq_impl,
+    lock_guarantee,
+    lock_low_interface,
+    lock_rely,
+    lock_scenarios,
+    low_env_alphabet,
+    lx86_like_interface,
+    n_cell,
+)
+from repro.reduce import REDUCE_ENV
+
+MODES = ["off", "dpor", "transpo", "rg-simplify", "dpor,transpo,rg-simplify"]
+
+
+def cert_bytes(cert) -> bytes:
+    return json.dumps(
+        cert.to_json(), sort_keys=True, ensure_ascii=False
+    ).encode()
+
+
+def cx_logs(cert):
+    """The failing behaviors: counterexample logs as (tid, name) tuples."""
+    out = []
+    for cx in cert.counterexamples():
+        out.append(
+            tuple(
+                (e["tid"], e["name"]) if isinstance(e, dict) else (e.tid, e.name)
+                for e in (cx.log or [])
+            )
+        )
+    return sorted(out)
+
+
+def broken_lock_certificate():
+    """Fun* certificate of a ticket lock whose ``rel`` skips the push."""
+
+    def broken_rel(ctx, lock):
+        yield from ctx.call(FAI, n_cell(lock))
+        return None
+
+    domain, lock = [1, 2], "q0"
+    base = lx86_like_interface(
+        domain, 32, lock_rely(domain, [lock]), lock_guarantee(domain, [lock])
+    )
+    low = lock_low_interface(base)
+    module = Module(
+        {
+            ACQ: FuncImpl(ACQ, acq_impl, lang="spec"),
+            REL: FuncImpl(REL, broken_rel, lang="spec"),
+        },
+        name="M_broken_rel",
+    )
+    config = SimConfig(
+        env_alphabet=low_env_alphabet([2], [lock]),
+        env_depth=1,
+        fuel=2_000,
+        delivery="per_query",
+    )
+    with pytest.raises(VerificationError) as excinfo:
+        module_rule(base, module, low, ID_REL, 1, lock_scenarios(lock, config))
+    return excinfo.value.certificate
+
+
+def bump_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump") + 1
+    ctx.emit("bump", ret=count)
+    return count
+
+
+def bump2_spec(ctx):
+    yield from ctx.query()
+    count = ctx.log.count("bump")
+    ctx.emit("bump", ret=count + 1)
+    ctx.emit("bump", ret=count + 2)
+    return None
+
+
+def non_atomic_bump2_impl(ctx):
+    # atomicity bug: the pair can be interleaved by the other participant
+    yield from ctx.call("bump")
+    yield from ctx.call("bump")
+    return None
+
+
+def atomic_bump2_impl(ctx):
+    yield from ctx.call("bump")
+    ctx.enter_critical()
+    yield from ctx.call("bump")
+    ctx.exit_critical()
+    return None
+
+
+def bump2_layer(impl):
+    base = LayerInterface(
+        "L0", [1, 2], {"bump": shared_prim("bump", bump_spec)}
+    )
+    overlay = base.extend(
+        "L1", [shared_prim("bump2", bump2_spec)], hide=["bump"]
+    )
+    rel = EventMapRel("Rb", ret_rel=lambda lo, hi: True)
+    config = SimConfig(env_alphabet=[()], env_depth=1, compare_rets=False)
+    return pcomp(
+        fun_rule(base, FuncImpl("bump2", impl), overlay, rel, 1, config),
+        fun_rule(base, FuncImpl("bump2", impl), overlay, rel, 2, config),
+    )
+
+
+def soundness_certificate(impl=non_atomic_bump2_impl, jobs=None):
+    return check_soundness(
+        bump2_layer(impl),
+        clients=[{1: [("bump2", ())], 2: [("bump2", ())]}],
+        max_rounds=24,
+        jobs=jobs,
+    )
+
+
+class TestForensicsParity:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_broken_lock_counterexamples_identical(self, mode, monkeypatch):
+        monkeypatch.setenv(REDUCE_ENV, "off")
+        baseline = broken_lock_certificate()
+        monkeypatch.setenv(REDUCE_ENV, mode)
+        cert = broken_lock_certificate()
+        assert cert.ok == baseline.ok is False
+        # Env-choice schedules are untouched by machine-level reduction,
+        # so the counterexamples match digest-for-digest.
+        assert sorted(
+            (cx.schedule, cx.digest()) for cx in cert.counterexamples()
+        ) == sorted(
+            (cx.schedule, cx.digest()) for cx in baseline.counterexamples()
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_soundness_failing_behaviors_identical(self, mode, monkeypatch):
+        monkeypatch.setenv(REDUCE_ENV, "off")
+        baseline = soundness_certificate()
+        monkeypatch.setenv(REDUCE_ENV, mode)
+        cert = soundness_certificate()
+        assert cert.ok == baseline.ok is False
+        # Machine reduction may pick a different representative schedule
+        # for an equivalence class, but the failing behaviors (the logs)
+        # and their count must be identical.
+        assert len(cert.counterexamples()) == len(baseline.counterexamples())
+        assert cx_logs(cert) == cx_logs(baseline)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_soundness_passing_verdict_identical(self, mode, monkeypatch):
+        monkeypatch.setenv(REDUCE_ENV, mode)
+        cert = soundness_certificate(impl=atomic_bump2_impl)
+        assert cert.ok
+
+
+class TestByteParity:
+    def test_serial_parallel_cached_identical_reduced(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv(REDUCE_ENV, raising=False)  # all axes on
+        serial = soundness_certificate(jobs=1)
+        parallel = soundness_certificate(jobs=2)
+        assert cert_bytes(parallel) == cert_bytes(serial)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cold = soundness_certificate()
+        warm = soundness_certificate()
+        assert cert_bytes(cold) == cert_bytes(serial)
+        assert cert_bytes(warm) == cert_bytes(serial)
+
+    def test_off_and_on_verdicts_agree(self, monkeypatch):
+        monkeypatch.setenv(REDUCE_ENV, "off")
+        off = soundness_certificate()
+        monkeypatch.delenv(REDUCE_ENV, raising=False)
+        on = soundness_certificate()
+        assert off.ok == on.ok
+        assert cx_logs(off) == cx_logs(on)
+
+
+class TestProvenanceGating:
+    def _reduction_blocks(self, cert):
+        blocks = []
+
+        def walk(node):
+            block = (node.provenance or {}).get("reduction")
+            if block:
+                blocks.append(block)
+            for child in node.children:
+                walk(child)
+
+        walk(cert)
+        return blocks
+
+    def test_reduction_off_adds_no_provenance(self, monkeypatch):
+        monkeypatch.setenv(REDUCE_ENV, "off")
+        obs.enable()
+        try:
+            cert = soundness_certificate(impl=atomic_bump2_impl)
+        finally:
+            obs.disable()
+        assert self._reduction_blocks(cert) == []
+
+    def test_reduction_on_records_provenance(self, monkeypatch):
+        monkeypatch.delenv(REDUCE_ENV, raising=False)
+        obs.enable()
+        try:
+            cert = soundness_certificate(impl=atomic_bump2_impl)
+        finally:
+            obs.disable()
+        blocks = self._reduction_blocks(cert)
+        assert blocks, "reduced run produced no reduction provenance"
+        merged_axes = set()
+        for block in blocks:
+            merged_axes.update(block.get("axes", ()))
+        assert {"dpor", "transpo", "rg-simplify"} <= merged_axes
