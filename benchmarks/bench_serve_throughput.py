@@ -1,0 +1,118 @@
+"""repro.serve throughput/latency: cold batch, warm batch, dedup storm.
+
+Boots a real daemon (1 persistent worker, ephemeral port) and measures
+the three service regimes end to end over HTTP:
+
+* **cold batch** — distinct jobs, every one a real verification on the
+  pre-forked pool; throughput is bounded by engine speed.
+* **warm batch** — the same jobs resubmitted; every one is served from
+  the content-addressed store without touching a worker.  This is the
+  regime a CI fleet lives in, and the daemon's whole reason to exist:
+  the batch must come back more than 10× faster than the cold run, with
+  server-side p50 in single-digit milliseconds.
+* **dedup storm** — many identical submissions of a job nobody has run
+  before, all in one batch.  In-flight dedup must collapse the storm to
+  exactly one verification.
+
+Shape assertions only; wall times land in ``BENCH_serve_throughput.json``
+and the committed baseline gates regressions in CI.
+"""
+
+from __future__ import annotations
+
+import shutil
+import signal
+import time
+
+from conftest import print_table, record_bench, scratch_path
+
+COLD_BATCH = [
+    {"stack": "ticket", "params": {"domain": [1, 2], "fuel": 2000 + i}}
+    for i in range(4)
+] + [
+    {"stack": "mcs", "params": {"domain": [1, 2]}},
+    {"stack": "queue", "params": {"domain": [1, 2]}},
+]
+
+STORM_COPIES = 16
+STORM_JOB = {"stack": "ticket", "params": {"domain": [1, 2], "fuel": 2999}}
+
+
+def test_serve_throughput(benchmark):
+    from repro.serve.smoke import boot_daemon
+
+    spool = scratch_path("serve-bench-spool")
+    shutil.rmtree(spool, ignore_errors=True)
+    process, client = boot_daemon(str(spool))
+
+    def wait_all(docs):
+        return [client.job(doc["id"], wait=True) for doc in docs]
+
+    try:
+        def all_regimes():
+            out = {}
+            start = time.perf_counter()
+            cold = wait_all(client.submit_batch(list(COLD_BATCH)))
+            out["cold_s"] = time.perf_counter() - start
+            assert all(d["state"] == "done" and d["ok"] for d in cold)
+
+            start = time.perf_counter()
+            warm = wait_all(client.submit_batch(list(COLD_BATCH)))
+            out["warm_s"] = time.perf_counter() - start
+            assert all(d["source"] == "store" for d in warm)
+
+            verified_before = client.metrics()["latency"]["cold"]["count"]
+            start = time.perf_counter()
+            storm = wait_all(
+                client.submit_batch([dict(STORM_JOB)] * STORM_COPIES)
+            )
+            out["storm_s"] = time.perf_counter() - start
+            assert all(d["state"] == "done" for d in storm)
+            out["storm_verifications"] = (
+                client.metrics()["latency"]["cold"]["count"] - verified_before
+            )
+            out["metrics"] = client.metrics()
+            return out
+
+        measured = benchmark.pedantic(all_regimes, rounds=1, iterations=1)
+    finally:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=60)
+
+    n = len(COLD_BATCH)
+    cold_s, warm_s = measured["cold_s"], measured["warm_s"]
+    storm_s = measured["storm_s"]
+    metrics = measured["metrics"]
+    warm_p50_ms = metrics["latency"]["warm"]["p50_ms"]
+    rows = [
+        ["cold batch", n, f"{cold_s * 1000:.1f} ms", f"{n / cold_s:.1f}"],
+        ["warm batch", n, f"{warm_s * 1000:.1f} ms", f"{n / warm_s:.1f}"],
+        ["dedup storm", STORM_COPIES, f"{storm_s * 1000:.1f} ms",
+         f"{STORM_COPIES / storm_s:.1f}"],
+    ]
+    record_bench(
+        regimes={
+            "cold": {"jobs": n, "seconds": round(cold_s, 6)},
+            "warm": {"jobs": n, "seconds": round(warm_s, 6)},
+            "storm": {"jobs": STORM_COPIES, "seconds": round(storm_s, 6),
+                      "verifications": measured["storm_verifications"]},
+        },
+        warm_p50_ms=warm_p50_ms,
+        cache=metrics["cache"]["hits"],
+        workers=metrics["workers"]["configured"],
+    )
+    print_table(
+        "repro.serve throughput (1 worker, HTTP round-trips included)",
+        ["regime", "jobs", "wall", "jobs/s"],
+        rows,
+    )
+    # The store must beat re-verification by an order of magnitude...
+    assert warm_s * 10 < cold_s, (
+        f"warm batch not clearly faster: warm={warm_s:.3f}s cold={cold_s:.3f}s"
+    )
+    # ...with single-digit-ms server-side latency per served job.
+    assert warm_p50_ms is not None and warm_p50_ms < 10.0, (
+        f"warm p50 {warm_p50_ms} ms above single-digit budget"
+    )
+    # The storm collapsed to one verification: in-flight dedup worked.
+    assert measured["storm_verifications"] == 1, measured["storm_verifications"]

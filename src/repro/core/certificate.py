@@ -204,6 +204,23 @@ class Certificate:
             "children": [child.to_json() for child in self.children],
         }
 
+    def canonical_bytes(self) -> bytes:
+        """The wire serialization of this certificate tree.
+
+        Canonical JSON — sorted keys, no ASCII escaping, UTF-8 — of
+        :meth:`to_json`.  This is the byte string the determinism
+        contract quantifies over: serial, ``jobs=N``, cache-warm and
+        ``repro.serve``-served runs of the same judgment must produce
+        *these exact bytes* (observability off).  Benchmarks, the
+        equivalence suites and the serve daemon's content-addressed
+        store all compare and store this form.
+        """
+        import json
+
+        return json.dumps(
+            self.to_json(), sort_keys=True, ensure_ascii=False
+        ).encode("utf-8")
+
     def __repr__(self):
         return f"Certificate({self.summary()})"
 

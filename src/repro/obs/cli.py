@@ -380,6 +380,65 @@ def _render_heartbeat_line(record: Dict[str, Any]) -> Optional[str]:
     return "  ".join(parts)
 
 
+def _watch_url(args: argparse.Namespace) -> int:
+    """Follow a ``repro.serve`` job's event stream over HTTP.
+
+    Same wire format (``repro.obs/heartbeat/v1`` JSONL, chunked) and
+    same tolerance rules as the file path: torn or foreign lines are
+    skipped, unknown record types are not rendered, the ``end`` record
+    stops the watch.  The daemon closes the stream once the job is
+    terminal, so EOF after at least one record is a clean exit; an
+    empty one-shot stream keeps the exit-2 usage diagnostic.
+    """
+    import socket
+    from urllib.error import URLError
+    from urllib.parse import urlsplit
+    from urllib.request import urlopen
+
+    url = args.url
+    if args.no_follow:
+        url += ("&" if urlsplit(url).query else "?") + "follow=0"
+    try:
+        response = urlopen(url, timeout=args.timeout)
+    except (URLError, OSError, ValueError) as err:
+        print(f"error: cannot watch {args.url!r}: {err}", file=sys.stderr)
+        return 2
+    records_seen = 0
+    buffered = b""
+    with response:
+        while True:
+            try:
+                chunk = response.read(4096)
+            except (socket.timeout, TimeoutError):
+                print("watch: timed out waiting for heartbeats",
+                      file=sys.stderr)
+                return 3
+            if not chunk:
+                if records_seen == 0:
+                    print(
+                        f"error: heartbeat stream {args.url!r} "
+                        "is empty (no records)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                return 0
+            buffered += chunk
+            while b"\n" in buffered:
+                line, _sep, buffered = buffered.partition(b"\n")
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue  # torn or foreign line: skip, keep following
+                if not isinstance(record, dict):
+                    continue
+                records_seen += 1
+                rendered = _render_heartbeat_line(record)
+                if rendered is not None:
+                    print(rendered, flush=True)
+                if record.get("type") == "end":
+                    return 0
+
+
 def cmd_watch(args: argparse.Namespace) -> int:
     """Follow a heartbeat stream and render progress lines.
 
@@ -387,7 +446,15 @@ def cmd_watch(args: argparse.Namespace) -> int:
     to appear if the run has not started yet, and exits when the run
     appends its ``end`` record.  ``--no-follow`` renders whatever is
     already in the file and exits — the mode tests and scripts use.
+    With ``--url`` the stream is a live ``repro.serve`` job instead of
+    a file, same format and exit codes.
     """
+    if (args.stream is None) == (args.url is None):
+        print("error: watch needs a stream path or --url (not both)",
+              file=sys.stderr)
+        return 2
+    if args.url is not None:
+        return _watch_url(args)
     deadline = (
         time.monotonic() + args.timeout if args.timeout is not None else None
     )
@@ -1041,9 +1108,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.set_defaults(func=cmd_compare)
 
     p_watch = sub.add_parser(
-        "watch", help="follow a live heartbeat stream (heartbeat.jsonl)"
+        "watch", help="follow a live heartbeat stream (file or serve URL)"
     )
-    p_watch.add_argument("stream", help="path to a repro.obs/heartbeat/v1 JSONL stream")
+    p_watch.add_argument(
+        "stream", nargs="?", default=None,
+        help="path to a repro.obs/heartbeat/v1 JSONL stream",
+    )
+    p_watch.add_argument(
+        "--url", default=None,
+        help="watch a repro.serve job stream instead of a file "
+             "(http://host:port/jobs/<id>/events)",
+    )
     p_watch.add_argument(
         "--no-follow", action="store_true",
         help="render the current stream contents and exit",

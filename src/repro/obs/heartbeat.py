@@ -144,13 +144,22 @@ def stream_path() -> Optional[str]:
     return _WRITER.path if _WRITER is not None else None
 
 
-def start_heartbeat(path: str, interval_s: float = 0.25) -> HeartbeatWriter:
-    """Begin streaming heartbeats to ``path`` (truncates the stream)."""
+def start_heartbeat(
+    path: str, interval_s: float = 0.25, truncate: bool = True
+) -> HeartbeatWriter:
+    """Begin streaming heartbeats to ``path``.
+
+    By default the stream is truncated first (one run, one stream).
+    ``truncate=False`` appends instead — the ``repro.serve`` workers use
+    it to beat into a job's event stream that the daemon has already
+    opened with admission records.
+    """
     global _WRITER
-    try:
-        os.unlink(path)
-    except OSError:
-        pass
+    if truncate:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
     _WRITER = HeartbeatWriter(path, interval_s=interval_s)
     return _WRITER
 

@@ -35,16 +35,20 @@ from .cache import (
 )
 from .canonical import canonical_fingerprint
 from .partition import chunk_evenly
-from .pool import get_jobs, in_worker, parallel_map
+from .pool import cpu_budget, get_jobs, in_worker, parallel_map
+from .workers import PersistentPool, fork_batch_map
 
 __all__ = [
     "ENGINE_VERSION",
+    "PersistentPool",
     "cache_dir",
     "cache_enabled",
     "cached_certificate",
     "canonical_fingerprint",
     "chunk_evenly",
     "clear_cache",
+    "cpu_budget",
+    "fork_batch_map",
     "get_jobs",
     "in_worker",
     "parallel_map",

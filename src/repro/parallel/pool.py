@@ -10,11 +10,14 @@ serial loop would have produced them.
 Two implementation constraints drive the design:
 
 * Task closures capture interpreters, generators and lambdas that do not
-  pickle.  The pool therefore uses the ``fork`` start method and passes
-  the task function and items to workers via a module-level global set
-  immediately before the pool is created — children inherit it through
-  the fork; only integer indices cross the pipe on submit, and only the
-  (picklable) results cross back.
+  pickle.  Workers are therefore snapshot forks
+  (:func:`repro.parallel.workers.fork_batch_map`): the task function and
+  items are published in a module-level global immediately before the
+  batch forks, children inherit them through fork memory, and only the
+  (picklable) results cross back — batched, one blob per worker, with a
+  shared work-stealing cursor handing out index chunks (the PR 9
+  replacement for the executor-per-batch model, whose per-item IPC and
+  spin-up made ``REPRO_JOBS`` lose against serial).
 * Observability must aggregate across processes.  When tracing is
   enabled, each worker wraps its task in a metrics window and ships the
   counter deltas, span records and coverage records produced by the task
@@ -24,14 +27,20 @@ Two implementation constraints drive the design:
 Worker processes run with ``in_worker()`` true, which forces
 :func:`get_jobs` to 1 — nested fan-out points inside a task degrade to
 serial instead of forking grandchildren.
+
+Pool sizing is hardware-aware: ``REPRO_JOBS=N`` in the environment is a
+*cap*, clamped to the CPUs actually available — forking more CPU-bound
+enumeration workers than cores only adds overhead, the measured reason
+``REPRO_JOBS`` used to lose on the 1-CPU reference container.  An
+explicit ``jobs=`` argument, or ``REPRO_JOBS_FORCE=1``, is binding: the
+byte-identity suites use it to exercise real process boundaries
+regardless of the host.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import obs_enabled
@@ -40,6 +49,7 @@ from ..obs.coverage import COVERAGE
 from ..obs.metrics import MetricsWindow, inc
 from ..obs.profile import PROFILER, profile_enabled
 from ..obs.trace import collector
+from .workers import fork_batch_map
 
 #: Set in worker processes by the pool initializer (inherited state plus
 #: an explicit flag).  Guards against nested pools.
@@ -56,27 +66,49 @@ def in_worker() -> bool:
     return _IN_WORKER
 
 
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def cpu_budget() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def get_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve the worker count for a fan-out point.
+    """Resolve the *effective* worker count for a fan-out point.
 
     Precedence: inside a worker always 1 (no nested pools); an explicit
-    ``jobs=`` argument; the ``REPRO_JOBS`` environment variable.
-    ``REPRO_JOBS=0`` means "one worker per CPU".  Absent all of these,
-    the engine runs serial.
+    ``jobs=`` argument (binding — callers that pass it mean it); the
+    ``REPRO_JOBS`` environment variable.  ``REPRO_JOBS=0`` means "one
+    worker per CPU"; ``REPRO_JOBS=N`` is a cap, clamped to
+    :func:`cpu_budget` — on hardware with fewer cores than requested
+    workers the pool sizes itself down rather than paying fork and
+    context-switch overhead for no parallelism.  ``REPRO_JOBS_FORCE``
+    truthy makes the environment request binding (the process-boundary
+    test knob).  Absent all of these, the engine runs serial.
     """
     if _IN_WORKER:
         return 1
-    if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "").strip()
-        if not raw:
-            return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            return 1
-    if jobs <= 0:
-        jobs = os.cpu_count() or 1
-    return max(1, int(jobs))
+    if jobs is not None:
+        if jobs <= 0:
+            return cpu_budget()
+        return max(1, int(jobs))
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        requested = int(raw)
+    except ValueError:
+        return 1
+    if requested <= 0:
+        return cpu_budget()
+    forced = os.environ.get("REPRO_JOBS_FORCE", "").strip().lower() in _TRUTHY
+    if forced:
+        return requested
+    return max(1, min(requested, cpu_budget()))
 
 
 def _worker_init() -> None:
@@ -182,72 +214,57 @@ def parallel_map(
     n = get_jobs(jobs)
     if n <= 1 or len(items) <= 1 or _IN_WORKER or _TASK is not None:
         return [fn(item) for item in items]
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
+    if not hasattr(os, "fork"):  # pragma: no cover - non-fork platforms
         return [fn(item) for item in items]
 
     prof = profile_enabled()
     _TASK = (fn, items)
-    outcomes: List[Tuple[str, Any]] = []
-    submit_s: List[float] = []
-    done_s: Dict[int, float] = {}
-    setup_s = 0.0
+    stats: Dict[str, Any] = {}
+    submit_s = time.perf_counter()
     try:
-        t_setup = time.perf_counter()
-        with ProcessPoolExecutor(
-            max_workers=min(n, len(items)),
-            mp_context=ctx,
-            initializer=_worker_init,
-        ) as pool:
-            setup_s = time.perf_counter() - t_setup
-            futures = []
-            for i in range(len(items)):
-                submit_s.append(time.perf_counter())
-                future = pool.submit(_run_task, i)
-                if prof:
-                    future.add_done_callback(
-                        lambda _f, i=i: done_s.__setitem__(
-                            i, time.perf_counter()
-                        )
-                    )
-                futures.append(future)
-            for future in futures:
-                try:
-                    outcomes.append(("ok", future.result()))
-                except Exception as error:  # noqa: BLE001 - re-raised below
-                    outcomes.append(("err", error))
+        outcomes = fork_batch_map(
+            _run_task,
+            len(items),
+            n,
+            on_worker_start=_worker_init,
+            stats=stats,
+        )
     finally:
         _TASK = None
+    # Results ship batched, one blob per worker: every outcome of a
+    # worker "arrives" when its pipe drains, so per-task receive times
+    # collapse to the batch merge point.
+    received_s = time.perf_counter()
 
     if prof:
         PROFILER.record_pool_batch(
             {
                 "items": len(items),
-                "jobs": min(n, len(items)),
-                "setup_s": setup_s,
+                "jobs": stats.get("workers", min(n, len(items))),
+                "setup_s": stats.get("setup_s", 0.0),
             }
         )
     results: List[Any] = []
     for index, (kind, value) in enumerate(outcomes):
         if kind == "err":
             raise value
+        if kind == "err-opaque":
+            raise RuntimeError(f"worker task {index} failed: {value}")
         result, payload = value
         _absorb(payload)
         if prof and payload and "profile" in payload:
             task = payload["profile"]
-            received = done_s.get(index, task["end_s"])
             PROFILER.record_pool_task(
                 {
                     "task": index,
                     "pid": task["pid"],
-                    "submit_s": submit_s[index],
+                    "submit_s": submit_s,
                     "start_s": task["start_s"],
                     "end_s": task["end_s"],
-                    "received_s": received,
-                    "queue_s": max(0.0, task["start_s"] - submit_s[index]),
+                    "received_s": received_s,
+                    "queue_s": max(0.0, task["start_s"] - submit_s),
                     "exec_s": max(0.0, task["end_s"] - task["start_s"]),
-                    "ship_s": max(0.0, received - task["end_s"]),
+                    "ship_s": max(0.0, received_s - task["end_s"]),
                 }
             )
         results.append(result)

@@ -1,0 +1,591 @@
+"""The verification daemon: a hand-rolled asyncio HTTP/1.1 application.
+
+Stdlib only.  One event-loop thread owns every piece of daemon state
+(job table, admission queue, certificate store, metrics); the only
+other threads are the pool's result pump (which trampolines onto the
+loop) and the workers themselves, in separate processes.
+
+Endpoints::
+
+    GET  /healthz                      liveness + worker census
+    GET  /metrics                      repro.serve/metrics/v1 document
+    POST /jobs                         submit one job (repro.serve/job/v1)
+    POST /jobs/batch                   {"jobs": [...]} — submit many
+    GET  /jobs/<id>[?wait=1]           job status (wait blocks to terminal)
+    GET  /jobs/<id>/events[?follow=0]  chunked JSONL progress stream
+    GET  /jobs/<id>/certificate        the served result document
+    GET  /certs/<tenant>/<fp>          store lookup by content address
+
+Submission walks warm-store → in-flight dedup → admission, in that
+order: a stored certificate is served in microseconds with no queueing,
+an identical in-flight job is joined as a follower (one verification,
+one certificate per requesting tenant), and only genuinely new work
+competes for the bounded queue (full → 429 with ``Retry-After``).
+
+The progress stream is the ``repro.obs/heartbeat/v1`` wire format —
+the daemon writes admission records, the worker beats into the same
+file, and consumers (``repro.obs watch --url``) tolerate torn lines
+and unknown record types exactly as they do for on-disk streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    AdmissionQueue,
+    JobRecord,
+    JobTable,
+    QueueFull,
+)
+from .protocol import JOB_SCHEMA, JobError, job_fingerprint, parse_job
+from .store import CertificateStore, ServeMetrics
+
+_JSON = "application/json"
+_JSONL = "application/jsonl"
+
+#: How long ``?wait=1`` blocks before returning the non-terminal doc.
+DEFAULT_WAIT_S = 120.0
+
+#: Poll interval for tailing a job's event file into a response stream.
+_TAIL_INTERVAL_S = 0.05
+
+
+class ServeApp:
+    """All daemon state plus the HTTP request handler."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        workers: int = 1,
+        queue_limit: int = 16,
+        spool: str = ".repro-serve",
+        store_root: Optional[str] = None,
+        store_max_bytes: Optional[int] = None,
+        ledger_dir: Optional[str] = None,
+    ):
+        from .pool import SerialPool, ServePool
+        from .store import DEFAULT_MAX_BYTES
+
+        self.loop = loop
+        self.spool = os.path.abspath(spool)
+        os.makedirs(os.path.join(self.spool, "events"), exist_ok=True)
+        self.store = CertificateStore(
+            store_root or os.path.join(self.spool, "store"),
+            max_bytes=store_max_bytes or DEFAULT_MAX_BYTES,
+        )
+        self.ledger_dir = (
+            ledger_dir if ledger_dir else os.path.join(self.spool, "ledger")
+        )
+        self.table = JobTable()
+        self.queue = AdmissionQueue(queue_limit)
+        self.metrics = ServeMetrics()
+        self.draining = False
+        self.drained = asyncio.Event()
+        self._waiters: Dict[str, asyncio.Event] = {}
+        if workers <= 0 or not hasattr(os, "fork"):
+            self.pool: Any = SerialPool(loop, self._on_start, self._on_done)
+        else:
+            self.pool = ServePool(workers, loop, self._on_start, self._on_done)
+
+    # ------------------------------------------------------------------
+    # Submission pipeline (loop thread)
+    # ------------------------------------------------------------------
+
+    def submit(self, document: Any) -> Tuple[int, Dict[str, Any]]:
+        """One submission through warm-store → dedup → admission.
+
+        Returns ``(http_status, job_document)``.
+        """
+        t_begin = time.perf_counter()
+        spec = parse_job(document)
+        fingerprint = job_fingerprint(spec)
+        self.metrics.jobs_submitted += 1
+        job = self.table.create(spec, fingerprint)
+
+        if self.draining:
+            self._reject(job, "daemon is draining", count=False)
+            return 503, job.to_json()
+
+        # 1. Warm path: the certificate is already in this tenant's store.
+        stored = self.store.get(spec["tenant"], fingerprint)
+        if stored is not None:
+            self._complete_from_store(job, stored)
+            self.metrics.warm.add(time.perf_counter() - t_begin)
+            return 200, job.to_json()
+
+        # 2. In-flight dedup: identical work is already queued or running.
+        primary = self.table.primary_for(fingerprint)
+        if primary is not None:
+            self.table.register_follower(job, primary)
+            job.state = primary.state
+            self.metrics.jobs_deduped += 1
+            return 202, job.to_json()
+
+        # 3. Admission: genuinely new work competes for the bounded queue.
+        try:
+            self.queue.push(job.id, spec["priority"])
+        except QueueFull as full:
+            self._reject(job, str(full))
+            doc = job.to_json()
+            doc["retry_after_s"] = self.retry_after(full.depth)
+            return 429, doc
+
+        job.events_path = os.path.join(
+            self.spool, "events", f"{job.id}.jsonl"
+        )
+        self._event(job, {"type": "queued", "schema": JOB_SCHEMA,
+                          "job": job.id, "stack": spec["stack"],
+                          "tenant": spec["tenant"],
+                          "priority": spec["priority"],
+                          "queue_depth": len(self.queue)})
+        self.table.register_primary(job)
+        self._pump()
+        return 202, job.to_json()
+
+    def submit_batch(self, documents: List[Any]) -> Tuple[int, Dict[str, Any]]:
+        results = []
+        for document in documents:
+            try:
+                _status, doc = self.submit(document)
+            except JobError as error:
+                doc = {"state": "invalid", "error": str(error)}
+            results.append(doc)
+        return 200, {"jobs": results}
+
+    def retry_after(self, backlog: int) -> int:
+        """Seconds until a queue slot plausibly frees up."""
+        p50 = self.metrics.cold.percentile(0.50) or 2.0
+        workers = max(1, self.pool.workers)
+        return max(1, int(backlog * p50 / workers + 0.999))
+
+    # ------------------------------------------------------------------
+    # Completion paths
+    # ------------------------------------------------------------------
+
+    def _complete_from_store(self, job: JobRecord, payload: bytes) -> None:
+        job.source = "store"
+        job.state = DONE
+        job.finished_at = time.time()
+        job.wall_s = 0.0
+        try:
+            job.result_ok = bool(json.loads(payload).get("ok"))
+        except ValueError:  # pragma: no cover - store corruption
+            job.result_ok = None
+        # A synthetic event stream so watch works uniformly on warm jobs.
+        job.events_path = os.path.join(
+            self.spool, "events", f"{job.id}.jsonl"
+        )
+        self._event(job, {"type": "start", "schema": "repro.obs/heartbeat/v1",
+                          "t_s": 0.0, "pid": os.getpid()})
+        self._event(job, {"type": "heartbeat", "t_s": 0.0,
+                          "pid": os.getpid(), "phase": "store-hit",
+                          "job": job.id})
+        self._event(job, {"type": "end", "t_s": 0.0, "pid": os.getpid(),
+                          "status": "done", "job": job.id})
+        self.metrics.jobs_completed += 1
+        self._finish(job)
+
+    def _reject(self, job: JobRecord, reason: str, count: bool = True) -> None:
+        job.state = REJECTED
+        job.error = reason
+        job.finished_at = time.time()
+        if count:
+            self.metrics.jobs_rejected += 1
+        for follower in self.table.followers_of(job):
+            if not follower.terminal:
+                self._reject(follower, reason)
+        self.table.release(job)
+        self._finish(job)
+
+    def _on_start(self, job_id: str) -> None:
+        job = self.table.get(job_id)
+        if job is not None and job.started_at is None:
+            job.started_at = time.time()
+
+    def _on_done(self, job_id: str, outcome: Tuple[str, Any]) -> None:
+        job = self.table.get(job_id)
+        if job is None:  # pragma: no cover - table never forgets
+            return
+        kind, value = outcome
+        payload = value if kind == "ok" else None
+        if payload is not None and payload.get("bytes") is not None:
+            blob = payload["bytes"]
+            job.state = DONE
+            job.result_ok = payload["ok"]
+            job.wall_s = payload["wall_s"]
+            job.source = "verified"
+            job.error = payload.get("error")
+            self.metrics.jobs_completed += 1
+            self.metrics.cold.add(payload["wall_s"])
+            # One store entry per requesting tenant: dedup shares the
+            # work, never the artifact namespace.
+            tenants = {job.spec["tenant"]}
+            followers = self.table.followers_of(job)
+            tenants.update(f.spec["tenant"] for f in followers)
+            for tenant in sorted(tenants):
+                self.store.put(tenant, job.fingerprint, blob)
+            for follower in followers:
+                if follower.terminal:
+                    continue
+                follower.state = DONE
+                follower.result_ok = job.result_ok
+                follower.wall_s = job.wall_s
+                follower.finished_at = time.time()
+                self.metrics.jobs_completed += 1
+                self._finish(follower)
+        else:
+            error = (
+                payload.get("error", "worker error") if payload else str(value)
+            )
+            job.state = FAILED
+            job.error = error
+            job.source = "verified"
+            self.metrics.jobs_failed += 1
+            for follower in self.table.followers_of(job):
+                if follower.terminal:
+                    continue
+                follower.state = FAILED
+                follower.error = error
+                follower.finished_at = time.time()
+                self.metrics.jobs_failed += 1
+                self._finish(follower)
+        job.finished_at = time.time()
+        self.table.release(job)
+        self._finish(job)
+        self._pump()
+        if self.draining and self.pool.in_flight == 0:
+            self.drained.set()
+
+    def _finish(self, job: JobRecord) -> None:
+        waiter = self._waiters.pop(job.id, None)
+        if waiter is not None:
+            waiter.set()
+
+    def _pump(self) -> None:
+        """Dispatch queued jobs onto free worker slots."""
+        while not self.draining and self.pool.free_slots > 0:
+            job_id = self.queue.pop()
+            if job_id is None:
+                return
+            job = self.table.get(job_id)
+            if job is None or job.terminal:  # pragma: no cover
+                continue
+            job.state = RUNNING
+            for follower in self.table.followers_of(job):
+                if not follower.terminal:
+                    follower.state = RUNNING
+            self.pool.dispatch(
+                job.id,
+                {
+                    "job": job.id,
+                    "stack": job.spec["stack"],
+                    "params": job.spec["params"],
+                    "events_path": job.events_path,
+                    "ledger_dir": self.ledger_dir,
+                },
+            )
+
+    def _event(self, job: JobRecord, record: Dict[str, Any]) -> None:
+        if not job.events_path:
+            return
+        try:
+            with open(job.events_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:  # pragma: no cover - spool unwritable
+            pass
+
+    # ------------------------------------------------------------------
+    # Drain (SIGTERM)
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Graceful shutdown: queue rejected, in-flight jobs finish."""
+        if self.draining:
+            return
+        self.draining = True
+        for job_id in self.queue.drain():
+            job = self.table.get(job_id)
+            if job is not None and not job.terminal:
+                self._reject(job, "daemon is draining")
+        if self.pool.in_flight == 0:
+            self.drained.set()
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=30.0
+                )
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                    asyncio.LimitOverrunError, ConnectionError):
+                return
+            try:
+                method, target, headers = _parse_head(head)
+            except ValueError:
+                await _respond(writer, 400, {"error": "malformed request"})
+                return
+            length = int(headers.get("content-length", "0") or "0")
+            body = await reader.readexactly(length) if length else b""
+            await self._route(writer, method, target, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            try:
+                await _respond(
+                    writer, 500,
+                    {"error": f"{type(error).__name__}: {error}"},
+                )
+            except Exception:  # pragma: no cover
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover
+                pass
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        body: bytes,
+    ) -> None:
+        split = urlsplit(target)
+        parts = [p for p in split.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+
+        if method == "GET" and parts == ["healthz"]:
+            await _respond(writer, 200, {
+                "ok": True,
+                "draining": self.draining,
+                "workers": {"configured": self.pool.workers,
+                            "alive": self.pool.alive()},
+            })
+            return
+        if method == "GET" and parts == ["metrics"]:
+            await _respond(writer, 200, self.metrics.to_json(self.store, {
+                "workers": {"configured": self.pool.workers,
+                            "alive": self.pool.alive(),
+                            "in_flight": self.pool.in_flight},
+                "queue": {"depth": len(self.queue),
+                          "limit": self.queue.limit},
+                "jobs_by_state": self.table.counts(),
+                "draining": self.draining,
+            }))
+            return
+        if method == "POST" and parts == ["jobs"]:
+            document = _json_body(body)
+            if document is None:
+                await _respond(writer, 400, {"error": "body is not JSON"})
+                return
+            try:
+                status, doc = self.submit(document)
+            except JobError as error:
+                await _respond(writer, 400, {"error": str(error)})
+                return
+            extra = {}
+            if status == 429:
+                extra["Retry-After"] = str(doc["retry_after_s"])
+            await _respond(writer, status, doc, extra_headers=extra)
+            return
+        if method == "POST" and parts == ["jobs", "batch"]:
+            document = _json_body(body)
+            jobs = document.get("jobs") if isinstance(document, dict) else None
+            if not isinstance(jobs, list):
+                await _respond(
+                    writer, 400, {"error": 'body must be {"jobs": [...]}'}
+                )
+                return
+            status, doc = self.submit_batch(jobs)
+            await _respond(writer, status, doc)
+            return
+        if method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            job = self.table.get(parts[1])
+            if job is None:
+                await _respond(writer, 404, {"error": "no such job"})
+                return
+            if query.get("wait") in {"1", "true"} and not job.terminal:
+                await self._wait_terminal(
+                    job, float(query.get("timeout_s", DEFAULT_WAIT_S))
+                )
+            await _respond(writer, 200, job.to_json())
+            return
+        if (method == "GET" and len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "events"):
+            job = self.table.get(parts[1])
+            if job is None:
+                await _respond(writer, 404, {"error": "no such job"})
+                return
+            follow = query.get("follow", "1") not in {"0", "false"}
+            await self._stream_events(writer, job, follow)
+            return
+        if (method == "GET" and len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "certificate"):
+            job = self.table.get(parts[1])
+            if job is None:
+                await _respond(writer, 404, {"error": "no such job"})
+                return
+            if not job.terminal:
+                await self._wait_terminal(
+                    job, float(query.get("timeout_s", DEFAULT_WAIT_S))
+                )
+            payload = self.store.get(job.spec["tenant"], job.fingerprint)
+            if payload is None:
+                await _respond(writer, 404, {
+                    "error": job.error or "no certificate for this job",
+                    "state": job.state,
+                })
+                return
+            await _respond_bytes(writer, 200, payload, _JSON)
+            return
+        if method == "GET" and len(parts) == 3 and parts[0] == "certs":
+            payload = self.store.get(parts[1], parts[2])
+            if payload is None:
+                await _respond(writer, 404, {"error": "not in store"})
+                return
+            await _respond_bytes(writer, 200, payload, _JSON)
+            return
+        await _respond(writer, 404, {"error": f"no route for "
+                                              f"{method} {split.path}"})
+
+    async def _wait_terminal(self, job: JobRecord, timeout_s: float) -> None:
+        waiter = self._waiters.setdefault(job.id, asyncio.Event())
+        try:
+            await asyncio.wait_for(
+                waiter.wait(), timeout=max(0.0, min(timeout_s, 3600.0))
+            )
+        except asyncio.TimeoutError:
+            pass
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job: JobRecord, follow: bool
+    ) -> None:
+        """Chunk the job's JSONL stream out; forward complete lines only.
+
+        The file is written by another *process* (the worker), so a read
+        can observe a torn final line; everything up to the last newline
+        is shipped, the tail is retried next poll.  The stream ends when
+        the terminal heartbeat record has been forwarded (or immediately
+        at EOF with ``follow=0``).
+        """
+        await _start_chunked(writer, _JSONL)
+        offset = 0
+        pending = b""
+        try:
+            while True:
+                data = b""
+                if job.events_path and os.path.exists(job.events_path):
+                    with open(job.events_path, "rb") as handle:
+                        handle.seek(offset)
+                        data = handle.read()
+                    offset += len(data)
+                pending += data
+                complete, _sep, pending = pending.rpartition(b"\n")
+                if complete:
+                    await _write_chunk(writer, complete + b"\n")
+                if job.terminal and not data and not pending:
+                    break
+                if not follow and not data:
+                    break
+                await asyncio.sleep(_TAIL_INTERVAL_S)
+        finally:
+            await _end_chunked(writer)
+
+
+# ---------------------------------------------------------------------------
+# Minimal HTTP/1.1 plumbing
+# ---------------------------------------------------------------------------
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, str]]:
+    lines = head.decode("latin-1").split("\r\n")
+    method, target, _version = lines[0].split(" ", 2)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _sep, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), target, headers
+
+
+def _json_body(body: bytes) -> Optional[Any]:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+async def _respond(
+    writer: asyncio.StreamWriter,
+    status: int,
+    document: Any,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    payload = json.dumps(document, sort_keys=True).encode("utf-8") + b"\n"
+    await _respond_bytes(writer, status, payload, _JSON, extra_headers)
+
+
+async def _respond_bytes(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    content_type: str,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    head = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + payload)
+    await writer.drain()
+
+
+async def _start_chunked(writer: asyncio.StreamWriter, content_type: str) -> None:
+    writer.write(
+        (
+            "HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {content_type}\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+    )
+    await writer.drain()
+
+
+async def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def _end_chunked(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

@@ -1,0 +1,184 @@
+"""Job bookkeeping for the daemon: records, dedup index, admission queue.
+
+All of this state lives on the daemon's single event-loop thread —
+workers only ever see plain job descriptors — so none of it is locked.
+
+**In-flight dedup.**  Jobs are indexed by :func:`job_fingerprint`.
+While a fingerprint is queued or running, an identical submission does
+not enqueue new work: it becomes a *follower* of the primary job and is
+completed from the primary's result.  Work is shared across tenants
+(the fingerprint deliberately excludes the tenant) but each follower's
+certificate is stored in — and served from — its own tenant namespace,
+so dedup never leaks artifacts across tenants.
+
+**Admission.**  The queue is a bounded priority heap (higher
+``priority`` first, FIFO within a priority level).  When it is full the
+daemon answers 429 with a ``Retry-After`` estimated from the observed
+cold-verification latency and the backlog ahead of the rejected job.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Any, Dict, List, Optional
+
+#: Job lifecycle states, in order of progress.
+QUEUED, RUNNING, DONE, FAILED, REJECTED = (
+    "queued", "running", "done", "failed", "rejected",
+)
+
+_TERMINAL = frozenset({DONE, FAILED, REJECTED})
+
+
+class JobRecord:
+    """One submission's full lifecycle, as reported by ``GET /jobs/<id>``."""
+
+    __slots__ = (
+        "id", "spec", "fingerprint", "state", "source", "submitted_at",
+        "started_at", "finished_at", "wall_s", "error", "events_path",
+        "primary_id", "result_ok",
+    )
+
+    def __init__(self, job_id: str, spec: Dict[str, Any], fingerprint: str):
+        self.id = job_id
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.state = QUEUED
+        #: How the result materialized: ``verified`` (a worker ran it),
+        #: ``store`` (warm cache hit), ``dedup`` (follower of a primary).
+        self.source: Optional[str] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.wall_s: Optional[float] = None
+        self.error: Optional[str] = None
+        self.events_path: Optional[str] = None
+        self.primary_id: Optional[str] = None
+        self.result_ok: Optional[bool] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def to_json(self) -> Dict[str, Any]:
+        from .protocol import _jsonable
+
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "stack": self.spec["stack"],
+            "params": _jsonable(self.spec["params"]),
+            "tenant": self.spec["tenant"],
+            "priority": self.spec["priority"],
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+        }
+        for field in ("source", "started_at", "finished_at", "wall_s",
+                      "error", "primary_id"):
+            value = getattr(self, field)
+            if value is not None:
+                doc[field] = value
+        if self.result_ok is not None:
+            doc["ok"] = self.result_ok
+        if self.terminal and self.state != REJECTED:
+            doc["certificate_url"] = f"/jobs/{self.id}/certificate"
+        return doc
+
+
+class JobTable:
+    """Every job the daemon has seen, plus the in-flight dedup index."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, JobRecord] = {}
+        self._by_fingerprint: Dict[str, str] = {}  # fp -> primary job id
+        self._followers: Dict[str, List[str]] = {}  # primary id -> follower ids
+        self._counter = itertools.count(1)
+
+    def create(self, spec: Dict[str, Any], fingerprint: str) -> JobRecord:
+        job = JobRecord(f"j{next(self._counter):06d}", spec, fingerprint)
+        self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self._jobs.get(job_id)
+
+    def primary_for(self, fingerprint: str) -> Optional[JobRecord]:
+        """The in-flight job already verifying this fingerprint, if any."""
+        primary_id = self._by_fingerprint.get(fingerprint)
+        if primary_id is None:
+            return None
+        primary = self._jobs[primary_id]
+        return None if primary.terminal else primary
+
+    def register_primary(self, job: JobRecord) -> None:
+        self._by_fingerprint[job.fingerprint] = job.id
+        self._followers.setdefault(job.id, [])
+
+    def register_follower(self, job: JobRecord, primary: JobRecord) -> None:
+        job.primary_id = primary.id
+        job.source = "dedup"
+        job.events_path = primary.events_path  # shared progress stream
+        self._followers.setdefault(primary.id, []).append(job.id)
+
+    def followers_of(self, primary: JobRecord) -> List[JobRecord]:
+        return [
+            self._jobs[job_id]
+            for job_id in self._followers.get(primary.id, [])
+        ]
+
+    def release(self, primary: JobRecord) -> None:
+        """Drop the in-flight index entry once a primary is terminal."""
+        if self._by_fingerprint.get(primary.fingerprint) == primary.id:
+            del self._by_fingerprint[primary.fingerprint]
+
+    def jobs(self) -> List[JobRecord]:
+        return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for job in self._jobs.values():
+            tally[job.state] = tally.get(job.state, 0) + 1
+        return tally
+
+
+class QueueFull(Exception):
+    """Admission refused; carries the backlog for the Retry-After header."""
+
+    def __init__(self, depth: int):
+        super().__init__(f"admission queue full ({depth} queued)")
+        self.depth = depth
+
+
+class AdmissionQueue:
+    """Bounded priority queue of job ids awaiting a worker slot.
+
+    Higher ``priority`` pops first; within a priority level admission
+    order is preserved (a monotone counter breaks heap ties), so equal
+    priorities are FIFO and scheduling stays deterministic.
+    """
+
+    def __init__(self, limit: int):
+        self.limit = max(1, int(limit))
+        self._heap: List[Any] = []  # (-priority, seq, job_id)
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, job_id: str, priority: int) -> None:
+        if len(self._heap) >= self.limit:
+            raise QueueFull(len(self._heap))
+        heapq.heappush(self._heap, (-priority, next(self._seq), job_id))
+
+    def pop(self) -> Optional[str]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def drain(self) -> List[str]:
+        """Empty the queue (shutdown path); returns the evicted ids."""
+        evicted = [entry[2] for entry in sorted(self._heap)]
+        self._heap.clear()
+        return evicted

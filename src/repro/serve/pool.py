@@ -1,0 +1,149 @@
+"""The daemon's verification pool: ``PersistentPool`` bridged to asyncio.
+
+Workers are pre-forked **once**, at daemon boot, with
+:func:`repro.serve.protocol.execute_job` as the fixed executor — no
+fork, import, or interpreter warm-up on any request path.  The bridge
+is one daemon thread that blocks on the pool's outbound queue and
+trampolines every message onto the event loop with
+``call_soon_threadsafe``; all job-state mutation therefore stays on the
+loop thread, which is what keeps the daemon lock-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from ..parallel.workers import PersistentPool
+from .protocol import execute_job
+
+
+class ServePool:
+    """Job-granular façade over the persistent worker pool."""
+
+    def __init__(
+        self,
+        workers: int,
+        loop: asyncio.AbstractEventLoop,
+        on_start: Callable[[Any], None],
+        on_done: Callable[[Any, Any], None],
+    ):
+        self._loop = loop
+        self._on_start = on_start
+        self._on_done = on_done
+        self._pool = PersistentPool(execute_job, workers)
+        self.workers = self._pool.workers
+        self.in_flight = 0
+        self._exited = 0
+        self._drained = threading.Event()
+        self._reader = threading.Thread(
+            target=self._pump, name="repro-serve-results", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.workers - self.in_flight)
+
+    def dispatch(self, job_id: str, descriptor: Dict[str, Any]) -> None:
+        """Hand one job to the pool (caller checked ``free_slots``)."""
+        self.in_flight += 1
+        self._pool.submit(job_id, descriptor)
+
+    # -- reader thread ------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Forward pool messages onto the event loop until all workers exit."""
+        while self._exited < self.workers:
+            try:
+                message = self._pool.outbound.get()
+            except (OSError, EOFError):  # queue torn down underneath us
+                break
+            if message[0] == "exit":
+                self._exited += 1
+                continue
+            try:
+                self._loop.call_soon_threadsafe(self._deliver, message)
+            except RuntimeError:  # loop already closed (hard shutdown)
+                break
+        self._drained.set()
+
+    def _deliver(self, message: Any) -> None:
+        kind = message[0]
+        if kind == "start":
+            self._on_start(message[2])
+        elif kind == "done":
+            for tag, outcome in message[2]:
+                self.in_flight -= 1
+                self._on_done(tag, outcome)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def alive(self) -> int:
+        return sum(self._pool.alive())
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Graceful drain: in-flight jobs finish, then the workers exit."""
+        self._pool.shutdown(timeout_s=timeout_s)
+        self._drained.wait(timeout=timeout_s)
+
+    def kill(self) -> None:
+        self._pool.kill()
+        self._drained.set()
+
+
+class SerialPool:
+    """A no-fork fallback with the same surface (``--workers 0``; tests).
+
+    Runs jobs inline on the loop thread via ``run_in_executor`` — one
+    job at a time, still asynchronous from the HTTP handlers' point of
+    view.  Useful on platforms without ``fork`` and for unit-testing
+    the dispatcher without real processes.
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        on_start: Callable[[Any], None],
+        on_done: Callable[[Any, Any], None],
+    ):
+        self._loop = loop
+        self._on_start = on_start
+        self._on_done = on_done
+        self.workers = 1
+        self.in_flight = 0
+        self._task: Optional[asyncio.Future] = None
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.workers - self.in_flight)
+
+    def dispatch(self, job_id: str, descriptor: Dict[str, Any]) -> None:
+        self.in_flight += 1
+        self._on_start(job_id)
+
+        def run() -> Any:
+            try:
+                return ("ok", execute_job(descriptor))
+            except BaseException as error:  # noqa: BLE001
+                return ("err-opaque", f"{type(error).__name__}: {error}")
+
+        future = self._loop.run_in_executor(None, run)
+        self._task = future
+        future.add_done_callback(
+            lambda f: self._finish(job_id, f.result())
+        )
+
+    def _finish(self, job_id: str, outcome: Any) -> None:
+        self.in_flight -= 1
+        self._on_done(job_id, outcome)
+
+    def alive(self) -> int:
+        return 1
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        return None
+
+    def kill(self) -> None:
+        return None

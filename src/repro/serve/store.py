@@ -1,0 +1,216 @@
+"""The daemon's served-certificate store: sharded, content-addressed, LRU.
+
+Layout mirrors the CLI certificate cache but adds a tenant dimension::
+
+    <root>/<tenant>/<fp[:2]>/<fp>.json
+
+The payload is the canonical result-document bytes produced by a worker
+(:func:`repro.serve.protocol.result_bytes`), stored verbatim — a store
+hit is served without re-serialization, which is what makes the
+byte-identity guarantee auditable with ``cmp``.
+
+Per-tenant namespaces isolate both reads and eviction: tenant A's
+traffic can never evict tenant B's certificates, and a fingerprint is
+only a hit for the tenant that owns the entry (in-flight *work* is
+shared across tenants; the stored *artifact* is not, so a tenant's
+store directory is a complete, self-contained audit trail of what was
+served to it).
+
+Eviction is LRU by file mtime: every hit touches the entry, and when
+the store exceeds its byte budget the stalest entries go first.  All
+mutation happens on the daemon's single event-loop thread, so there is
+no store-level locking; workers never write here.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default eviction budget: plenty for thousands of result documents.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+_SUFFIX = ".json"
+
+
+def _safe(name: str) -> str:
+    if not name or name != os.path.basename(name) or name.startswith("."):
+        raise ValueError(f"unsafe store name {name!r}")
+    return name
+
+
+class CertificateStore:
+    """Sharded per-tenant store of served result documents."""
+
+    def __init__(self, root: str, max_bytes: int = DEFAULT_MAX_BYTES):
+        self.root = os.path.abspath(root)
+        self.max_bytes = max_bytes
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    def _path(self, tenant: str, fingerprint: str) -> str:
+        tenant = _safe(tenant)
+        fingerprint = _safe(fingerprint)
+        return os.path.join(
+            self.root, tenant, fingerprint[:2], fingerprint + _SUFFIX
+        )
+
+    def get(self, tenant: str, fingerprint: str) -> Optional[bytes]:
+        """The stored bytes, or ``None``; a hit refreshes LRU recency."""
+        path = self._path(tenant, fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        self.hits += 1
+        return payload
+
+    def contains(self, tenant: str, fingerprint: str) -> bool:
+        """Membership probe that does not move metrics or recency."""
+        return os.path.exists(self._path(tenant, fingerprint))
+
+    def put(self, tenant: str, fingerprint: str, payload: bytes) -> str:
+        """Store ``payload``; atomic rename, then evict down to budget."""
+        path = self._path(tenant, fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+        self.puts += 1
+        self._evict(keep=path)
+        return path
+
+    def _entries(self) -> List[Tuple[float, int, str]]:
+        """All entries as ``(mtime, size, path)``."""
+        found: List[Tuple[float, int, str]] = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.endswith(_SUFFIX):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                found.append((stat.st_mtime, stat.st_size, path))
+        return found
+
+    def _evict(self, keep: Optional[str] = None) -> None:
+        entries = self._entries()
+        total = sum(size for _mtime, size, _path in entries)
+        if total <= self.max_bytes:
+            return
+        for _mtime, size, path in sorted(entries):
+            if path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+    def tenants(self) -> List[str]:
+        try:
+            return sorted(
+                name
+                for name in os.listdir(self.root)
+                if os.path.isdir(os.path.join(self.root, name))
+            )
+        except OSError:
+            return []
+
+    def stats(self) -> Dict[str, Any]:
+        entries = self._entries()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "entries": len(entries),
+            "bytes": sum(size for _mtime, size, _path in entries),
+            "max_bytes": self.max_bytes,
+            "tenants": self.tenants(),
+        }
+
+
+class LatencyWindow:
+    """A bounded reservoir of latencies with percentile readout."""
+
+    def __init__(self, limit: int = 512):
+        self.limit = limit
+        self._samples: List[float] = []
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self._samples.append(seconds)
+        if len(self._samples) > self.limit:
+            del self._samples[: len(self._samples) - self.limit]
+
+    def percentile(self, q: float) -> Optional[float]:
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "p50_ms": _ms(self.percentile(0.50)),
+            "p90_ms": _ms(self.percentile(0.90)),
+            "max_ms": _ms(max(self._samples) if self._samples else None),
+        }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1000.0, 3)
+
+
+class ServeMetrics:
+    """Daemon-wide counters surfaced by ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_rejected = 0
+        self.jobs_deduped = 0
+        self.warm = LatencyWindow()
+        self.cold = LatencyWindow()
+
+    def to_json(self, store: CertificateStore, extra: Dict[str, Any]) -> Dict[str, Any]:
+        from .protocol import METRICS_SCHEMA
+
+        return {
+            "schema": METRICS_SCHEMA,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "rejected": self.jobs_rejected,
+                "deduped": self.jobs_deduped,
+            },
+            "cache": store.stats(),
+            "latency": {
+                "warm": self.warm.summary(),
+                "cold": self.cold.summary(),
+            },
+            **extra,
+        }

@@ -35,13 +35,22 @@ class TestPool:
         assert parallel_map(lambda x: x + 1, [41], jobs=4) == [42]
 
     def test_jobs_env_resolution(self, monkeypatch):
+        from repro.parallel import cpu_budget
+
         monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_JOBS_FORCE", raising=False)
         assert get_jobs() == 1
+        # The environment request is a cap, clamped to the hardware:
+        # extra CPU-bound enumeration workers beyond the core count only
+        # add fork and context-switch overhead.
         monkeypatch.setenv("REPRO_JOBS", "3")
-        assert get_jobs() == 3
-        assert get_jobs(jobs=2) == 2  # explicit beats env
+        assert get_jobs() == min(3, cpu_budget())
+        monkeypatch.setenv("REPRO_JOBS_FORCE", "1")
+        assert get_jobs() == 3  # the process-boundary test knob binds
+        monkeypatch.delenv("REPRO_JOBS_FORCE", raising=False)
+        assert get_jobs(jobs=2) == 2  # explicit beats env, unclamped
         monkeypatch.setenv("REPRO_JOBS", "0")
-        assert get_jobs() == (os.cpu_count() or 1)
+        assert get_jobs() == cpu_budget()
         monkeypatch.setenv("REPRO_JOBS", "nonsense")
         assert get_jobs() == 1
 

@@ -1,0 +1,179 @@
+"""Service-contract tests against an in-process daemon.
+
+These drive :class:`ServeApp` directly (no sockets) with a stubbed,
+time-controllable executor, so every queueing/dedup/drain contract from
+the issue is asserted deterministically:
+
+* two identical submissions → one verification, two certificates;
+* full admission queue → 429 with a Retry-After estimate;
+* per-tenant store isolation (hits never cross tenants);
+* graceful drain: in-flight jobs finish, queued jobs are rejected.
+"""
+
+import asyncio
+
+from conftest import wait_terminal
+
+
+def submit(app, **overrides):
+    document = {"stack": "ticket"}
+    document.update(overrides)
+    return app.submit(document)
+
+
+class TestDedup:
+    def test_two_identical_submissions_one_verification(
+        self, run_app, stub_executor
+    ):
+        async def scenario(app):
+            stub_executor.delay_s = 0.05
+            status_a, doc_a = submit(app)
+            status_b, doc_b = submit(app)
+            assert (status_a, status_b) == (202, 202)
+            assert doc_b["primary_id"] == doc_a["id"]
+            job_a = await wait_terminal(app, doc_a["id"])
+            job_b = await wait_terminal(app, doc_b["id"])
+            # One verification ran...
+            assert stub_executor.calls == [doc_a["id"]]
+            assert app.metrics.jobs_deduped == 1
+            # ...and both submissions hold a served certificate.
+            assert job_a.state == job_b.state == "done"
+            blob = app.store.get("public", job_a.fingerprint)
+            assert blob is not None
+            assert app.store.get("public", job_b.fingerprint) == blob
+
+        run_app(scenario)
+
+    def test_cross_tenant_dedup_stores_per_tenant(
+        self, run_app, stub_executor
+    ):
+        async def scenario(app):
+            stub_executor.delay_s = 0.05
+            _status, doc_a = submit(app, tenant="alpha")
+            _status, doc_b = submit(app, tenant="beta")
+            await wait_terminal(app, doc_a["id"])
+            await wait_terminal(app, doc_b["id"])
+            assert len(stub_executor.calls) == 1  # work shared...
+            fingerprint = app.table.get(doc_a["id"]).fingerprint
+            # ...but each tenant owns its artifact.
+            assert app.store.get("alpha", fingerprint) is not None
+            assert app.store.get("beta", fingerprint) is not None
+
+        run_app(scenario)
+
+    def test_completed_job_serves_warm_from_store(
+        self, run_app, stub_executor
+    ):
+        async def scenario(app):
+            _status, first = submit(app)
+            await wait_terminal(app, first["id"])
+            status, doc = submit(app)
+            assert status == 200  # warm: terminal in the same response
+            assert doc["state"] == "done"
+            assert doc["source"] == "store"
+            assert len(stub_executor.calls) == 1
+            assert app.metrics.warm.count == 1
+
+        run_app(scenario)
+
+    def test_warm_hits_do_not_cross_tenants(self, run_app, stub_executor):
+        async def scenario(app):
+            _status, first = submit(app, tenant="alpha")
+            await wait_terminal(app, first["id"])
+            status, doc = submit(app, tenant="beta")
+            # Same fingerprint, different tenant: no store hit, new work.
+            assert status == 202
+            assert doc.get("source") != "store"
+            await wait_terminal(app, doc["id"])
+            assert len(stub_executor.calls) == 2
+
+        run_app(scenario)
+
+
+class TestAdmission:
+    def test_queue_full_answers_429_with_retry_after(
+        self, run_app, stub_executor
+    ):
+        async def scenario(app):
+            stub_executor.delay_s = 0.2
+            # Worker slot taken by the first job, queue (limit 1) by the
+            # second; the third distinct job must be turned away.
+            _s, running = submit(app, params={"fuel": 2001})
+            _s, queued = submit(app, params={"fuel": 2002})
+            status, rejected = submit(app, params={"fuel": 2003})
+            assert status == 429
+            assert rejected["state"] == "rejected"
+            assert rejected["retry_after_s"] >= 1
+            assert app.metrics.jobs_rejected == 1
+            await wait_terminal(app, running["id"])
+            await wait_terminal(app, queued["id"])
+            # The backlog drained in admission order afterwards.
+            assert app.table.get(queued["id"]).state == "done"
+
+        run_app(scenario, queue_limit=1)
+
+    def test_higher_priority_overtakes_the_queue(
+        self, run_app, stub_executor
+    ):
+        async def scenario(app):
+            stub_executor.delay_s = 0.1
+            _s, running = submit(app, params={"fuel": 2001})
+            _s, low = submit(app, params={"fuel": 2002}, priority=0)
+            _s, high = submit(app, params={"fuel": 2003}, priority=9)
+            await wait_terminal(app, low["id"])
+            order = stub_executor.calls
+            assert order.index(high["id"]) < order.index(low["id"])
+
+        run_app(scenario, queue_limit=4)
+
+    def test_malformed_submission_raises_job_error(self, run_app):
+        from repro.serve.protocol import JobError
+
+        async def scenario(app):
+            try:
+                submit(app, stack="nope")
+            except JobError:
+                return True
+            return False
+
+        assert run_app(scenario) is True
+
+
+class TestDrain:
+    def test_drain_finishes_in_flight_and_rejects_queued(
+        self, run_app, stub_executor
+    ):
+        async def scenario(app):
+            stub_executor.delay_s = 0.15
+            _s, running = submit(app, params={"fuel": 2001})
+            _s, queued = submit(app, params={"fuel": 2002})
+            app.begin_drain()
+            # Queued work is rejected immediately...
+            assert app.table.get(queued["id"]).state == "rejected"
+            # ...in-flight work runs to completion and lands in the store.
+            job = await wait_terminal(app, running["id"])
+            assert job.state == "done"
+            assert app.store.get("public", job.fingerprint) is not None
+            await asyncio.wait_for(app.drained.wait(), timeout=5)
+            # New submissions are refused while draining.
+            status, doc = submit(app, params={"fuel": 2003})
+            assert status == 503
+            assert doc["state"] == "rejected"
+
+        run_app(scenario)
+
+    def test_drain_rejects_followers_of_queued_primary(
+        self, run_app, stub_executor
+    ):
+        async def scenario(app):
+            stub_executor.delay_s = 0.15
+            _s, running = submit(app, params={"fuel": 2001})
+            _s, queued = submit(app, params={"fuel": 2002})
+            _s, follower = submit(app, params={"fuel": 2002})
+            assert follower["primary_id"] == queued["id"]
+            app.begin_drain()
+            assert app.table.get(queued["id"]).state == "rejected"
+            assert app.table.get(follower["id"]).state == "rejected"
+            await wait_terminal(app, running["id"])
+
+        run_app(scenario, queue_limit=4)

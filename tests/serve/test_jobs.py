@@ -1,0 +1,82 @@
+"""Unit tests for job records, the dedup index, and admission."""
+
+import pytest
+
+from repro.serve.jobs import AdmissionQueue, JobTable, QueueFull
+from repro.serve.protocol import job_fingerprint, parse_job
+
+
+def _spec(**overrides):
+    doc = {"stack": "ticket"}
+    doc.update(overrides)
+    return parse_job(doc)
+
+
+class TestJobTable:
+    def test_ids_are_sequential(self):
+        table = JobTable()
+        spec = _spec()
+        fp = job_fingerprint(spec)
+        assert table.create(spec, fp).id == "j000001"
+        assert table.create(spec, fp).id == "j000002"
+
+    def test_in_flight_dedup_lifecycle(self):
+        table = JobTable()
+        spec = _spec()
+        fp = job_fingerprint(spec)
+        assert table.primary_for(fp) is None
+        primary = table.create(spec, fp)
+        table.register_primary(primary)
+        assert table.primary_for(fp) is primary
+
+        follower = table.create(_spec(tenant="other"), fp)
+        table.register_follower(follower, primary)
+        assert follower.primary_id == primary.id
+        assert follower.source == "dedup"
+        assert table.followers_of(primary) == [follower]
+
+        primary.state = "done"
+        table.release(primary)
+        # Terminal primaries never adopt followers: fresh work enqueues.
+        assert table.primary_for(fp) is None
+
+    def test_to_json_shape(self):
+        table = JobTable()
+        spec = _spec(tenant="ci", priority=2)
+        job = table.create(spec, job_fingerprint(spec))
+        doc = job.to_json()
+        assert doc["state"] == "queued"
+        assert doc["tenant"] == "ci"
+        assert doc["priority"] == 2
+        assert "certificate_url" not in doc  # not terminal yet
+        job.state = "done"
+        assert job.to_json()["certificate_url"].endswith("/certificate")
+
+
+class TestAdmissionQueue:
+    def test_priority_then_fifo(self):
+        queue = AdmissionQueue(limit=10)
+        queue.push("low", 0)
+        queue.push("high", 5)
+        queue.push("low2", 0)
+        queue.push("high2", 5)
+        assert [queue.pop() for _ in range(4)] == [
+            "high", "high2", "low", "low2"
+        ]
+        assert queue.pop() is None
+
+    def test_bounded(self):
+        queue = AdmissionQueue(limit=2)
+        queue.push("a", 0)
+        queue.push("b", 0)
+        with pytest.raises(QueueFull) as info:
+            queue.push("c", 0)
+        assert info.value.depth == 2
+        assert len(queue) == 2
+
+    def test_drain_empties_in_schedule_order(self):
+        queue = AdmissionQueue(limit=10)
+        queue.push("a", 0)
+        queue.push("b", 9)
+        assert queue.drain() == ["b", "a"]
+        assert len(queue) == 0
