@@ -6,8 +6,10 @@ recursively for Python modules.  Each target module is imported and its
 namespace swept for lintable objects (primitives, interfaces, modules,
 replay functions, player-shaped functions).
 
-Exit status is 1 when any unsuppressed ERROR finding is reported,
-0 otherwise — suitable as a CI gate::
+Exit status is 1 when any unsuppressed ERROR finding is reported, 2 on
+usage errors (no targets, unimportable target — a module that fails to
+import must not pass as "clean"), 0 otherwise — suitable as a CI
+gate::
 
     PYTHONPATH=src python -m repro.analysis src/repro/objects src/repro/threads
 """
@@ -56,12 +58,27 @@ def _expand_target(target: str) -> List[str]:
     return names
 
 
+class TargetImportError(Exception):
+    """A CLI target names a module that cannot be imported (exit 2)."""
+
+
 def lint_targets(targets: Iterable[str]) -> LintReport:
-    """Import and lint every module named by ``targets``."""
+    """Import and lint every module named by ``targets``.
+
+    Raises :class:`TargetImportError` when a target does not import —
+    a usage error, distinct from findings (exit 1) and clean runs
+    (exit 0).
+    """
     combined = LintReport(mode="record")
     for target in targets:
         for mod_name in _expand_target(target):
-            module = importlib.import_module(mod_name)
+            try:
+                module = importlib.import_module(mod_name)
+            except (Exception, SystemExit) as error:
+                raise TargetImportError(
+                    f"cannot import {mod_name!r} (from target {target!r}): "
+                    f"{type(error).__name__}: {error}"
+                ) from error
             report = lint_namespace(module, name=mod_name)
             combined.extend(report.findings)
             for what, count in report.checked.items():
@@ -114,7 +131,11 @@ def main(argv=None) -> int:
         print("error: no targets given (try --list-rules)", file=sys.stderr)
         return 2
 
-    report = lint_targets(args.targets)
+    try:
+        report = lint_targets(args.targets)
+    except TargetImportError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     shown = [
         f for f in report.findings
         if not (args.no_warnings and f.severity == "warning")

@@ -1,0 +1,295 @@
+"""Interprocedural dependency slices over effect footprints.
+
+:mod:`repro.analysis.effects` summarizes *one* code object; this module
+closes those summaries transitively.  Starting from a set of roots
+(primitives an obligation's players call, or a module function under
+``Fun`` lift), it follows every statically resolvable edge —
+
+* ``ctx.call(<name>)`` sites, resolved through the caller-supplied
+  resolver (module functions shadow underlay primitives, exactly as
+  :func:`repro.core.module.link` arranges at run time),
+* same-unit mini-C/asm calls (``OP_LOCAL_CALL``), resolved through the
+  translation unit fished out of the impl's interpreter closure,
+* directly referenced Python functions (helpers, wrapped payloads),
+
+and accumulates the *slice*: every primitive, implementation, and helper
+function the obligation can possibly execute, plus the union of their
+effect footprints.  Two consumers sit on top:
+
+* :mod:`repro.analysis.slices` fingerprints the slice to key the
+  obligation-granular certificate cache, and
+* :mod:`repro.analysis.independence` classifies whole slices as
+  *invisible* (no shared-state interaction at all) to seed the DPOR
+  scheduler with statically independent players.
+
+``exact`` degrades to ``False`` the moment any callee, emit name, or
+referenced object resists resolution; consumers must then fall back to
+a whole-rule over-approximation (see DESIGN.md §5 for the soundness
+argument).
+"""
+
+from __future__ import annotations
+
+import dis
+from dataclasses import dataclass, field
+from types import CodeType
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .effects import (
+    OP_CALL,
+    OP_ENTER,
+    OP_EXIT,
+    OP_LOCAL_CALL,
+    OP_QUERY,
+    EffectSummary,
+    analyze_ast_function,
+    analyze_function,
+    analyze_impl,
+    unit_of_impl,
+)
+
+#: Resolves a called name to a ``Prim``, ``FuncImpl``, or ``None``.
+Resolver = Callable[[str], Any]
+
+#: ``ctx`` attributes a specification may touch while remaining purely
+#: local: thread-private state, its own tid, fuel/cycle bookkeeping, and
+#: further ``ctx.call`` edges (those are resolved separately).  Anything
+#: else — ``log``, ``buffer``, ``query``, ``emit``, critical brackets,
+#: the interface itself — is shared-state interaction.
+PURE_CTX_ATTRS: FrozenSet[str] = frozenset(
+    {"priv", "tid", "call", "consume_fuel", "charge_cycles", "cycles"}
+)
+
+_CTX_LOADS = (
+    "LOAD_FAST",
+    "LOAD_FAST_CHECK",
+    "LOAD_FAST_AND_CLEAR",
+    "LOAD_DEREF",
+    "LOAD_CLASSDEREF",
+)
+_CTX_ATTRS = ("LOAD_ATTR", "LOAD_METHOD")
+
+
+def ctx_usage(fn: Any) -> Tuple[FrozenSet[str], bool]:
+    """``(attrs, escapes)`` — how a player touches its ``ctx`` argument.
+
+    ``attrs`` is every attribute name read off the first parameter (when
+    it is named ``ctx``), including inside nested code objects where
+    ``ctx`` is a free variable.  ``escapes`` is True when ``ctx`` is
+    used any other way — stored, passed to a helper, written to — or
+    when the function cannot be analyzed at all; escape analysis is
+    deliberately all-or-nothing because an escaped context can reach
+    shared state through code we cannot see.
+    """
+    fn = getattr(fn, "__wrapped__", fn)
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return frozenset(), True
+    if code.co_argcount < 1 or code.co_varnames[0] != "ctx":
+        return frozenset(), True
+    attrs: Set[str] = set()
+    escapes = False
+    stack: List[CodeType] = [code]
+    seen: Set[int] = set()
+    while stack:
+        co = stack.pop()
+        if id(co) in seen:
+            continue
+        seen.add(id(co))
+        instrs = list(dis.get_instructions(co))
+        for i, ins in enumerate(instrs):
+            if ins.opname in _CTX_LOADS and ins.argval == "ctx":
+                nxt = instrs[i + 1] if i + 1 < len(instrs) else None
+                if nxt is not None and nxt.opname in _CTX_ATTRS:
+                    attrs.add(str(nxt.argval))
+                else:
+                    escapes = True
+        for const in co.co_consts:
+            if isinstance(const, CodeType):
+                stack.append(const)
+    return frozenset(attrs), escapes
+
+
+@dataclass
+class DepClosure:
+    """The transitive dependency slice of one obligation's code.
+
+    ``entries`` maps ``(role, name)`` — role one of ``"prim"``,
+    ``"impl"``, ``"fn"`` — to the live object, so consumers can
+    fingerprint exactly the code the obligation can reach.  The
+    remaining fields are the union of effect footprints over the whole
+    slice; they drive the invisibility classification.
+    """
+
+    entries: Dict[Tuple[str, str], Any] = field(default_factory=dict)
+    emits: Set[str] = field(default_factory=set)
+    ctx_attrs: Set[str] = field(default_factory=set)
+    exact: bool = True
+    queries: bool = False
+    nondet: bool = False
+    buffer_access: bool = False
+    dynamic: bool = False
+    critical: bool = False
+    set_iteration: bool = False
+    ctx_escapes: bool = False
+
+    def sorted_entries(self) -> Tuple[Tuple[str, str, Any], ...]:
+        """Deterministic ``(role, name, object)`` listing for keying."""
+        return tuple(
+            (role, name, self.entries[(role, name)])
+            for role, name in sorted(self.entries)
+        )
+
+
+def dependency_closure(
+    roots: Iterable[Tuple[str, Any]],
+    resolve: Optional[Resolver] = None,
+) -> DepClosure:
+    """Close ``roots`` (``(name, object)`` pairs) over all call edges.
+
+    ``resolve`` maps a ``ctx.call`` name to its target in the machine
+    the obligation actually runs on — for a linked module that means
+    module functions first, then underlay primitives.  A root whose
+    object is ``None`` (an unresolvable call name) immediately makes the
+    closure inexact.
+    """
+    closure = DepClosure()
+    seen: Set[int] = set()
+    for name, obj in roots:
+        if obj is None:
+            closure.exact = False
+            continue
+        _reach(obj, name, resolve, None, closure, seen)
+    return closure
+
+
+def _reach(
+    target: Any,
+    name: str,
+    resolve: Optional[Resolver],
+    local: Optional[Resolver],
+    closure: DepClosure,
+    seen: Set[int],
+) -> None:
+    if id(target) in seen:
+        return
+    seen.add(id(target))
+
+    if hasattr(target, "spec") and hasattr(target, "kind"):  # Prim
+        closure.entries[("prim", name)] = target
+        if getattr(target, "enters_critical", False) or getattr(
+            target, "exits_critical", False
+        ):
+            closure.critical = True
+        _reach_function(target.spec, resolve, local, closure, seen)
+        return
+    if hasattr(target, "player") and hasattr(target, "lang"):  # FuncImpl
+        closure.entries[("impl", name)] = target
+        unit = unit_of_impl(target)
+        unit_fns = getattr(unit, "functions", None)
+        if isinstance(unit_fns, dict):
+            bound: Dict[str, Any] = unit_fns
+            local = bound.get
+        summary = analyze_impl(target)
+        _absorb(summary, resolve, local, closure, seen)
+        if getattr(target, "lang", "spec") == "spec":
+            attrs, escapes = ctx_usage(target.player)
+            closure.ctx_attrs |= attrs
+            closure.ctx_escapes |= escapes
+        return
+    if callable(target):
+        qualname = getattr(target, "__qualname__", getattr(target, "__name__", name))
+        module = getattr(target, "__module__", "")
+        closure.entries[("fn", f"{module}.{qualname}")] = target
+        _reach_function(target, resolve, local, closure, seen)
+        return
+    if hasattr(target, "body"):  # mini-C / asm AST function (same unit)
+        summary = analyze_ast_function(target, name=name)
+        _absorb(summary, resolve, local, closure, seen)
+        return
+    closure.exact = False
+
+
+def _reach_function(
+    fn: Any,
+    resolve: Optional[Resolver],
+    local: Optional[Resolver],
+    closure: DepClosure,
+    seen: Set[int],
+) -> None:
+    summary = analyze_function(fn)
+    _absorb(summary, resolve, local, closure, seen)
+    attrs, escapes = ctx_usage(fn)
+    closure.ctx_attrs |= attrs
+    closure.ctx_escapes |= escapes
+
+
+def _absorb(
+    summary: EffectSummary,
+    resolve: Optional[Resolver],
+    local: Optional[Resolver],
+    closure: DepClosure,
+    seen: Set[int],
+) -> None:
+    closure.emits |= set(summary.emits)
+    closure.dynamic |= summary.dynamic_emit or summary.dynamic_call
+    closure.exact &= not (summary.dynamic_emit or summary.dynamic_call)
+    closure.nondet |= bool(summary.nondet)
+    closure.buffer_access |= bool(summary.buffer_access)
+    closure.set_iteration |= bool(summary.set_iterations)
+    for kind, callee, _nargs, _line in summary.ops:
+        if kind == OP_QUERY:
+            closure.queries = True
+        elif kind in (OP_ENTER, OP_EXIT):
+            closure.critical = True
+        elif kind == OP_CALL:
+            if callee is None:
+                closure.exact = False
+                continue
+            target = local(callee) if local is not None else None
+            if target is None and resolve is not None:
+                target = resolve(callee)
+            if target is None:
+                closure.exact = False
+                continue
+            _reach(target, callee, resolve, local, closure, seen)
+        elif kind == OP_LOCAL_CALL:
+            target = (
+                local(callee) if (local is not None and callee is not None) else None
+            )
+            if target is None:
+                closure.exact = False
+                continue
+            _reach(target, str(callee), resolve, local, closure, seen)
+    for ref in summary.referenced_fns:
+        _reach(ref, getattr(ref, "__name__", "<ref>"), resolve, local, closure, seen)
+
+
+def module_resolver(module: Any, interface: Any) -> Resolver:
+    """The run-time call resolution order of a linked machine.
+
+    ``link(interface, module)`` turns module functions into primitives
+    of the extended interface, so a called name hits the module first
+    and falls through to the interface.  Either part may be ``None``.
+    """
+
+    def resolve(name: str) -> Any:
+        if module is not None:
+            impl = module.funcs.get(name)
+            if impl is not None:
+                return impl
+        if interface is not None:
+            return interface.prims.get(name)
+        return None
+
+    return resolve

@@ -461,6 +461,43 @@ def lint_interface(iface: Any) -> List[LintFinding]:
                     file=summary.file, line=summary.line, obj=obj,
                     suppressed="REPRO-I203" in supp,
                 ))
+    # Interprocedural pair scan (L106/I204): unbracketed primitives whose
+    # transitive emit footprints overlap may interleave observably.
+    from .independence import guarantee_overlaps, may_race_pairs
+
+    pairs = may_race_pairs(iface)
+    guar_hits = {
+        (a, b): hit for a, b, hit in guarantee_overlaps(iface, pairs)
+    }
+    for name_a, name_b, overlap in pairs:
+        spec_a = iface.prims[name_a].spec
+        spec_b = iface.prims[name_b].spec
+        summary_a = analyze_function(spec_a)
+        supp_pair = suppressed_rules(
+            getattr(spec_a, "__wrapped__", spec_a)
+        ) | suppressed_rules(getattr(spec_b, "__wrapped__", spec_b))
+        obj = f"{iface.name}.{name_a}/{name_b}"
+        out.append(finding(
+            "REPRO-L106",
+            f"primitives {name_a!r} and {name_b!r} can both emit "
+            f"{sorted(overlap)} without entering critical state; their "
+            f"event interleavings are observable in the log, so any "
+            f"ordering invariant between them needs a critical bracket "
+            f"or a dynamic argument",
+            file=summary_a.file, line=summary_a.line, obj=obj,
+            suppressed="REPRO-L106" in supp_pair,
+        ))
+        hit = guar_hits.get((name_a, name_b))
+        if hit:
+            out.append(finding(
+                "REPRO-I204",
+                f"guarantee declares {sorted(hit)} but {name_a!r} and "
+                f"{name_b!r} both emit into that set outside critical "
+                f"state; the guarantee quantifies over every "
+                f"interleaving of the racing pair",
+                file=summary_a.file, line=summary_a.line, obj=obj,
+                suppressed="REPRO-I204" in supp_pair,
+            ))
     memo["findings"] = tuple(out)
     return out
 

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 #: Version of the lint rule set, folded into the cache engine version.
-RULESET_VERSION = "repro-lint/1"
+RULESET_VERSION = "repro-lint/2"
 
 ERROR = "error"
 WARNING = "warning"
@@ -95,6 +95,14 @@ RULES: Dict[str, LintRule] = _catalog(
         "producing underlay calls outside critical state, so the "
         "environment can interleave between them.",
     ),
+    LintRule(
+        "REPRO-L106", WARNING, "shared-footprint primitives may interleave",
+        "Two shared primitives of one interface can emit overlapping "
+        "event names without entering critical state; their steps can "
+        "interleave freely, so any ordering invariant between those "
+        "event names must be argued dynamically rather than by the "
+        "atomicity bracket (interprocedural footprint analysis).",
+    ),
     # --- interface discipline ----------------------------------------------
     LintRule(
         "REPRO-I201", ERROR, "event-discipline violation",
@@ -115,6 +123,15 @@ RULES: Dict[str, LintRule] = _catalog(
         "primitive can emit an event name outside it — the declared "
         "guarantee cannot be an invariant of the focused participants' "
         "log (rely/guarantee lint).",
+    ),
+    LintRule(
+        "REPRO-I204", WARNING, "guarantee spans a may-race pair",
+        "The interface's guarantee declares event names that two "
+        "unbracketed shared primitives can both emit: the guarantee is "
+        "then a cross-primitive invariant over racing emitters, which "
+        "rely/guarantee reasoning must discharge for every interleaving "
+        "of the pair — a common source of unsound hand-written "
+        "guarantees (interprocedural footprint analysis).",
     ),
     # --- determinism ---------------------------------------------------------
     LintRule(

@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 from ..obs import obs_enabled, span
 from ..obs.coverage import CoverageBuilder
 from ..obs.metrics import MetricsWindow, inc, observe
-from ..parallel.cache import cached_certificate
+from ..parallel.cache import cache_enabled, cached_certificate
 from ..parallel.pool import get_jobs
 from ..reduce import reduce_active, reduction_collector, resolve_reduce
 from .certificate import (
@@ -168,6 +168,16 @@ def module_rule(
             relation=relation, interfaces=(underlay, overlay),
         )
         axes = resolve_reduce(reduce)
+        obligation_key = None
+        if cache_enabled():
+            from ..analysis.slices import scenario_obligation_key
+
+            def obligation_key(scenario: Scenario) -> Any:
+                return scenario_obligation_key(
+                    kind="Fun*", rule="Fun*", judgment=judgment,
+                    low=underlay, high=overlay, relation=relation, tid=tid,
+                    scenario=scenario, axes=axes, module=module,
+                )
 
         def compute() -> Certificate:
             with reduce_active(axes):
@@ -181,6 +191,7 @@ def module_rule(
                     judgment=judgment,
                     rule="Fun*",
                     jobs=jobs,
+                    obligation_key=obligation_key,
                 )
             _stamp_rule(
                 cert, "Fun*", started, window,
@@ -235,6 +246,17 @@ def interface_sim_rule(
             interfaces=(low, high),
         )
         axes = resolve_reduce(reduce)
+        obligation_key = None
+        if cache_enabled():
+            from ..analysis.slices import scenario_obligation_key
+
+            def obligation_key(scenario: Scenario) -> Any:
+                return scenario_obligation_key(
+                    kind="interface-sim", rule="interface-sim",
+                    judgment=f"{low.name} ≤_{relation.name} {high.name}",
+                    low=low, high=high, relation=relation, tid=tid,
+                    scenario=scenario, axes=axes,
+                )
 
         def compute() -> Certificate:
             with reduce_active(axes):
@@ -248,6 +270,7 @@ def interface_sim_rule(
                     judgment=f"{low.name} ≤_{relation.name} {high.name}",
                     rule="interface-sim",
                     jobs=jobs,
+                    obligation_key=obligation_key,
                 )
             _stamp_rule(
                 cert, "interface-sim", started, window,
@@ -323,6 +346,17 @@ def fun_rule(
             relation=relation, interfaces=(underlay, overlay),
         )
         axes = resolve_reduce(reduce)
+        obligation_key = None
+        if cache_enabled():
+            from ..analysis.slices import sim_args_obligation_key
+
+            def obligation_key(args: Tuple[Any, ...]) -> Any:
+                return sim_args_obligation_key(
+                    kind="Fun", judgment=judgment,
+                    low=underlay, high=overlay, name=impl.name,
+                    relation=relation, tid=tid, config=config, args=args,
+                    axes=axes, impl=impl,
+                )
 
         def compute() -> Certificate:
             with reduce_active(axes):
@@ -337,6 +371,7 @@ def fun_rule(
                     judgment=judgment,
                     rule="Fun",
                     jobs=jobs,
+                    obligation_key=obligation_key,
                 )
             _stamp_rule(
                 cert, "Fun", started, window,

@@ -359,6 +359,46 @@ def stamp_provenance(
         )
         if inherited_reduction:
             provenance["reduction"] = inherited_reduction
+    if "incremental" not in provenance:
+        # And for the obligation-cache accounting: a parent whose
+        # children were assembled from warm per-obligation entries
+        # reports the aggregate ``{reused, rechecked, slice_misses}`` so
+        # derivation roots state how incremental the rerun was.
+        from ..parallel.cache import merge_incremental_records
+
+        prior_incremental = (cert.provenance or {}).get("incremental")
+        inherited_incremental = prior_incremental or merge_incremental_records(
+            (child.provenance or {}).get("incremental")
+            for child in cert.children
+        )
+        if inherited_incremental:
+            provenance["incremental"] = inherited_incremental
+    cert.provenance = provenance
+    return cert
+
+
+def stamp_incremental(
+    cert: Certificate,
+    status: str,
+    key: Optional[str] = None,
+    exact: bool = True,
+) -> Certificate:
+    """Record a per-obligation cache outcome (``"reused"``/``"rechecked"``).
+
+    Obs-gated like :func:`stamp_cache_status`.  A reused obligation
+    certificate skipped its checker's :func:`stamp_provenance` call (it
+    was loaded stripped), so the ledger note happens here for that case
+    only — a rechecked one was already noted by its checker.
+    """
+    if status == "reused":
+        note_certificate(cert)
+    if not obs_enabled():
+        return cert
+    provenance = dict(cert.provenance or {"rule": cert.rule, "judgment": cert.judgment})
+    record: Dict[str, Any] = {"status": status, "exact": exact}
+    if key is not None:
+        record["key"] = key[:16]
+    provenance["incremental"] = record
     cert.provenance = provenance
     return cert
 

@@ -28,7 +28,12 @@ from ..obs.profile import (
     profile_enabled,
     profile_span,
 )
-from ..parallel.cache import cached_certificate
+from ..parallel.cache import (
+    cache_enabled,
+    cached_certificate,
+    cached_obligation_payload,
+    merge_incremental_records,
+)
 from ..parallel.pool import get_jobs, parallel_map
 from ..reduce import (
     RG_SIMPLIFY,
@@ -292,11 +297,29 @@ def check_soundness(
                 f"client {index} uses uncertified participants {sorted(extra)}"
             )
 
+    client_key = None
+    if cache_enabled():
+        from ..analysis.slices import client_obligation_key
+
+        def client_key(client: ClientProgram) -> Any:
+            return client_obligation_key(
+                underlay=layer.underlay,
+                module=layer.module,
+                overlay=layer.overlay,
+                relation=layer.relation,
+                client=client,
+                fuel=fuel,
+                max_rounds=max_rounds,
+                max_runs=max_runs,
+                require_progress=require_progress,
+                axes=axes,
+            )
+
     def compute() -> Certificate:
         with reduce_active(axes):
             return _check_soundness_uncached(
                 layer, clients, fuel, max_rounds, max_runs, require_progress,
-                n_jobs,
+                n_jobs, obligation_key=client_key,
             )
 
     return cached_certificate(
@@ -320,6 +343,7 @@ def _check_soundness_uncached(
     max_runs: int,
     require_progress: bool,
     n_jobs: int,
+    obligation_key: Optional[Any] = None,
 ) -> Certificate:
     started = time.perf_counter()
     window = MetricsWindow()
@@ -413,21 +437,31 @@ def _check_soundness_uncached(
             }
         return output
 
+    def checked_client(item) -> Dict[str, Any]:
+        _index, client = item
+        key = obligation_key(client) if obligation_key is not None else None
+        return cached_obligation_payload(
+            "soundness-client", key, lambda: check_client(item),
+            ("obligations", "low", "high", "logs"),
+        )
+
     with span("check_soundness", module=layer.module.name, clients=len(clients)):
         outputs = parallel_map(
-            check_client, list(enumerate(clients)),
+            checked_client, list(enumerate(clients)),
             jobs=n_jobs if len(clients) > 1 else 1,
         )
         profile_entries: List[Dict[str, Any]] = []
         redundancy_records: List[Dict[str, Any]] = []
         reduction_records: List[Optional[Dict[str, Any]]] = []
+        incremental_notes: List[Any] = []
         for output in outputs:
             reduction_records.append(output.get("reduction"))
+            incremental_notes.append(output.get("incremental"))
             cert.obligations.extend(output["obligations"])
             behaviors["low"] += output["low"]
             behaviors["high"] += output["high"]
             cert.log_universe = cert.log_universe + output["logs"]
-            coverage_maps.extend(output["coverage"])
+            coverage_maps.extend(output.get("coverage") or [])
             client_profile = output.get("profile")
             if client_profile is not None:
                 redundancy_records.append(client_profile["redundancy"])
@@ -444,6 +478,9 @@ def _check_soundness_uncached(
     reduction = merge_reduction_maps(reduction_records)
     if reduction:
         extra_prov["reduction"] = reduction
+    incremental = merge_incremental_records(incremental_notes)
+    if incremental:
+        extra_prov["incremental"] = incremental
     if profile_entries:
         extra_prov["profile"] = {
             "redundancy": merge_redundancy(redundancy_records),

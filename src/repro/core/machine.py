@@ -33,7 +33,14 @@ from ..obs.metrics import inc
 from ..obs.profile import RedundancyBuilder, profile_enabled, state_fingerprint
 from ..parallel.partition import CHUNKS_PER_WORKER, chunk_evenly
 from ..parallel.pool import get_jobs, parallel_map
-from ..reduce import MACHINE_AXES, RG_SIMPLIFY, ReductionStats, contribute, current_axes
+from ..reduce import (
+    MACHINE_AXES,
+    RG_SIMPLIFY,
+    STATIC_INDEP,
+    ReductionStats,
+    contribute,
+    current_axes,
+)
 from ..reduce.dpor import DeferRun, PruneRun, ReducingScheduler, TranspositionTable
 from ..reduce.laws import FRAME, STRENGTHEN_GUARANTEE, frame_allows_skip
 from ..reduce.stats import tally_law
@@ -60,6 +67,11 @@ def call_player(name: str, *args):
         return ret
 
     player.__name__ = f"call_{name}"
+    # Static call footprint for the dependency analysis: the call target
+    # is a loop-free literal here, so declare it (bytecode alone cannot
+    # resolve a dynamic ``ctx.call(name)``).  Function attributes do not
+    # participate in canonical fingerprints.
+    player.__static_calls__ = (name,)
     return player
 
 
@@ -78,6 +90,7 @@ def seq_player(calls: Sequence[Tuple[str, Tuple[Any, ...]]]):
         return rets
 
     player.__name__ = "seq_" + "_".join(name for name, _ in calls)
+    player.__static_calls__ = tuple(name for name, _ in calls)
     return player
 
 
@@ -447,6 +460,7 @@ def _explore_reduced(
     stats: ReductionStats,
     frontier_depth: Optional[int] = None,
     redundancy: Optional[RedundancyBuilder] = None,
+    invisible: FrozenSet[int] = frozenset(),
 ) -> Tuple[List[Tuple[Optional[GameResult], Optional[Tuple[int, ...]]]], int, int]:
     """The reduced DFS: path extension + sleep-set dominance + transposition.
 
@@ -486,6 +500,7 @@ def _explore_reduced(
         scheduler = ReducingScheduler(
             prefix, axes, stats, table=table,
             frontier_depth=frontier_depth, redundancy=redundancy,
+            invisible=invisible,
         )
         try:
             result = run_one(scheduler)
@@ -563,10 +578,16 @@ def enumerate_game_logs(
 
     n_jobs = get_jobs(jobs)
     axes = frozenset(current_axes())
-    # dpor/transpo switch the exploration to the reducing scheduler;
-    # with both off the seed DFS runs bit-for-bit unchanged.
+    # dpor/transpo/static-indep switch the exploration to the reducing
+    # scheduler; with all machine axes off the seed DFS runs
+    # bit-for-bit unchanged.
     reducing = bool(axes & MACHINE_AXES)
     stats = ReductionStats(axes) if reducing else None
+    invisible: FrozenSet[int] = frozenset()
+    if STATIC_INDEP in axes and len(players) > 1:
+        from ..analysis.independence import static_invisible_tids
+
+        invisible = static_invisible_tids(interface, players)
     # Reduced enumeration always routes through the frontier-split code
     # path (a 1-job parallel_map is a plain inline loop), so the
     # subtree partitioning — and with it the transposition table scope —
@@ -589,6 +610,7 @@ def enumerate_game_logs(
                 plan, runs, pruned = _explore_reduced(
                     run_one, axes, max_rounds, max_runs, [()], stats,
                     frontier_depth=split, redundancy=redundancy,
+                    invisible=invisible,
                 )
             else:
                 plan, runs, pruned = _explore_prefixes(
@@ -610,6 +632,7 @@ def enumerate_game_logs(
                             sub_plan, sub_runs, sub_pruned = _explore_reduced(
                                 run_one, axes, max_rounds, max_runs, [prefix],
                                 sub_stats, redundancy=sub_red,
+                                invisible=invisible,
                             )
                         else:
                             sub_stats = None

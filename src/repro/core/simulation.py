@@ -45,6 +45,11 @@ from ..obs.profile import (
     profile_span,
     state_fingerprint,
 )
+from ..parallel.cache import (
+    cached_obligation,
+    cached_obligation_payload,
+    merge_incremental_records,
+)
 from ..parallel.partition import CHUNKS_PER_WORKER, chunk_evenly
 from ..parallel.pool import get_jobs, parallel_map
 from ..reduce import RG_SIMPLIFY, current_axes, reduction_collector
@@ -70,6 +75,7 @@ def prim_player(name: str) -> Callable:
         return ret
 
     player.__name__ = f"prim_{name}"
+    player.__static_calls__ = (name,)
     return player
 
 
@@ -524,6 +530,7 @@ def check_sim(
     judgment: str,
     rule: str = "sim",
     jobs: Optional[int] = None,
+    obligation_key: Optional[Callable[[Tuple[Any, ...]], Any]] = None,
 ) -> Certificate:
     """Check ``low_player ≤_R high_player`` per Def. 2.1 (spec-first).
 
@@ -538,6 +545,13 @@ def check_sim(
     Obligations and logs merge in serial order and the counterexample
     budget is enforced globally at merge, so the certificate is
     identical to a serial run's.
+
+    ``obligation_key`` (built by the rule constructors from
+    :mod:`repro.analysis.slices`) keys each argument vector's
+    obligations in the per-obligation cache; warm vectors re-load their
+    obligations and logs instead of re-enumerating.  Counterexample
+    trimming happens at merge, after cache load, so warm and cold
+    certificates stay byte-identical.
     """
     started = time.perf_counter()
     window = MetricsWindow()
@@ -639,20 +653,29 @@ def check_sim(
         )
         cert.add("initial logs related", init_ok)
 
+        def checked_args_vector(args: Tuple[Any, ...]) -> Dict[str, Any]:
+            key = obligation_key(args) if obligation_key is not None else None
+            return cached_obligation_payload(
+                "sim-args", key, lambda: check_args_vector(args),
+                ("obligations", "logs", "env_contexts"),
+            )
+
         args_vectors = [tuple(args) for args in config.args_list]
         outputs = parallel_map(
-            check_args_vector, args_vectors,
+            checked_args_vector, args_vectors,
             jobs=n_jobs if len(args_vectors) > 1 else 1,
         )
         profile_entries: List[Dict[str, Any]] = []
         redundancy_records: List[Dict[str, Any]] = []
         reduction_records: List[Optional[Dict[str, Any]]] = []
+        incremental_notes: List[Any] = []
         for output in outputs:
             if args_cov is not None:
                 args_cov.visit()
-            if output["coverage"] is not None:
+            if output.get("coverage") is not None:
                 coverage_maps.append({"env_contexts": output["coverage"]})
             reduction_records.append(output.get("reduction"))
+            incremental_notes.append(output.get("incremental"))
             env_contexts += output["env_contexts"]
             cert.obligations.extend(output["obligations"])
             logs.extend(output["logs"])
@@ -680,6 +703,9 @@ def check_sim(
     reduction = merge_reduction_maps(reduction_records)
     if reduction:
         extra["reduction"] = reduction
+    incremental = merge_incremental_records(incremental_notes)
+    if incremental:
+        extra["incremental"] = incremental
     if profile_entries:
         extra["profile"] = {
             "redundancy": merge_redundancy(redundancy_records),
@@ -1048,6 +1074,7 @@ def check_scenarios(
     judgment: str,
     rule: str = "sim",
     jobs: Optional[int] = None,
+    obligation_key: Optional[Callable[[Scenario], Any]] = None,
 ) -> Certificate:
     """Check a family of scenarios; one sub-certificate per scenario.
 
@@ -1057,6 +1084,11 @@ def check_scenarios(
     is checked in its own worker process; with a single scenario the
     worker budget is forwarded into :func:`check_scenario_sim`'s
     per-environment-context fan-out instead.
+
+    ``obligation_key(scenario)`` (an
+    :data:`~repro.analysis.slices.ObligationKey` builder) enables the
+    per-obligation cache: scenarios whose dependency slice is unchanged
+    re-load their sub-certificate instead of re-enumerating.
     """
     started = time.perf_counter()
     window = MetricsWindow()
@@ -1066,16 +1098,21 @@ def check_scenarios(
         inner_jobs = n_jobs if len(scenarios) == 1 else 1
 
         def check_one(scenario: Scenario) -> Certificate:
-            return check_scenario_sim(
-                low_iface,
-                impl_player_for(scenario),
-                high_iface,
-                scenario,
-                relation,
-                tid,
-                judgment=f"{judgment} :: {scenario.label}",
-                rule=rule,
-                jobs=inner_jobs,
+            key = obligation_key(scenario) if obligation_key is not None else None
+            return cached_obligation(
+                "scenario",
+                key,
+                lambda: check_scenario_sim(
+                    low_iface,
+                    impl_player_for(scenario),
+                    high_iface,
+                    scenario,
+                    relation,
+                    tid,
+                    judgment=f"{judgment} :: {scenario.label}",
+                    rule=rule,
+                    jobs=inner_jobs,
+                ),
             )
 
         cert.children.extend(
@@ -1101,6 +1138,7 @@ def check_interface_sim(
     configs: Dict[str, SimConfig],
     judgment: Optional[str] = None,
     jobs: Optional[int] = None,
+    obligation_key: Optional[Callable[[str, SimConfig], Any]] = None,
 ) -> Certificate:
     """Check ``L ≤_R L'`` primitive by primitive.
 
@@ -1123,16 +1161,24 @@ def check_interface_sim(
 
         def check_one(item) -> Certificate:
             name, config = item
-            return check_sim(
-                low_iface,
-                prim_player(name),
-                high_iface,
-                prim_player(name),
-                relation,
-                tid,
-                config,
-                judgment=f"{low_iface.name}.{name} ≤_{relation.name} {high_iface.name}.{name}",
-                jobs=inner_jobs,
+            key = (
+                obligation_key(name, config)
+                if obligation_key is not None else None
+            )
+            return cached_obligation(
+                "interface-prim",
+                key,
+                lambda: check_sim(
+                    low_iface,
+                    prim_player(name),
+                    high_iface,
+                    prim_player(name),
+                    relation,
+                    tid,
+                    config,
+                    judgment=f"{low_iface.name}.{name} ≤_{relation.name} {high_iface.name}.{name}",
+                    jobs=inner_jobs,
+                ),
             )
 
         cert.children.extend(

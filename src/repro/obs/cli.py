@@ -185,6 +185,29 @@ def _render_reduction(reduction: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _render_incremental(incremental: Dict[str, Any]) -> List[str]:
+    """Render a certificate's ``incremental`` provenance annotation.
+
+    Either a per-obligation stamp (``status``/``exact``/``key``) or a
+    rolled-up reuse tally from the obligation-granular cache.
+    """
+    status = incremental.get("status")
+    if status:
+        exact = "exact" if incremental.get("exact", True) else "whole-rule"
+        key = incremental.get("key")
+        suffix = f" key={key}" if key else ""
+        return [f"incremental: {status} ({exact} slice){suffix}"]
+    reused = incremental.get("reused", 0)
+    rechecked = incremental.get("rechecked", 0)
+    misses = incremental.get("slice_misses", 0)
+    total = reused + rechecked
+    rate = f", reuse rate {reused / total:.1%}" if total else ""
+    return [
+        f"incremental: {reused} reused, {rechecked} rechecked, "
+        f"{misses} slice miss(es){rate}"
+    ]
+
+
 def _explain_cert(cert: Dict[str, Any], indent: int = 0,
                   show_ok: bool = False) -> List[str]:
     pad = "  " * indent
@@ -237,6 +260,11 @@ def _explain_cert(cert: Dict[str, Any], indent: int = 0,
         if reduction:
             lines.extend(
                 f"{pad}  {line}" for line in _render_reduction(reduction)
+            )
+        incremental = provenance.get("incremental")
+        if incremental:
+            lines.extend(
+                f"{pad}  {line}" for line in _render_incremental(incremental)
             )
     for obligation in cert.get("obligations") or []:
         ok = obligation.get("ok")

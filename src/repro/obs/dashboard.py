@@ -348,6 +348,33 @@ def _redundancy_panel(runs: List[Dict[str, Any]]) -> str:
     )
 
 
+def _incremental_panel(runs: List[Dict[str, Any]]) -> str:
+    latest = _latest_with(runs, "incremental")
+    if not latest:
+        return ""
+    reused = latest.get("reused", 0)
+    rechecked = latest.get("rechecked", 0)
+    misses = latest.get("slice_misses", 0)
+    total = reused + rechecked
+    rates = [v for _, v in _series(runs, "incremental_reuse_rate")]
+    spark = (
+        sparkline_svg(rates, title=f"obligation reuse rate, {len(rates)} runs")
+        if len(rates) >= 2 else ""
+    )
+    caption = (
+        f"latest run: {reused} reused · {rechecked} rechecked · "
+        f"{misses} slice miss(es)"
+    )
+    if total:
+        caption += f" · reuse rate {reused / total * 100:.1f}%"
+    return (
+        "<h2>Incremental re-verification</h2>"
+        f'<div class="panel">{spark}'
+        f'<div class="spark-caption">{caption} — obligations reloaded warm '
+        "from per-slice cache entries instead of re-verified</div></div>"
+    )
+
+
 def _reduction_panel(runs: List[Dict[str, Any]]) -> str:
     latest = _latest_with(runs, "reduction")
     if not latest:
@@ -414,6 +441,7 @@ def render_dashboard(
         for name in sorted(by_object):
             body.append(_object_section(name, by_object[name]))
         body.append(_cache_panel(runs))
+        body.append(_incremental_panel(runs))
         body.append(_redundancy_panel(runs))
         body.append(_reduction_panel(runs))
     body.append(

@@ -401,6 +401,8 @@ class LedgerRun:
         self._child_ids: set = set()
         self._cache: Dict[str, float] = {
             "hits": 0, "misses": 0, "hit_latency_s": 0.0, "miss_latency_s": 0.0,
+            "obligation_reused": 0, "obligation_rechecked": 0,
+            "obligation_slice_misses": 0,
         }
         self._flushed: Optional[str] = None
 
@@ -431,6 +433,11 @@ class LedgerRun:
         else:
             self._cache["misses"] += 1
             self._cache["miss_latency_s"] += latency_s
+
+    def note_obligation(self, field: str) -> None:
+        key = "obligation_" + field
+        if key in self._cache:
+            self._cache[key] += 1
 
     def cache_notes(self) -> Dict[str, float]:
         return dict(self._cache)
@@ -516,6 +523,13 @@ class LedgerRun:
             "host": _host_info(),
             "env": _env_info(),
         }
+        incremental = {
+            "reused": int(self._cache["obligation_reused"]),
+            "rechecked": int(self._cache["obligation_rechecked"]),
+            "slice_misses": int(self._cache["obligation_slice_misses"]),
+        }
+        if any(incremental.values()):
+            record["incremental"] = incremental
         coverage = merge_coverage_maps(coverage_maps)
         if coverage:
             record["coverage"] = coverage
@@ -698,6 +712,12 @@ def note_cache_event(status: str, latency_s: float = 0.0) -> None:
         _RUN.note_cache(status, latency_s)
 
 
+def note_obligation_event(field: str) -> None:
+    """Obligation-cache hook: count a reuse/recheck/slice-miss event."""
+    if _RUN is not None:
+        _RUN.note_obligation(field)
+
+
 def worker_notes_mark() -> Optional[Dict[str, float]]:
     """Snapshot of the run counters, taken by a pool worker per task."""
     if _RUN is None:
@@ -810,6 +830,10 @@ def run_metrics(record: Dict[str, Any]) -> Dict[str, float]:
     lookups = (cache.get("hits") or 0) + (cache.get("misses") or 0)
     if lookups:
         out["cache_hit_rate"] = round(cache["hits"] / lookups, 4)
+    incremental = record.get("incremental") or {}
+    checked = (incremental.get("reused") or 0) + (incremental.get("rechecked") or 0)
+    if checked:
+        out["incremental_reuse_rate"] = round(incremental["reused"] / checked, 4)
     for nodeid, entry in ((record.get("bench") or {}).get("tests") or {}).items():
         duration = entry.get("duration_s")
         if isinstance(duration, (int, float)):

@@ -29,7 +29,8 @@ import os
 import pickle
 import tempfile
 import time
-from typing import Any, Callable, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..analysis.rules import RULESET_VERSION
 from ..obs.metrics import inc, observe
@@ -195,3 +196,148 @@ def cached_certificate(
         observe("cache.miss_latency_s", miss_latency)
     note_cache_event("miss", miss_latency)
     return stamp_cache_status(cert, "miss", key=key, workers=get_jobs(jobs))
+
+
+# --- obligation-granular entries --------------------------------------------
+#
+# The rule-level cache above keys on *every* input of a rule
+# application; editing one primitive invalidates the whole rule.  The
+# entries below key on per-obligation dependency slices
+# (:mod:`repro.analysis.slices`): one entry per scenario, per argument
+# vector, per client game.  A rule-level miss then assembles its
+# certificate from warm per-obligation entries and re-verifies only the
+# obligations whose slice fingerprint changed.
+#
+# Stored values are provenance-free (certificates are stripped exactly
+# like rule-level entries; payload dicts store only the
+# observability-independent fields), so a warm assembly is byte-identical
+# to a cold serial run with observability off.
+
+#: Ambient counters for one verification request (``repro.serve`` wraps
+#: each job in a collector so /metrics can report incremental reuse even
+#: with observability forced off).  A stack, like the reduction-stats
+#: collectors, so nested requests tally independently.
+_INC_COLLECTORS: List[Dict[str, int]] = []
+
+_INC_FIELDS = ("reused", "rechecked", "slice_misses")
+
+
+@contextmanager
+def incremental_collector() -> Iterator[Dict[str, int]]:
+    """Collect obligation-cache reuse counts for one request."""
+    counts = {field: 0 for field in _INC_FIELDS}
+    _INC_COLLECTORS.append(counts)
+    try:
+        yield counts
+    finally:
+        _INC_COLLECTORS.pop()
+
+
+def note_incremental(field: str) -> None:
+    """Tally one obligation-cache event into every active collector."""
+    from ..obs.store import note_obligation_event
+
+    for counts in _INC_COLLECTORS:
+        counts[field] = counts.get(field, 0) + 1
+    inc("cache.obligation_" + field)
+    note_obligation_event(field)
+
+
+def merge_incremental_records(records: Iterable[Any]) -> Optional[Dict[str, int]]:
+    """Fold child ``incremental`` provenance values into one rollup.
+
+    Accepts both shapes: a per-obligation stamp (``{"status": "reused",
+    ...}``) and an already-rolled-up block (``{"reused": 3, ...}``).
+    Returns ``None`` when nothing incremental happened below.
+    """
+    totals = {field: 0 for field in _INC_FIELDS}
+    saw = False
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        status = record.get("status")
+        if status in ("reused", "rechecked"):
+            saw = True
+            totals[status] += 1
+            if not record.get("exact", True):
+                totals["slice_misses"] += 1
+            continue
+        for field in _INC_FIELDS:
+            value = record.get(field)
+            if isinstance(value, int):
+                saw = True
+                totals[field] += value
+    return totals if saw else None
+
+
+def cached_obligation(
+    kind: str,
+    key: Optional[Tuple[Tuple[Any, ...], bool]],
+    compute: Callable[[], Any],
+) -> Any:
+    """Per-obligation cache for a certificate-valued check.
+
+    ``key`` is an :data:`~repro.analysis.slices.ObligationKey` —
+    ``(parts, exact)`` — or ``None`` to bypass (callers pass ``None``
+    when the cache is disabled or no key builder applies).  An inexact
+    slice still caches (its parts embed the whole rule inputs) but is
+    counted as a ``slice_miss`` because it loses sub-rule
+    incrementality.
+    """
+    if key is None or not cache_enabled():
+        return compute()
+    from ..core.certificate import Certificate, stamp_incremental
+
+    parts, exact = key
+    if not exact:
+        note_incremental("slice_misses")
+    entry_key = cache_key("obligation:" + kind, parts)
+    cert = _load(entry_key)
+    if isinstance(cert, Certificate):
+        note_incremental("reused")
+        inc("cache.obligation_hits")
+        return stamp_incremental(cert, "reused", key=entry_key, exact=exact)
+    cert = compute()
+    _store(entry_key, _strip_provenance(cert))
+    note_incremental("rechecked")
+    inc("cache.obligation_misses")
+    return stamp_incremental(cert, "rechecked", key=entry_key, exact=exact)
+
+
+def cached_obligation_payload(
+    kind: str,
+    key: Optional[Tuple[Tuple[Any, ...], bool]],
+    compute: Callable[[], Dict[str, Any]],
+    fields: Tuple[str, ...],
+) -> Dict[str, Any]:
+    """Per-obligation cache for a payload-dict check (sim args, clients).
+
+    Only ``fields`` (the observability-independent outputs) are stored;
+    a warm load leaves the remaining keys absent, which callers treat
+    like an obs-off run.  The returned dict carries an ``incremental``
+    note the caller folds into rule-level provenance.
+    """
+    if key is None or not cache_enabled():
+        return compute()
+    parts, exact = key
+    if not exact:
+        note_incremental("slice_misses")
+    entry_key = cache_key("obligation:" + kind, parts)
+    entry = _load(entry_key)
+    if isinstance(entry, dict):
+        note_incremental("reused")
+        inc("cache.obligation_hits")
+        output = dict(entry)
+        output["incremental"] = {
+            "status": "reused", "exact": exact, "key": entry_key[:16],
+        }
+        return output
+    output = compute()
+    _store(entry_key, {field: output[field] for field in fields})
+    note_incremental("rechecked")
+    inc("cache.obligation_misses")
+    output = dict(output)
+    output["incremental"] = {
+        "status": "rechecked", "exact": exact, "key": entry_key[:16],
+    }
+    return output

@@ -50,10 +50,23 @@ gated techniques:
     implications discharged structurally and refinement witness
     searches shared between identical low logs).
 
+``static-indep``
+    Static independence seeds for the DPOR scheduler
+    (:mod:`repro.analysis.independence`).  The interprocedural
+    dependency analysis classifies whole players as *invisible* — every
+    primitive in their transitive slice provably appends no event,
+    queries nothing, reads neither log nor buffer, and touches only
+    thread-private state — so their single scheduling step commutes
+    with every other step, including steps that finish a player (which
+    the dynamic silent-step heuristic must keep).  The scheduler defers
+    invisible players instead of branching on them and keeps them
+    asleep across non-silent steps.  Works with or without ``dpor``.
+
 Gating: the ``REPRO_REDUCE`` environment variable (a comma-separated
-subset of ``dpor,transpo,rg-simplify``; ``off`` disables everything;
-unset/``on``/``all`` enables all three) or the ``reduce=`` keyword on
-the rule constructors, resolved explicit-arg-first like the lint gate.
+subset of ``dpor,transpo,rg-simplify,static-indep``; ``off`` disables
+everything; unset/``on``/``all`` enables all four) or the ``reduce=``
+keyword on the rule constructors, resolved explicit-arg-first like the
+lint gate.
 With every axis off the checkers take the exact seed code paths and
 produce byte-identical certificates.
 
@@ -84,10 +97,11 @@ from .stats import (
 DPOR = "dpor"
 TRANSPO = "transpo"
 RG_SIMPLIFY = "rg-simplify"
-ALL_AXES: FrozenSet[str] = frozenset({DPOR, TRANSPO, RG_SIMPLIFY})
+STATIC_INDEP = "static-indep"
+ALL_AXES: FrozenSet[str] = frozenset({DPOR, TRANSPO, RG_SIMPLIFY, STATIC_INDEP})
 
 #: The machine-level axes (those that change which game runs execute).
-MACHINE_AXES: FrozenSet[str] = frozenset({DPOR, TRANSPO})
+MACHINE_AXES: FrozenSet[str] = frozenset({DPOR, TRANSPO, STATIC_INDEP})
 
 REDUCE_ENV = "REPRO_REDUCE"
 
@@ -175,6 +189,7 @@ __all__ = [
     "MACHINE_AXES",
     "REDUCE_ENV",
     "RG_SIMPLIFY",
+    "STATIC_INDEP",
     "TRANSPO",
     "ReductionStats",
     "axes_from_env",

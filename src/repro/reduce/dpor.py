@@ -55,6 +55,30 @@ State key (``transpo``)
     and the table is scoped to one explored subtree — the same scope
     serially and under ``REPRO_JOBS``, which is what keeps reduced
     enumeration byte-stable across worker counts.
+
+Static independence seeds (``static-indep``)
+    The interprocedural dependency analysis
+    (:mod:`repro.analysis.independence`) classifies whole players as
+    *invisible*: every primitive in their transitive slice appends no
+    event, queries nothing, reads neither log nor buffer, opens no
+    critical bracket, and touches ``ctx`` only through thread-private
+    state.  Such a player's single step commutes with **every** other
+    step — including the finishing step the dynamic rule must keep,
+    because the static argument shows the return value is deterministic
+    and position-independent.  The scheduler therefore *defers* an
+    invisible participant instead of branching on it: at a
+    multi-candidate decision, invisible siblings are dropped (their
+    subtrees map, by delaying the invisible step, onto schedules inside
+    the kept subtrees), while the participant itself stays schedulable
+    and still runs at later forced or first-candidate rounds, so every
+    completion is preserved.  Invisible participants never enter sleep
+    sets — sleep suppresses a participant outright, deferral only
+    refuses to branch on it.  One honest caveat, recorded in DESIGN.md
+    §5: a run that hits the ``max_rounds`` bound with a deferred
+    invisible step in its final round is merged with its bound-hitting
+    siblings; verdicts are unaffected (the truncated runs differ only
+    in the invisible player's private return), and passing stacks never
+    truncate.
 """
 
 from __future__ import annotations
@@ -66,6 +90,7 @@ from .stats import ReductionStats
 
 DPOR = "dpor"
 TRANSPO = "transpo"
+STATIC_INDEP = "static-indep"
 
 
 class PruneRun(Exception):
@@ -112,7 +137,7 @@ class ReducingScheduler:
 
     __slots__ = (
         "script", "cursor", "dpor", "table", "stats", "frontier_depth",
-        "redundancy", "picks", "counts", "branches", "sleep",
+        "redundancy", "picks", "counts", "branches", "sleep", "invisible",
         "_sleep_next", "_pending", "_scanned", "_chain",
     )
 
@@ -124,11 +149,15 @@ class ReducingScheduler:
         table: Optional[TranspositionTable] = None,
         frontier_depth: Optional[int] = None,
         redundancy=None,
+        invisible: FrozenSet[int] = frozenset(),
     ):
         self.script = tuple(script)
         self.cursor = 0
         self.dpor = DPOR in axes
         self.table = table if TRANSPO in axes else None
+        #: Statically invisible participants (``static-indep`` seeds):
+        #: never branched on as siblings, still schedulable.
+        self.invisible = invisible if STATIC_INDEP in axes else frozenset()
         self.stats = stats
         self.frontier_depth = frontier_depth
         self.redundancy = redundancy
@@ -188,9 +217,13 @@ class ReducingScheduler:
                 else:
                     # Rebuild the sleep set along the recorded path:
                     # siblings explored before ``tid`` go (or stay)
-                    # asleep while its step is silent.
+                    # asleep while its step is silent.  Invisible
+                    # participants were never explored as siblings
+                    # (deferral dropped them), so they must stay awake —
+                    # their completion happens inside this subtree.
                     self._sleep_next = self.sleep | frozenset(
-                        t for t in candidates if t < tid
+                        t for t in candidates
+                        if t < tid and t not in self.invisible
                     )
             self.counts[tid] = self.counts.get(tid, 0) + 1
             return tid
@@ -214,10 +247,19 @@ class ReducingScheduler:
                 self.redundancy.branch(len(candidates))
             tid = candidates[0]
             siblings = candidates[1:]
+            if self.invisible:
+                # Static deferral: an invisible sibling's subtree maps,
+                # by delaying its purely local step, onto schedules in
+                # the kept subtrees; the participant itself stays
+                # schedulable at later rounds.
+                kept = [s for s in siblings if s not in self.invisible]
+                if len(kept) != len(siblings):
+                    self.stats.prune(STATIC_INDEP, len(siblings) - len(kept))
+                siblings = kept
             if self.dpor:
                 self._pending = (tid, siblings, len(self.picks), chain)
                 self._sleep_next = self.sleep
-            else:
+            elif siblings:
                 self.branches.append((len(self.picks), siblings))
             self.picks.append(tid)
         self.counts[tid] = self.counts.get(tid, 0) + 1
@@ -237,7 +279,7 @@ class ReducingScheduler:
             # subtree.  (A finishing step left the ready set, so it is
             # conservatively kept.)
             self.stats.prune(DPOR, len(siblings))
-        else:
+        elif siblings:
             self.branches.append((depth, siblings))
 
     def finalize(self) -> None:
@@ -246,7 +288,8 @@ class ReducingScheduler:
         if pending is not None:
             self._pending = None
             _chosen, siblings, depth, _chain = pending
-            self.branches.append((depth, siblings))
+            if siblings:
+                self.branches.append((depth, siblings))
 
     def fresh(self) -> "ReducingScheduler":  # pragma: no cover - protocol
         raise TypeError("ReducingScheduler instances are single-use")

@@ -228,6 +228,10 @@ class ServeApp:
             job.error = payload.get("error")
             self.metrics.jobs_completed += 1
             self.metrics.cold.add(payload["wall_s"])
+            incremental = payload.get("incremental") or {}
+            self.metrics.obligations_reused += incremental.get("reused", 0)
+            self.metrics.obligations_rechecked += incremental.get("rechecked", 0)
+            self.metrics.slice_misses += incremental.get("slice_misses", 0)
             # One store entry per requesting tenant: dedup shares the
             # work, never the artifact namespace.
             tenants = {job.spec["tenant"]}

@@ -341,6 +341,7 @@ def execute_job(descriptor: Dict[str, Any]) -> Dict[str, Any]:
     from ..core.errors import VerificationError
     from ..obs import heartbeat as beat, start_heartbeat, stop_heartbeat
     from ..obs.store import disable_ledger, ledger
+    from ..parallel.cache import incremental_collector
 
     # Determinism across the wire: served certificates are obs-off
     # serial bytes.  Progress still streams (heartbeats are independent
@@ -362,11 +363,14 @@ def execute_job(descriptor: Dict[str, Any]) -> Dict[str, Any]:
              "params": descriptor.get("params", {})}
         )
         ledger_dir = descriptor.get("ledger_dir")
-        if ledger_dir:
-            with ledger(ledger_dir, object=f"serve/{spec['stack']}"):
+        # Obligation-cache reuse is counted ambiently (certificates stay
+        # obs-off bytes) and shipped alongside the payload for /metrics.
+        with incremental_collector() as inc_counts:
+            if ledger_dir:
+                with ledger(ledger_dir, object=f"serve/{spec['stack']}"):
+                    certificates = STACKS[spec["stack"]]["runner"](spec["params"])
+            else:
                 certificates = STACKS[spec["stack"]]["runner"](spec["params"])
-        else:
-            certificates = STACKS[spec["stack"]]["runner"](spec["params"])
         result = build_result(spec, certificates)
         payload = {
             "ok": result["ok"],
@@ -376,6 +380,8 @@ def execute_job(descriptor: Dict[str, Any]) -> Dict[str, Any]:
                 cert.obligation_count() for _name, cert in certificates
             ),
         }
+        if any(inc_counts.values()):
+            payload["incremental"] = dict(inc_counts)
     except VerificationError as error:
         # A certified-layer constructor refused a failing certificate:
         # the verification *ran*; serve the failing evidence.

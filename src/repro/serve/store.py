@@ -193,6 +193,11 @@ class ServeMetrics:
         self.jobs_deduped = 0
         self.warm = LatencyWindow()
         self.cold = LatencyWindow()
+        # Obligation-granular cache reuse across completed jobs
+        # (populated only when the workers run with REPRO_CACHE_DIR set).
+        self.obligations_reused = 0
+        self.obligations_rechecked = 0
+        self.slice_misses = 0
 
     def to_json(self, store: CertificateStore, extra: Dict[str, Any]) -> Dict[str, Any]:
         from .protocol import METRICS_SCHEMA
@@ -208,6 +213,11 @@ class ServeMetrics:
                 "deduped": self.jobs_deduped,
             },
             "cache": store.stats(),
+            "incremental": {
+                "reused": self.obligations_reused,
+                "rechecked": self.obligations_rechecked,
+                "slice_misses": self.slice_misses,
+            },
             "latency": {
                 "warm": self.warm.summary(),
                 "cold": self.cold.summary(),

@@ -56,10 +56,15 @@ class TestRulesetVersioning:
 
         # Forge what a pre-lint (or older-ruleset) engine would have
         # written: same payload, older engine stamp, poisoned judgment
-        # so we can tell if it gets served.
-        path = entries[0]
-        with open(path, "rb") as handle:
-            entry = pickle.load(handle)
+        # so we can tell if it gets served.  Obligation-granular entries
+        # store payload dicts, so pick a certificate-valued entry.
+        for path in entries:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            if hasattr(entry.get("certificate"), "judgment"):
+                break
+        else:
+            raise AssertionError("no certificate-valued cache entry found")
         entry["engine"] = "repro-engine/1+repro-lint/0"
         entry["certificate"].judgment = "POISONED"
         with open(path, "wb") as handle:

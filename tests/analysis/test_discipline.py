@@ -277,6 +277,112 @@ class TestN302SetIteration:
         assert "REPRO-N302" not in {f.rule_id for f in findings}
 
 
+def _race_iface(events=None, *, overlap=True, bracketed=False):
+    """Two shared primitives whose footprints overlap on ``tick``."""
+
+    def ping_spec(ctx):
+        yield from ctx.query()
+        ctx.emit("tick")
+        return None
+
+    def pong_overlap_spec(ctx):
+        yield from ctx.query()
+        ctx.emit("tick")
+        ctx.emit("done")
+        return None
+
+    def pong_disjoint_spec(ctx):
+        yield from ctx.query()
+        ctx.emit("tock")
+        ctx.emit("done")
+        return None
+
+    pong_spec = pong_overlap_spec if overlap else pong_disjoint_spec
+
+    return LayerInterface(
+        "L_race", [1, 2],
+        {
+            "ping": shared_prim(
+                "ping", ping_spec, enters_critical=bracketed
+            ),
+            "pong": shared_prim("pong", pong_spec),
+        },
+        guar=Guarantee(events=events) if events is not None else None,
+    )
+
+
+class TestL106MayRacePair:
+    def test_positive(self):
+        findings = lint_interface(_race_iface())
+        assert "REPRO-L106" in _rules(findings)
+
+    def test_negative_disjoint_footprints(self):
+        findings = lint_interface(_race_iface(overlap=False))
+        assert "REPRO-L106" not in _rules(findings)
+
+    def test_negative_critical_bracket(self):
+        findings = lint_interface(_race_iface(bracketed=True))
+        assert "REPRO-L106" not in _rules(findings)
+
+    def test_negative_private_prims_exempt(self):
+        def bump(ctx, lock=None):
+            return None
+
+        iface = LayerInterface(
+            "L_priv", [1, 2],
+            {
+                "b1": private_prim("b1", bump),
+                "b2": private_prim("b2", bump),
+            },
+        )
+        assert "REPRO-L106" not in _rules(lint_interface(iface))
+
+    def test_interprocedural_footprint(self):
+        """The overlap is only reachable through a nested primitive call."""
+
+        def leaf_spec(ctx):
+            yield from ctx.query()
+            ctx.emit("tick")
+            return None
+
+        def wrapper_spec(ctx):
+            yield from ctx.call("leaf")
+            return None
+
+        iface = LayerInterface(
+            "L_nest", [1, 2],
+            {
+                "leaf": shared_prim("leaf", leaf_spec),
+                "wrap": shared_prim("wrap", wrapper_spec),
+            },
+        )
+        findings = lint_interface(iface)
+        hits = [f for f in findings if f.rule_id == "REPRO-L106"]
+        assert hits and "leaf" in hits[0].message and "wrap" in hits[0].message
+
+
+class TestI204GuaranteeSpansRacePair:
+    def test_positive(self):
+        findings = lint_interface(_race_iface(events=["tick", "done"]))
+        assert "REPRO-I204" in _rules(findings)
+
+    def test_negative_guarantee_misses_overlap(self):
+        findings = lint_interface(_race_iface(events=["done"]))
+        rules = _rules(findings)
+        assert "REPRO-L106" in rules  # the race itself still warns
+        assert "REPRO-I204" not in rules
+
+    def test_negative_no_guarantee(self):
+        findings = lint_interface(_race_iface())
+        assert "REPRO-I204" not in _rules(findings)
+
+    def test_negative_no_race(self):
+        findings = lint_interface(
+            _race_iface(events=["tick", "done"], bracketed=True)
+        )
+        assert "REPRO-I204" not in _rules(findings)
+
+
 class TestSuppressions:
     def test_allow_comment_marks_finding_suppressed(
         self, counter_base, counter_overlay, ret_only_rel

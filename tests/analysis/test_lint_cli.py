@@ -87,6 +87,32 @@ class TestDirtyModule:
         assert any(f.rule_id == "REPRO-N301" for f in report.errors)
 
 
+class TestUnimportableTarget:
+    def test_missing_module_exits_2(self, capsys):
+        code = main(["no_such_module_anywhere_xyz"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot import" in err
+        assert "no_such_module_anywhere_xyz" in err
+
+    def test_broken_module_exits_2(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "broken_layer_mod.py").write_text("raise RuntimeError('boom')\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        try:
+            code = main(["broken_layer_mod"])
+        finally:
+            sys.modules.pop("broken_layer_mod", None)
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "RuntimeError: boom" in err
+
+    def test_lint_targets_raises_typed_error(self):
+        from repro.analysis.cli import TargetImportError
+
+        with pytest.raises(TargetImportError):
+            lint_targets(["no_such_module_anywhere_xyz"])
+
+
 class TestFlags:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
